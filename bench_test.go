@@ -1,0 +1,218 @@
+// Benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation. Each iteration runs the complete experiment through
+// internal/exp and reports the headline numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every paper result. An iteration is a full experiment (often
+// seconds of simulated time); expect b.N == 1 per benchmark.
+package nfvnice_test
+
+import (
+	"testing"
+
+	"nfvnice/internal/exp"
+)
+
+// runExp executes the experiment once per b.N and reports selected cells as
+// benchmark metrics.
+func runExp(b *testing.B, id string, metrics func(*exp.Result, *testing.B)) {
+	b.Helper()
+	run, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var res *exp.Result
+	for i := 0; i < b.N; i++ {
+		res = run(exp.Default())
+	}
+	if metrics != nil {
+		metrics(res, b)
+	}
+	b.Logf("\n%s", res.String())
+}
+
+func report(b *testing.B, res *exp.Result, tableID, row, col, unit string) {
+	t := res.Find(tableID)
+	if t == nil {
+		b.Fatalf("table %s missing", tableID)
+	}
+	v, ok := t.Get(row, col)
+	if !ok {
+		b.Fatalf("cell (%s, %s) missing in %s", row, col, tableID)
+	}
+	b.ReportMetric(v, unit)
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	runExp(b, "fig1a", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig1a-uneven", "NF1", "RR", "NF1-RR-Mpps")
+		report(b, r, "fig1a-uneven", "NF3", "RR", "NF3-RR-Mpps")
+	})
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	runExp(b, "fig1b", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig1b-even", "NF1", "NORMAL", "NF1-NORMAL-Mpps")
+		report(b, r, "fig1b-even", "NF3", "NORMAL", "NF3-NORMAL-Mpps")
+	})
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runExp(b, "table1", func(r *exp.Result, b *testing.B) {
+		report(b, r, "table1-even", "NF1", "NORMAL nvcswch/s", "NF1-nvcswch-per-s")
+	})
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runExp(b, "table2", func(r *exp.Result, b *testing.B) {
+		report(b, r, "table2-even", "NF1", "NORMAL nvcswch/s", "NORMAL-nvcswch-per-s")
+		report(b, r, "table2-even", "NF1", "BATCH nvcswch/s", "BATCH-nvcswch-per-s")
+	})
+}
+
+func BenchmarkFig7(b *testing.B) {
+	runExp(b, "fig7", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig7", "Default", "BATCH", "default-Mpps")
+		report(b, r, "fig7", "NFVnice", "BATCH", "nfvnice-Mpps")
+	})
+}
+
+func BenchmarkTable3(b *testing.B) {
+	runExp(b, "table3", func(r *exp.Result, b *testing.B) {
+		report(b, r, "table3", "NF1", "BATCH Default", "default-wasted-pps")
+		report(b, r, "table3", "NF1", "BATCH NFVnice", "nfvnice-wasted-pps")
+	})
+}
+
+func BenchmarkTable4(b *testing.B) {
+	runExp(b, "table4", func(r *exp.Result, b *testing.B) {
+		report(b, r, "table4-delay", "NF3", "BATCH NFVnice", "NF3-delay-ms")
+	})
+}
+
+func BenchmarkTable5(b *testing.B) {
+	runExp(b, "table5", func(r *exp.Result, b *testing.B) {
+		report(b, r, "table5", "NF1", "Default CPU %", "default-NF1-cpu")
+		report(b, r, "table5", "NF1", "NFVnice CPU %", "nfvnice-NF1-cpu")
+	})
+}
+
+func BenchmarkFig9(b *testing.B) {
+	runExp(b, "fig9", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig9", "chain1", "Default", "default-chain1-Mpps")
+		report(b, r, "fig9", "chain1", "NFVnice", "nfvnice-chain1-Mpps")
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	runExp(b, "fig10", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig10", "Default", "BATCH", "default-BATCH-Mpps")
+		report(b, r, "fig10", "OnlyBKPR", "BATCH", "bkpr-BATCH-Mpps")
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	runExp(b, "fig11", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig11", "Med-High-Low", "RR(100ms) Def", "default-rr100-Mpps")
+		report(b, r, "fig11", "Med-High-Low", "RR(100ms) NFV", "nfvnice-rr100-Mpps")
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	runExp(b, "fig12", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig12", "Type 6", "NORMAL Def", "default-type6-Mpps")
+		report(b, r, "fig12", "Type 6", "NORMAL NFV", "nfvnice-type6-Mpps")
+	})
+}
+
+func BenchmarkFig13(b *testing.B) {
+	runExp(b, "fig13", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig13", "10s", "Default TCP", "default-tcp-Mbps")
+		report(b, r, "fig13", "10s", "NFVnice TCP", "nfvnice-tcp-Mbps")
+		report(b, r, "fig13", "10s", "NFVnice UDP", "nfvnice-udp-Mbps")
+	})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	runExp(b, "fig14", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig14", "64B", "Async gain x", "async-gain-64B")
+	})
+}
+
+func BenchmarkFig15a(b *testing.B) {
+	runExp(b, "fig15a", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig15a", "5s", "NFVnice NF1", "nf1-cpu-before")
+		report(b, r, "fig15a", "15s", "NFVnice NF1", "nf1-cpu-during")
+	})
+}
+
+func BenchmarkFig15b(b *testing.B) {
+	runExp(b, "fig15b", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig15b", "6", "Default (NORMAL)", "default-jain")
+		report(b, r, "fig15b", "6", "NFVnice", "nfvnice-jain")
+	})
+}
+
+func BenchmarkFig15c(b *testing.B) {
+	runExp(b, "fig15c", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig15c", "NF1", "NFVnice CPU %", "lightest-cpu")
+		report(b, r, "fig15c", "NF6", "NFVnice CPU %", "heaviest-cpu")
+	})
+}
+
+func BenchmarkFig16(b *testing.B) {
+	runExp(b, "fig16", func(r *exp.Result, b *testing.B) {
+		report(b, r, "fig16", "5", "SC Default", "sc-default-len5-Mpps")
+		report(b, r, "fig16", "5", "SC NFVnice", "sc-nfvnice-len5-Mpps")
+	})
+}
+
+func BenchmarkWatermarkSweep(b *testing.B) {
+	runExp(b, "sweep", func(r *exp.Result, b *testing.B) {
+		report(b, r, "sweep-high", "80%", "throughput", "high80-Mpps")
+	})
+}
+
+func BenchmarkAblations(b *testing.B) {
+	runExp(b, "ablation", func(r *exp.Result, b *testing.B) {
+		report(b, r, "ablation-bp-scope", "chain-entry", "chain1", "entry-chain1-Mpps")
+		report(b, r, "ablation-bp-scope", "hop-by-hop", "chain1", "hop-chain1-Mpps")
+		report(b, r, "ablation-weight-period", "10ms", "jain", "weights10ms-jain")
+		report(b, r, "ablation-weight-period", "1000ms", "jain", "weights1000ms-jain")
+	})
+}
+
+func BenchmarkECNExtension(b *testing.B) {
+	runExp(b, "ecn", func(r *exp.Result, b *testing.B) {
+		report(b, r, "ecn", "ECN (RFC 3168)", "losses/s", "ecn-losses-per-s")
+		report(b, r, "ecn", "loss-based (ECN off)", "losses/s", "lossbased-losses-per-s")
+	})
+}
+
+func BenchmarkCustomSchedExtension(b *testing.B) {
+	runExp(b, "customsched", func(r *exp.Result, b *testing.B) {
+		report(b, r, "customsched", "NFVnice (user space)", "throughput", "nfvnice-Mpps")
+		report(b, r, "customsched", "qlen-kernel (sync 10µs)", "throughput", "qlen-sync10us-Mpps")
+	})
+}
+
+func BenchmarkLatencyExtension(b *testing.B) {
+	runExp(b, "latency", func(r *exp.Result, b *testing.B) {
+		report(b, r, "latency", "Default", "p99", "default-p99-us")
+		report(b, r, "latency", "NFVnice", "p99", "nfvnice-p99-us")
+	})
+}
+
+func BenchmarkPoissonExtension(b *testing.B) {
+	runExp(b, "poisson", func(r *exp.Result, b *testing.B) {
+		report(b, r, "poisson", "NFVnice", "Poisson", "nfvnice-poisson-Mpps")
+	})
+}
+
+func BenchmarkCrossHostExtension(b *testing.B) {
+	runExp(b, "crosshost", func(r *exp.Result, b *testing.B) {
+		report(b, r, "crosshost", "ECN across hosts", "losses/s", "ecn-losses-per-s")
+		report(b, r, "crosshost", "loss-based (ECN off)", "losses/s", "lossbased-losses-per-s")
+	})
+}

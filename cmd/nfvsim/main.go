@@ -1,0 +1,154 @@
+// Command nfvsim runs the NFVnice reproduction experiments: every table and
+// figure from the paper's evaluation, by id.
+//
+// Usage:
+//
+//	nfvsim list
+//	nfvsim run fig7 [-quick] [-csv]
+//	nfvsim all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nfvnice"
+	"nfvnice/internal/exp"
+	"nfvnice/internal/obs"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `nfvsim — NFVnice (SIGCOMM'17) reproduction experiments
+
+Usage:
+  nfvsim list                 list experiment ids
+  nfvsim run <id> [flags]     run one experiment
+  nfvsim all [flags]          run every experiment
+  nfvsim spec <file.json>     build a platform from a declarative spec and
+                              report per-chain throughput (100ms warm, 300ms
+                              measured)
+
+Flags:
+  -quick   short windows (smoke test quality)
+  -csv     emit CSV instead of aligned tables
+  -chart   render ASCII bar charts instead of tables
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "short measurement windows")
+	csv := fs.Bool("csv", false, "CSV output")
+	chart := fs.Bool("chart", false, "ASCII bar charts")
+
+	switch cmd {
+	case "list":
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		id := os.Args[2]
+		fs.Parse(os.Args[3:])
+		run, ok := exp.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nfvsim: unknown experiment %q (try 'nfvsim list')\n", id)
+			os.Exit(1)
+		}
+		emit(id, run, *quick, *csv, *chart)
+	case "all":
+		fs.Parse(os.Args[2:])
+		for _, e := range exp.Registry() {
+			emit(e.ID, e.Run, *quick, *csv, *chart)
+		}
+	case "spec":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		sfs := flag.NewFlagSet("spec", flag.ExitOnError)
+		traceOut := sfs.String("trace", "", "write a Chrome/Perfetto trace JSON to this file")
+		sfs.Parse(os.Args[3:])
+		runSpec(os.Args[2], *traceOut)
+	default:
+		usage()
+	}
+}
+
+func runSpec(path, traceOut string) {
+	s, err := nfvnice.LoadSpecFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvsim:", err)
+		os.Exit(1)
+	}
+	p, chains, err := s.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvsim:", err)
+		os.Exit(1)
+	}
+	var trace *obs.Trace
+	if traceOut != "" {
+		trace = p.EnableTracing()
+	}
+	p.Run(nfvnice.Milliseconds(100))
+	snap := p.TakeSnapshot()
+	p.Run(nfvnice.Milliseconds(400))
+	fmt.Printf("%-16s %12s\n", "chain", "Mpps")
+	for i, ch := range chains {
+		name := s.Chains[i].Name
+		if name == "" {
+			name = fmt.Sprintf("chain%d", ch)
+		}
+		fmt.Printf("%-16s %12.3f\n", name, float64(p.ChainDeliveredSince(snap, ch))/1e6)
+	}
+	fmt.Printf("%-16s %12.3f\n", "wasted", float64(p.TotalWastedSince(snap))/1e6)
+	m := p.NFMetricsSince(snap)
+	for _, nm := range m {
+		fmt.Printf("nf %-12s svc %8.3f Mpps  cpu-share %5.1f%%  svc-time %d cyc\n",
+			nm.Name, float64(nm.ProcessedPps)/1e6, nm.CPUShare*100, nm.ServiceTimeCycles)
+	}
+	if trace != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfvsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nfvsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[trace: %d events -> %s]\n", trace.Len(), traceOut)
+	}
+}
+
+func emit(id string, run exp.Runner, quick, csv, chart bool) {
+	d := exp.Default()
+	if quick {
+		d = exp.Quick()
+	}
+	start := time.Now()
+	res := run(d)
+	elapsed := time.Since(start)
+	switch {
+	case csv:
+		for _, t := range res.Tables {
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		}
+	case chart:
+		for _, t := range res.Tables {
+			fmt.Println(t.Chart())
+		}
+	default:
+		fmt.Print(res.String())
+	}
+	fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", id, elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,79 @@
+// Command nfvsweep explores NFVnice tuning parameters (§4.3.8 of the
+// paper): watermark placement, hysteresis margin, libnf batch size, and the
+// weight-update period, reporting throughput, wasted work and latency for
+// the canonical 3-NF chain.
+//
+// Usage:
+//
+//	nfvsweep [-high 0.5,0.7,0.8,0.9] [-margin 0.2] [-batch 32] [-weightms 10]
+//	         [-warm 100] [-meas 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nfvnice"
+	"nfvnice/internal/simtime"
+)
+
+func parseList(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfvsweep: bad number %q\n", part)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	highs := flag.String("high", "0.3,0.5,0.7,0.8,0.9,0.98", "comma list of HIGH_WATER_MARK fractions")
+	margin := flag.Float64("margin", 0.20, "LOW = HIGH - margin")
+	batch := flag.Int("batch", 32, "libnf batch size")
+	weightMs := flag.Float64("weightms", 10, "cpu.shares update period (ms)")
+	ringSize := flag.Int("ring", 1024, "ring size in descriptors")
+	warmMs := flag.Float64("warm", 100, "warmup (ms)")
+	measMs := flag.Float64("meas", 300, "measurement window (ms)")
+	flag.Parse()
+
+	fmt.Printf("%-6s %-6s %12s %12s %10s\n", "high", "low", "tput(Mpps)", "wasted", "p50(µs)")
+	for _, high := range parseList(*highs) {
+		low := high - *margin
+		if low < 0 {
+			low = 0
+		}
+		cfg := nfvnice.DefaultConfig(nfvnice.SchedBatch, nfvnice.ModeNFVnice)
+		cfg.NFParams.HighFrac = high
+		cfg.NFParams.LowFrac = low
+		cfg.NFParams.BatchSize = *batch
+		cfg.NFParams.RingSize = *ringSize
+		cfg.CtlParams.WeightInterval = simtime.Cycles(*weightMs * float64(simtime.Millisecond))
+
+		p := nfvnice.NewPlatform(cfg)
+		core := p.AddCore()
+		n1 := p.AddNF("low", nfvnice.FixedCost(120), core)
+		n2 := p.AddNF("med", nfvnice.FixedCost(270), core)
+		n3 := p.AddNF("high", nfvnice.FixedCost(550), core)
+		ch := p.AddChain("chain", n1, n2, n3)
+		f := nfvnice.UDPFlow(0, 64)
+		p.MapFlow(f, ch)
+		p.AddCBR(f, nfvnice.LineRate10G(64))
+
+		p.Run(nfvnice.Milliseconds(*warmMs))
+		snap := p.TakeSnapshot()
+		p.Run(nfvnice.Milliseconds(*warmMs + *measMs))
+
+		fmt.Printf("%-6.2f %-6.2f %12.3f %12.3f %10.1f\n",
+			high, low,
+			float64(p.ChainDeliveredSince(snap, ch))/1e6,
+			float64(p.TotalWastedSince(snap))/1e6,
+			p.LatencyQuantile(0.5))
+	}
+}

@@ -1,0 +1,270 @@
+// Command nfvtrace generates synthetic packet traces and inspects captures:
+// a workbench for feeding the dataplane's real NFs and for eyeballing what
+// they emit in Wireshark.
+//
+// Usage:
+//
+//	nfvtrace gen -o trace.pcap -packets 10000 -flows 16 -mix 70,25,5
+//	nfvtrace info trace.pcap
+//	nfvtrace replay trace.pcap        # run the trace through a real NF chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nfvnice"
+	"nfvnice/internal/flowtable"
+	"nfvnice/internal/nfs"
+	"nfvnice/internal/pcap"
+	"nfvnice/internal/proto"
+	"nfvnice/internal/simtime"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `nfvtrace — synthetic trace generation and inspection
+
+Usage:
+  nfvtrace gen -o FILE [-packets N] [-flows N] [-mix udp,tcp,bad] [-seed N]
+  nfvtrace info FILE
+  nfvtrace replay FILE            run the trace through real NFs inline
+  nfvtrace sim FILE [-speedup N]  replay the trace into the simulated
+                                  NFVnice platform (3-NF chain) and report
+                                  throughput and drops
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		info(os.Args[2])
+	case "replay":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		replay(os.Args[2])
+	case "sim":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		simulate(os.Args[2], os.Args[3:])
+	default:
+		usage()
+	}
+}
+
+// simulate replays a capture into the simulated NFVnice platform: every
+// trace flow is routed through a monitor→nat→dpi chain on one core.
+func simulate(path string, args []string) {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	speedup := fs.Float64("speedup", 1, "replay time compression factor")
+	mode := fs.String("mode", "nfvnice", "default|cgroups|backpressure|nfvnice")
+	fs.Parse(args)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	pkts, err := pcap.ReadAll(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	if len(pkts) == 0 {
+		fmt.Fprintln(os.Stderr, "nfvtrace: empty trace")
+		os.Exit(1)
+	}
+	spec := nfvnice.Spec{Mode: *mode, Scheduler: "BATCH", Cores: 1,
+		NFs: []nfvnice.NFSpec{
+			{Name: "monitor", Core: 0, Cost: 120},
+			{Name: "nat", Core: 0, Cost: 270},
+			{Name: "dpi", Core: 0, Cost: 550},
+		},
+		Chains: []nfvnice.ChainSpec{{Name: "c", NFs: []string{"monitor", "nat", "dpi"}}},
+	}
+	p, chains, err := spec.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	r := p.AddReplay(pkts, 0)
+	r.Speedup = *speedup
+	// Route every trace flow to the chain.
+	p.InstallRule(flowtable.Rule{ChainID: chains[0]})
+
+	span := pkts[len(pkts)-1].Time.Sub(pkts[0].Time)
+	horizon := nfvnice.Cycles(float64(simtimeFromDuration(span))/(*speedup)) + nfvnice.Milliseconds(50)
+	p.Run(horizon)
+	fmt.Printf("replayed %d packets (%d flows) over %v simulated\n",
+		r.Offered.Total(), r.Flows(), horizon.Duration().Round(time.Millisecond))
+	fmt.Printf("accepted %d, delivered %d, wasted %d, entry sheds %d\n",
+		r.Accepted.Total(), p.Mgr.Delivered[chains[0]].Total(),
+		p.Mgr.TotalWasted(), p.EntryThrottleDrops())
+	fmt.Printf("p50 latency %.1fµs, p99 %.1fµs\n", p.LatencyQuantile(0.5), p.LatencyQuantile(0.99))
+}
+
+func simtimeFromDuration(d time.Duration) nfvnice.Cycles {
+	return simtime.FromDuration(d)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("o", "trace.pcap", "output file")
+	packets := fs.Int("packets", 10000, "number of packets")
+	flows := fs.Int("flows", 16, "number of flows")
+	mix := fs.String("mix", "70,25,5", "percent udp,tcp,malicious")
+	seed := fs.Int64("seed", 1, "rng seed")
+	fs.Parse(args)
+
+	parts := strings.Split(*mix, ",")
+	if len(parts) != 3 {
+		fmt.Fprintln(os.Stderr, "nfvtrace: -mix wants three percentages")
+		os.Exit(1)
+	}
+	var pct [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfvtrace: bad mix:", err)
+			os.Exit(1)
+		}
+		pct[i] = v
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w := pcap.NewWriter(f, 0)
+	rng := rand.New(rand.NewSource(*seed))
+	macA := proto.MAC{2, 0, 0, 0, 0, 1}
+	macB := proto.MAC{2, 0, 0, 0, 0, 2}
+	t0 := time.Unix(1700000000, 0)
+	for i := 0; i < *packets; i++ {
+		flow := rng.Intn(*flows)
+		src := proto.Addr4(10, 0, byte(flow>>8), byte(flow))
+		dst := proto.Addr4(93, 184, 216, 34)
+		sp := uint16(20000 + flow)
+		ts := t0.Add(time.Duration(i) * 50 * time.Microsecond)
+		roll := rng.Intn(100)
+		var frame []byte
+		switch {
+		case roll < pct[0]:
+			frame = proto.BuildUDP(macA, macB, src, dst, sp, 53, payload(rng, 22))
+		case roll < pct[0]+pct[1]:
+			frame = proto.BuildTCP(macA, macB, src, dst, sp, 443, uint32(i), 0, proto.TCPAck, payload(rng, 400))
+		default:
+			frame = proto.BuildTCP(macA, macB, src, dst, sp, 80, uint32(i), 0, proto.TCPAck,
+				append([]byte("GET /?q=exploit "), payload(rng, 60)...))
+		}
+		if err := w.WritePacket(ts, frame); err != nil {
+			fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+			os.Exit(1)
+		}
+	}
+	w.Flush()
+	fmt.Printf("wrote %d packets to %s\n", w.Packets, *out)
+}
+
+func payload(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return b
+}
+
+func info(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	pkts, err := pcap.ReadAll(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	mon := nfs.NewMonitor()
+	var bytes uint64
+	for _, p := range pkts {
+		mon.Process(p.Data)
+		bytes += uint64(p.Orig)
+	}
+	fmt.Printf("%s: %d packets, %d bytes, %d flows\n", path, len(pkts), bytes, mon.Flows())
+	if len(pkts) > 0 {
+		span := pkts[len(pkts)-1].Time.Sub(pkts[0].Time)
+		fmt.Printf("span %v (%.0f pps)\n", span, float64(len(pkts))/max(span.Seconds(), 1e-9))
+	}
+	fmt.Println("top flows:")
+	for _, fl := range mon.Top(5) {
+		fmt.Printf("  %v:%d -> %v:%d proto %d: %d pkts, %d bytes\n",
+			fl.Src, fl.SrcPort, fl.Dst, fl.DstPort, fl.Proto, fl.Packets, fl.Bytes)
+	}
+}
+
+func replay(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	pkts, err := pcap.ReadAll(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvtrace:", err)
+		os.Exit(1)
+	}
+	fw := nfs.NewFirewall(nfs.Drop)
+	fw.AddRule(nfs.FirewallRule{DstPortLo: 53, Proto: proto.IPProtoUDP, Action: nfs.Accept})
+	fw.AddRule(nfs.FirewallRule{DstPortLo: 80, DstPortHi: 443, Action: nfs.Accept})
+	nat := nfs.NewNAT(proto.Addr4(198, 51, 100, 1), func(a proto.IPv4Addr) bool { return uint32(a)>>24 == 10 })
+	dpi := nfs.NewDPI([][]byte{[]byte("exploit")}, true)
+	chain := []nfs.Processor{fw, nat, dpi}
+	survived := 0
+	start := time.Now()
+	for _, p := range pkts {
+		frame := append([]byte(nil), p.Data...)
+		ok := true
+		for _, nf := range chain {
+			if nf.Process(frame) == nfs.Drop {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			survived++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d packets through firewall→nat→dpi in %v (%.0f pps)\n",
+		len(pkts), elapsed.Round(time.Millisecond), float64(len(pkts))/max(elapsed.Seconds(), 1e-9))
+	fmt.Printf("survived %d, firewall dropped %d, dpi dropped %d, nat bindings %d\n",
+		survived, fw.Dropped, dpi.Dropped, nat.Bindings())
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

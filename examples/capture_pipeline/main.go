@@ -1,0 +1,102 @@
+// Capture pipeline: the full stack in one program. A two-core goroutine
+// dataplane runs real NFs (monitor on core 0, DPI on core 1) over real
+// frames; every frame that survives the chain is mirrored through a tap
+// into a Wireshark-readable pcap file, which is then read back and
+// summarized.
+//
+// Run:
+//
+//	go run ./examples/capture_pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"nfvnice/internal/dataplane"
+	"nfvnice/internal/nfs"
+	"nfvnice/internal/pcap"
+	"nfvnice/internal/proto"
+)
+
+func main() {
+	const out = "capture.pcap"
+
+	mon := nfs.NewMonitor()
+	dpi := nfs.NewDPI([][]byte{[]byte("exfiltrate")}, true)
+
+	e := dataplane.New(dataplane.Config{Cores: 2, RingSize: 1024})
+	s1 := e.AddStageOn("monitor", 1024, 0, nfs.Adapt(mon))
+	s2 := e.AddStageOn("dpi", 1024, 1, nfs.Adapt(dpi))
+	ch, err := e.AddChain(s1, s2)
+	if err != nil {
+		panic(err)
+	}
+	e.MapFlow(0, ch)
+
+	f, err := os.Create(out)
+	if err != nil {
+		panic(err)
+	}
+	w := pcap.NewWriter(f, 0)
+	e.Tap(func(p *dataplane.Packet) {
+		frame, ok := p.Userdata.([]byte)
+		if !ok || frame == nil {
+			return // killed by the DPI mid-chain
+		}
+		w.WritePacket(time.Now(), frame)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go e.Run(ctx)
+	go func() {
+		for range e.Output() {
+		}
+	}()
+
+	// Offer a mix of benign and malicious traffic.
+	macA := proto.MAC{2, 0, 0, 0, 0, 1}
+	macB := proto.MAC{2, 0, 0, 0, 0, 2}
+	src := proto.Addr4(10, 0, 0, 1)
+	dst := proto.Addr4(10, 9, 9, 9)
+	const total = 2000
+	sent := 0
+	for i := 0; sent < total; i++ {
+		payload := []byte("regular business traffic")
+		if i%50 == 0 {
+			payload = []byte("attempt to exfiltrate secrets")
+		}
+		frame := proto.BuildUDP(macA, macB, src, dst, uint16(4000+i%100), 9, payload)
+		if e.Inject(&dataplane.Packet{FlowID: 0, Size: len(frame), Userdata: frame}) {
+			sent++
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	w.Flush()
+	f.Close()
+
+	// Read the capture back.
+	rf, err := os.Open(out)
+	if err != nil {
+		panic(err)
+	}
+	pkts, err := pcap.ReadAll(rf)
+	rf.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("injected %d frames across 2 cores (monitor@0 → dpi@1)\n", sent)
+	fmt.Printf("monitor tracked %d flows; dpi dropped %d malicious frames\n", mon.Flows(), dpi.Dropped)
+	fmt.Printf("tap captured %d surviving frames to %s (Wireshark-readable)\n", len(pkts), out)
+	if len(pkts) > 0 {
+		fr, _ := proto.Decode(pkts[0].Data)
+		fmt.Printf("first captured frame: %v:%d -> %v:%d, %d bytes\n",
+			fr.IP.Src, fr.UDP.SrcPort, fr.IP.Dst, fr.UDP.DstPort, pkts[0].Orig)
+	}
+	os.Remove(out)
+}

@@ -1,0 +1,77 @@
+// Dataplane live: the real (non-simulated) goroutine runtime. Two service
+// chains of Go handler functions share the cooperative weighted scheduler;
+// the rate-cost controller measures actual handler nanoseconds and
+// re-weights every 10 ms, while watermark backpressure sheds an overloaded
+// chain at its entry.
+//
+// Run:
+//
+//	go run ./examples/dataplane_live
+package main
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"nfvnice/internal/dataplane"
+)
+
+// work simulates payload processing by hashing a buffer n times.
+func work(n int) dataplane.Handler {
+	buf := make([]byte, 256)
+	return func(p *dataplane.Packet) {
+		for i := 0; i < n; i++ {
+			h := fnv.New64a()
+			h.Write(buf)
+			_ = h.Sum64()
+		}
+	}
+}
+
+func main() {
+	e := dataplane.New(dataplane.DefaultConfig())
+
+	light := e.AddStage("light-fw", 1024, work(5))
+	heavy := e.AddStage("heavy-dpi", 1024, work(50))
+
+	chLight, _ := e.AddChain(light)
+	chHeavy, _ := e.AddChain(heavy)
+	e.MapFlow(0, chLight)
+	e.MapFlow(1, chHeavy)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	go e.Run(ctx)
+
+	// Drain delivered packets.
+	go func() {
+		for range e.Output() {
+		}
+	}()
+
+	// Offer equal load to both chains for 2 seconds.
+	go func() {
+		for ctx.Err() == nil {
+			e.Inject(&dataplane.Packet{FlowID: 0, Size: 64})
+			e.Inject(&dataplane.Packet{FlowID: 1, Size: 64})
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	fmt.Println("live dataplane: equal arrivals, 10x cost ratio, auto weights")
+	fmt.Printf("%6s  %-10s %10s %8s %12s\n", "t(ms)", "stage", "processed", "weight", "est cost")
+	start := time.Now()
+	for t := 0; t < 4; t++ {
+		time.Sleep(500 * time.Millisecond)
+		for _, s := range e.Stats() {
+			fmt.Printf("%6d  %-10s %10d %8d %12v\n",
+				time.Since(start).Milliseconds(), s.Name, s.Processed, s.Weight, s.EstCost.Round(time.Nanosecond))
+		}
+	}
+	fmt.Printf("\ndelivered=%d entryDrops=%d ringDrops=%d throttleEvents=%d\n",
+		e.Delivered.Load(), e.EntryDrops.Load(), e.RingDrops.Load(), e.ThrottleEvents.Load())
+	fmt.Println("\nThe controller weights the heavy stage up (~10x) so both chains")
+	fmt.Println("drain at similar packet rates despite the cost imbalance.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: build the paper's basic scenario — a three-NF service chain
+// (Low/Med/High per-packet cost) sharing one CPU core under line-rate
+// traffic — and compare the default kernel scheduler against full NFVnice.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"nfvnice"
+)
+
+func run(mode nfvnice.Mode) (tput, wasted float64) {
+	p := nfvnice.NewPlatform(nfvnice.DefaultConfig(nfvnice.SchedBatch, mode))
+
+	// One shared core hosting three NFs of increasing cost: think
+	// flow-monitor -> NAT -> DPI.
+	core := p.AddCore()
+	mon := p.AddNF("monitor", nfvnice.FixedCost(120), core)
+	nat := p.AddNF("nat", nfvnice.FixedCost(270), core)
+	dpi := p.AddNF("dpi", nfvnice.FixedCost(550), core)
+
+	// Chain them and steer one UDP flow through at 10G line rate (64B).
+	ch := p.AddChain("mon-nat-dpi", mon, nat, dpi)
+	flow := nfvnice.UDPFlow(0, 64)
+	p.MapFlow(flow, ch)
+	p.AddCBR(flow, nfvnice.LineRate10G(64))
+
+	// Warm up 100 ms, measure 500 ms.
+	p.Run(nfvnice.Milliseconds(100))
+	snap := p.TakeSnapshot()
+	p.Run(nfvnice.Milliseconds(600))
+
+	return float64(p.ChainDeliveredSince(snap, ch)) / 1e6,
+		float64(p.TotalWastedSince(snap)) / 1e6
+}
+
+func main() {
+	fmt.Println("3-NF chain (120/270/550 cycles) on one shared core, 14.88 Mpps offered")
+	fmt.Println()
+	for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+		tput, wasted := run(mode)
+		fmt.Printf("%-8s  throughput %5.2f Mpps   wasted work %5.2f Mpps\n",
+			mode, tput, wasted)
+	}
+	fmt.Println()
+	fmt.Println("NFVnice's backpressure sheds excess load at the chain entry and its")
+	fmt.Println("cgroup weights give each NF CPU proportional to arrival rate x cost,")
+	fmt.Println("so the chain runs at its theoretical ~2.77 Mpps ceiling with ~zero")
+	fmt.Println("packets dropped after processing.")
+}

@@ -1,0 +1,116 @@
+// Real NFs: a service chain of actual packet processors — monitor →
+// firewall → NAT → router → DPI — running real Ethernet/IPv4/UDP frames
+// through the concurrent dataplane, with NFVnice-style auto weights and
+// backpressure. This is the paper's motivating middlebox chain as working
+// code: headers get parsed, checksums get rewritten incrementally, payloads
+// get scanned.
+//
+// Run:
+//
+//	go run ./examples/real_nfs
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nfvnice/internal/dataplane"
+	"nfvnice/internal/nfs"
+	"nfvnice/internal/proto"
+)
+
+func main() {
+	var (
+		macSrc = proto.MAC{2, 0, 0, 0, 0, 1}
+		macGW  = proto.MAC{2, 0, 0, 0, 0, 2}
+		inside = proto.Addr4(10, 0, 0, 42)
+		dnsSrv = proto.Addr4(8, 8, 8, 8)
+		webSrv = proto.Addr4(93, 184, 216, 34)
+		natIP  = proto.Addr4(198, 51, 100, 1)
+	)
+
+	mon := nfs.NewMonitor()
+	fw := nfs.NewFirewall(nfs.Drop)
+	fw.AddRule(nfs.FirewallRule{DstPortLo: 53, Proto: proto.IPProtoUDP, Action: nfs.Accept})
+	fw.AddRule(nfs.FirewallRule{DstPortLo: 80, DstPortHi: 443, Action: nfs.Accept})
+	nat := nfs.NewNAT(natIP, func(a proto.IPv4Addr) bool { return uint32(a)>>24 == 10 })
+	rt := nfs.NewRouter()
+	rt.AddRoute(proto.Addr4(0, 0, 0, 0), 0, 1)
+	rt.AddRoute(proto.Addr4(8, 8, 8, 0), 24, 2)
+	dpi := nfs.NewDPI([][]byte{[]byte("exploit"), []byte("\x90\x90\x90\x90")}, true)
+
+	e := dataplane.New(dataplane.DefaultConfig())
+	stages := []struct {
+		name string
+		p    nfs.Processor
+	}{
+		{"monitor", mon}, {"firewall", fw}, {"nat", nat}, {"router", rt}, {"dpi", dpi},
+	}
+	ids := make([]int, len(stages))
+	for i, s := range stages {
+		ids[i] = e.AddStage(s.name, 1024, nfs.Adapt(s.p))
+	}
+	ch, err := e.AddChain(ids...)
+	if err != nil {
+		panic(err)
+	}
+	e.MapFlow(0, ch)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	go e.Run(ctx)
+
+	// Count delivered frames by their fate (Userdata nil = dropped by an
+	// NF mid-chain).
+	survived, killed := 0, 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case p := <-e.Output():
+				if p.Userdata != nil {
+					survived++
+				} else {
+					killed++
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Inject a realistic mix: DNS queries (allowed), HTTP (allowed, one
+	// carrying an exploit string the DPI kills), and SSH (firewalled).
+	inject := func(frame []byte) {
+		for !e.Inject(&dataplane.Packet{FlowID: 0, Size: len(frame), Userdata: frame}) {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		inject(proto.BuildUDP(macSrc, macGW, inside, dnsSrv, uint16(30000+i%1000), 53, []byte("dns query")))
+		inject(proto.BuildTCP(macSrc, macGW, inside, webSrv, uint16(40000+i%1000), 80, 1, 1, proto.TCPAck, []byte("GET / HTTP/1.1")))
+		if i%100 == 0 {
+			inject(proto.BuildTCP(macSrc, macGW, inside, webSrv, 45555, 80, 1, 1, proto.TCPAck, []byte("run exploit now")))
+		}
+		inject(proto.BuildTCP(macSrc, macGW, inside, webSrv, uint16(50000+i%1000), 22, 1, 1, proto.TCPSyn, nil))
+	}
+	time.Sleep(500 * time.Millisecond)
+	cancel()
+	<-done
+
+	fmt.Println("chain: monitor → firewall → nat → router → dpi")
+	fmt.Printf("injected %d frames: %d survived, %d dropped mid-chain\n\n",
+		4*rounds+rounds/100, survived, killed)
+	fmt.Printf("monitor:  %d flows tracked, top flow %d packets\n", mon.Flows(), mon.Top(1)[0].Packets)
+	fmt.Printf("firewall: %d accepted, %d dropped (ssh blocked)\n", fw.Accepted, fw.Dropped)
+	fmt.Printf("nat:      %d translations, %d bindings (external %v)\n", nat.Translated, nat.Bindings(), natIP)
+	fmt.Printf("router:   %d routed, last next-hop %d\n", rt.Routed, rt.LastNextHop)
+	fmt.Printf("dpi:      %d payloads scanned, %d matches, %d dropped\n", dpi.Scanned, dpi.Matches, dpi.Dropped)
+	fmt.Println()
+	for _, s := range e.Stats() {
+		fmt.Printf("stage %-9s processed=%6d weight=%5d estCost=%v\n", s.Name, s.Processed, s.Weight, s.EstCost)
+	}
+}

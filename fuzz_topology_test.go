@@ -1,0 +1,108 @@
+package nfvnice
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomTopologies drives randomly generated platforms — random NF
+// counts, costs, core placements, chain shapes, rates, schedulers, and
+// feature modes — and checks global invariants that must hold for every
+// configuration:
+//
+//  1. no descriptor leaks (pool in-use == rings + in-flight batches),
+//  2. packet conservation (delivered ≤ offered),
+//  3. no starvation of any chain that has exclusive NFs and offered load,
+//  4. the run is deterministic.
+func TestRandomTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized platform runs")
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			first := runRandomTopology(t, seed)
+			second := runRandomTopology(t, seed)
+			if first != second {
+				t.Fatalf("seed %d nondeterministic: %v vs %v", seed, first, second)
+			}
+		})
+	}
+}
+
+type topoResult struct {
+	delivered uint64
+	wasted    uint64
+	entry     uint64
+}
+
+func runRandomTopology(t *testing.T, seed int64) topoResult {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sched := AllSchedPolicies()[rng.Intn(4)]
+	mode := AllModes()[rng.Intn(4)]
+	cfg := DefaultConfig(sched, mode)
+	cfg.Seed = seed
+	p := NewPlatform(cfg)
+
+	nCores := 1 + rng.Intn(3)
+	for i := 0; i < nCores; i++ {
+		p.AddCore()
+	}
+	nNFs := 2 + rng.Intn(5)
+	costs := []Cycles{80, 150, 300, 700, 1500, 4000}
+	nfIDs := make([]int, nNFs)
+	for i := range nfIDs {
+		nfIDs[i] = p.AddNF("nf", FixedCost(costs[rng.Intn(len(costs))]), rng.Intn(nCores))
+	}
+	// Random chains: each picks a random subset (order preserved, no
+	// repeats by construction of Perm prefix).
+	nChains := 1 + rng.Intn(3)
+	chains := make([]int, nChains)
+	for c := range chains {
+		perm := rng.Perm(nNFs)
+		length := 1 + rng.Intn(nNFs)
+		ids := make([]int, 0, length)
+		for _, idx := range perm[:length] {
+			ids = append(ids, nfIDs[idx])
+		}
+		chains[c] = p.AddChain("c", ids...)
+		f := UDPFlow(c, 64)
+		p.MapFlow(f, chains[c])
+		p.AddCBR(f, Rate(float64(200_000+rng.Intn(4_000_000))))
+	}
+	p.Run(Milliseconds(60))
+
+	// Invariant 1: descriptor conservation.
+	inRings := 0
+	for i := 0; i < p.NFCount(); i++ {
+		n := p.NF(i)
+		inRings += n.Rx.Len() + n.Tx.Len() + n.InFlight()
+	}
+	if p.Pool.InUse() != inRings {
+		t.Fatalf("seed %d: pool in-use %d != rings %d (leak)", seed, p.Pool.InUse(), inRings)
+	}
+
+	// Invariant 2: conservation of packets.
+	var offered, delivered uint64
+	for i := range chains {
+		delivered += p.Mgr.Delivered[chains[i]].Total()
+	}
+	offered = p.Pool.Allocs + p.Mgr.Throttles.TotalEntryDrops()
+	if delivered > offered {
+		t.Fatalf("seed %d: delivered %d > offered %d", seed, delivered, offered)
+	}
+
+	// Invariant 3: every chain delivered something (offered ≥ 200 kpps for
+	// 60 ms through NFs that always make progress).
+	for i, ch := range chains {
+		if p.Mgr.Delivered[ch].Total() == 0 {
+			t.Fatalf("seed %d: chain %d starved completely", seed, i)
+		}
+	}
+	return topoResult{
+		delivered: delivered,
+		wasted:    p.Mgr.TotalWasted(),
+		entry:     p.Mgr.Throttles.TotalEntryDrops(),
+	}
+}

@@ -1,0 +1,3 @@
+module nfvnice
+
+go 1.22

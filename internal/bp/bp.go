@@ -1,0 +1,170 @@
+// Package bp implements NFVnice's backpressure machinery: the per-NF
+// hysteresis state machine of the paper's Figure 4 (watch list → packet
+// throttle → clear throttle), the cross-chain throttle table that enables
+// service-chain-specific packet dropping at chain entry points, and the
+// ECN marker for responsive flows crossing host boundaries.
+package bp
+
+import (
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+	"nfvnice/internal/stats"
+)
+
+// State is a position in the Figure 4 state machine.
+type State uint8
+
+// Backpressure states.
+const (
+	ClearThrottle  State = iota // no pressure
+	WatchList                   // queue crossed HIGH_WATER_MARK, under observation
+	PacketThrottle              // backpressure asserted
+)
+
+func (s State) String() string {
+	switch s {
+	case ClearThrottle:
+		return "clear"
+	case WatchList:
+		return "watch"
+	case PacketThrottle:
+		return "throttle"
+	default:
+		return "?"
+	}
+}
+
+// Params tune the state machine.
+type Params struct {
+	// QueueTimeThreshold is how long occupancy must stay above the high
+	// watermark before throttling engages — the hysteresis that stops a
+	// short burst from triggering backpressure.
+	QueueTimeThreshold simtime.Cycles
+}
+
+// DefaultParams returns the calibrated threshold (50 µs: roughly the
+// wakeup-thread scan spacing, as the paper's separation of detection and
+// control implies).
+func DefaultParams() Params {
+	return Params{QueueTimeThreshold: 50 * simtime.Microsecond}
+}
+
+// NFState is one NF's backpressure state machine. Update is fed queue
+// observations (typically by the manager's wakeup thread) and reports
+// enable/disable edges.
+type NFState struct {
+	state State
+
+	// Throttles counts enable edges, for diagnostics.
+	Throttles uint64
+}
+
+// State reports the current state.
+func (s *NFState) State() State { return s.state }
+
+// Update advances the machine given the NF's receive-ring condition.
+// enable is true on the Watch→Throttle edge; disable on Throttle→Clear.
+func (s *NFState) Update(p Params, aboveHigh, belowLow bool, timeAbove simtime.Cycles) (enable, disable bool) {
+	switch s.state {
+	case ClearThrottle:
+		if aboveHigh {
+			s.state = WatchList
+			// Immediate promotion if the queue has already been high
+			// long enough (e.g. detection lagged).
+			if timeAbove >= p.QueueTimeThreshold {
+				s.state = PacketThrottle
+				s.Throttles++
+				return true, false
+			}
+		}
+	case WatchList:
+		switch {
+		case belowLow:
+			s.state = ClearThrottle
+		case aboveHigh && timeAbove >= p.QueueTimeThreshold:
+			s.state = PacketThrottle
+			s.Throttles++
+			return true, false
+		}
+	case PacketThrottle:
+		if belowLow {
+			s.state = ClearThrottle
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// ChainThrottles tracks which service chains are currently under
+// backpressure. A chain is throttled while at least one of its NFs is in
+// PacketThrottle; the Rx thread then drops that chain's packets at entry
+// ("selective early discard"), leaving other chains untouched.
+type ChainThrottles struct {
+	counts map[int]int
+
+	// EntryDrops counts packets shed at chain entry, per chain.
+	EntryDrops map[int]uint64
+}
+
+// NewChainThrottles returns an empty table.
+func NewChainThrottles() *ChainThrottles {
+	return &ChainThrottles{counts: make(map[int]int), EntryDrops: make(map[int]uint64)}
+}
+
+// Enable marks the chain throttled by one more bottleneck NF.
+func (c *ChainThrottles) Enable(chainID int) { c.counts[chainID]++ }
+
+// Disable removes one bottleneck's claim on the chain.
+func (c *ChainThrottles) Disable(chainID int) {
+	if c.counts[chainID] > 0 {
+		c.counts[chainID]--
+	}
+}
+
+// Throttled reports whether the chain should be shed at entry.
+func (c *ChainThrottles) Throttled(chainID int) bool { return c.counts[chainID] > 0 }
+
+// CountEntryDrop records a packet shed at the chain's entry point.
+func (c *ChainThrottles) CountEntryDrop(chainID int) { c.EntryDrops[chainID]++ }
+
+// TotalEntryDrops sums sheds across chains.
+func (c *ChainThrottles) TotalEntryDrops() uint64 {
+	var n uint64
+	for _, v := range c.EntryDrops {
+		n += v
+	}
+	return n
+}
+
+// ECNMarker marks Congestion Experienced on ECN-capable packets when the
+// exponentially weighted moving average of queue length exceeds a threshold,
+// following RFC 3168 as the paper does for cross-host chains. ECN works at
+// longer timescales than backpressure, hence the EWMA rather than the
+// instantaneous occupancy.
+type ECNMarker struct {
+	avg       *stats.EWMA
+	threshold float64
+
+	// Marked counts CE marks applied.
+	Marked uint64
+}
+
+// NewECNMarker returns a marker that trips when the smoothed queue length
+// exceeds threshold packets. Weight 0.02 gives the multi-millisecond
+// averaging horizon ECN wants.
+func NewECNMarker(threshold float64) *ECNMarker {
+	return &ECNMarker{avg: stats.NewEWMA(0.02), threshold: threshold}
+}
+
+// OnEnqueue observes the post-enqueue queue length and marks the packet if
+// the smoothed length is above threshold and the transport supports ECN.
+func (m *ECNMarker) OnEnqueue(qlen int, pkt *packet.Packet) {
+	m.avg.Observe(float64(qlen))
+	if pkt.ECN == packet.ECT && m.avg.Value() > m.threshold {
+		pkt.ECN = packet.CE
+		m.Marked++
+	}
+}
+
+// Average reports the smoothed queue length.
+func (m *ECNMarker) Average() float64 { return m.avg.Value() }

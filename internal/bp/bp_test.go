@@ -1,0 +1,208 @@
+package bp
+
+import (
+	"testing"
+
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+func TestStateMachineFigure4(t *testing.T) {
+	p := DefaultParams()
+	var s NFState
+	if s.State() != ClearThrottle {
+		t.Fatal("initial state should be clear")
+	}
+	// Queue crosses high watermark: clear -> watch.
+	if en, dis := s.Update(p, true, false, 0); en || dis {
+		t.Fatal("no edge expected on clear->watch")
+	}
+	if s.State() != WatchList {
+		t.Fatalf("state = %v, want watch", s.State())
+	}
+	// Still high but not long enough: stay in watch.
+	s.Update(p, true, false, p.QueueTimeThreshold/2)
+	if s.State() != WatchList {
+		t.Fatal("should remain in watch below time threshold")
+	}
+	// High and past threshold: watch -> throttle with enable edge.
+	en, dis := s.Update(p, true, false, p.QueueTimeThreshold)
+	if !en || dis {
+		t.Fatal("expected enable edge")
+	}
+	if s.State() != PacketThrottle {
+		t.Fatalf("state = %v, want throttle", s.State())
+	}
+	// Drain below low watermark: throttle -> clear with disable edge.
+	en, dis = s.Update(p, false, true, 0)
+	if en || !dis {
+		t.Fatal("expected disable edge")
+	}
+	if s.State() != ClearThrottle {
+		t.Fatalf("state = %v, want clear", s.State())
+	}
+	if s.Throttles != 1 {
+		t.Fatalf("Throttles = %d", s.Throttles)
+	}
+}
+
+func TestWatchReturnsToClear(t *testing.T) {
+	p := DefaultParams()
+	var s NFState
+	s.Update(p, true, false, 0) // -> watch
+	// Burst absorbed: below low before threshold elapsed.
+	if en, dis := s.Update(p, false, true, 0); en || dis {
+		t.Fatal("no edges expected on watch->clear")
+	}
+	if s.State() != ClearThrottle {
+		t.Fatal("watch should fall back to clear below low watermark")
+	}
+}
+
+func TestImmediatePromotionWhenDetectionLagged(t *testing.T) {
+	p := DefaultParams()
+	var s NFState
+	// First observation already shows a long-standing overload.
+	en, _ := s.Update(p, true, false, 10*p.QueueTimeThreshold)
+	if !en || s.State() != PacketThrottle {
+		t.Fatal("stale overload should promote directly to throttle")
+	}
+}
+
+func TestThrottleHoldsBetweenWatermarks(t *testing.T) {
+	// Hysteresis: between LOW and HIGH the throttle must hold.
+	p := DefaultParams()
+	var s NFState
+	s.Update(p, true, false, p.QueueTimeThreshold) // straight to throttle
+	if en, dis := s.Update(p, false, false, 0); en || dis {
+		t.Fatal("no edge expected between watermarks")
+	}
+	if s.State() != PacketThrottle {
+		t.Fatal("throttle must hold until below low watermark")
+	}
+}
+
+func TestChainThrottleRefcounting(t *testing.T) {
+	ct := NewChainThrottles()
+	if ct.Throttled(1) {
+		t.Fatal("fresh table should not throttle")
+	}
+	// Two bottleneck NFs on the same chain (paper Fig 5: chain C crosses
+	// both NF3 and NF5).
+	ct.Enable(1)
+	ct.Enable(1)
+	ct.Disable(1)
+	if !ct.Throttled(1) {
+		t.Fatal("chain must stay throttled while any bottleneck remains")
+	}
+	ct.Disable(1)
+	if ct.Throttled(1) {
+		t.Fatal("chain should clear when all bottlenecks clear")
+	}
+	// Extra disable must not wedge the counter negative.
+	ct.Disable(1)
+	ct.Enable(1)
+	if !ct.Throttled(1) {
+		t.Fatal("counter went negative")
+	}
+}
+
+func TestChainThrottleSelective(t *testing.T) {
+	// Fig 5: backpressure on chains A, C, D must not touch chain B.
+	ct := NewChainThrottles()
+	ct.Enable(0) // A
+	ct.Enable(2) // C
+	ct.Enable(3) // D
+	if ct.Throttled(1) {
+		t.Fatal("unrelated chain throttled")
+	}
+	for _, id := range []int{0, 2, 3} {
+		if !ct.Throttled(id) {
+			t.Fatalf("chain %d should be throttled", id)
+		}
+	}
+}
+
+func TestEntryDropAccounting(t *testing.T) {
+	ct := NewChainThrottles()
+	ct.CountEntryDrop(4)
+	ct.CountEntryDrop(4)
+	ct.CountEntryDrop(7)
+	if ct.EntryDrops[4] != 2 || ct.EntryDrops[7] != 1 {
+		t.Fatalf("per-chain drops: %v", ct.EntryDrops)
+	}
+	if ct.TotalEntryDrops() != 3 {
+		t.Fatalf("total = %d", ct.TotalEntryDrops())
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	m := NewECNMarker(10)
+	pkt := &packet.Packet{ECN: packet.ECT}
+	// Low queue: no mark.
+	m.OnEnqueue(1, pkt)
+	if pkt.ECN != packet.ECT {
+		t.Fatal("marked below threshold")
+	}
+	// Long period of deep queues pushes the EWMA over threshold.
+	for i := 0; i < 500; i++ {
+		m.OnEnqueue(100, &packet.Packet{ECN: packet.ECT})
+	}
+	if m.Average() < 10 {
+		t.Fatalf("EWMA = %v, want > 10", m.Average())
+	}
+	pkt2 := &packet.Packet{ECN: packet.ECT}
+	m.OnEnqueue(100, pkt2)
+	if pkt2.ECN != packet.CE {
+		t.Fatal("ECT packet not marked above threshold")
+	}
+	if m.Marked == 0 {
+		t.Fatal("mark counter not incremented")
+	}
+}
+
+func TestECNIgnoresNonECT(t *testing.T) {
+	m := NewECNMarker(1)
+	for i := 0; i < 1000; i++ {
+		m.OnEnqueue(100, &packet.Packet{ECN: packet.NotECT})
+	}
+	pkt := &packet.Packet{ECN: packet.NotECT}
+	m.OnEnqueue(100, pkt)
+	if pkt.ECN != packet.NotECT {
+		t.Fatal("non-ECT packet must never be marked")
+	}
+	// Already-marked packets stay marked, not double counted.
+	ce := &packet.Packet{ECN: packet.CE}
+	before := m.Marked
+	m.OnEnqueue(100, ce)
+	if ce.ECN != packet.CE || m.Marked != before {
+		t.Fatal("CE packet should pass through unchanged")
+	}
+}
+
+func TestECNSmoothingIgnoresBursts(t *testing.T) {
+	// A single burst observation must not trip the marker: the EWMA works
+	// at longer timescales.
+	m := NewECNMarker(10)
+	pkt := &packet.Packet{ECN: packet.ECT}
+	m.OnEnqueue(1000, pkt) // first observation initializes EWMA to 1000
+	// The first sample seeds the average, so use a fresh marker to test
+	// burst rejection after settling.
+	m2 := NewECNMarker(10)
+	for i := 0; i < 100; i++ {
+		m2.OnEnqueue(1, &packet.Packet{ECN: packet.ECT})
+	}
+	p2 := &packet.Packet{ECN: packet.ECT}
+	m2.OnEnqueue(200, p2) // one burst sample
+	if p2.ECN == packet.CE {
+		t.Fatal("single burst tripped the EWMA marker")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if ClearThrottle.String() != "clear" || WatchList.String() != "watch" || PacketThrottle.String() != "throttle" {
+		t.Fatal("state names wrong")
+	}
+}
+
+var _ = simtime.Cycles(0)

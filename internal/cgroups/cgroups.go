@@ -1,0 +1,116 @@
+// Package cgroups models the Linux control-group cpu subsystem as NFVnice
+// uses it: a per-NF cgroup whose cpu.shares file the manager writes to steer
+// the kernel scheduler's weights, without any kernel modification. Writes go
+// through a simulated sysfs with the measured ~5 µs cost per write (paper
+// §4.3.8), which is why NFVnice batches weight updates at 10 ms granularity
+// rather than reacting per packet.
+package cgroups
+
+import (
+	"fmt"
+	"sort"
+
+	"nfvnice/internal/cpusched"
+	"nfvnice/internal/simtime"
+)
+
+// DefaultShares is the default cpu.shares of a fresh cgroup (and the weight
+// of a nice-0 task).
+const DefaultShares = cpusched.NiceZeroWeight
+
+// MinShares is the kernel's floor for cpu.shares.
+const MinShares = 2
+
+// WriteCost is the simulated cost of one sysfs write (measured at ~5 µs in
+// the paper). The controller charges it to its own budget to decide how
+// often updating weights is affordable.
+const WriteCost = 5 * simtime.Microsecond
+
+// Group is one cgroup directory holding a single NF task.
+type Group struct {
+	name   string
+	shares int
+	task   *cpusched.Task
+}
+
+// Name reports the cgroup path component.
+func (g *Group) Name() string { return g.name }
+
+// Shares reports the current cpu.shares value.
+func (g *Group) Shares() int { return g.shares }
+
+// Task reports the task confined to this group.
+func (g *Group) Task() *cpusched.Task { return g.task }
+
+// FS is the cgroup virtual filesystem root. It tracks write statistics so
+// experiments can report the control-plane overhead.
+type FS struct {
+	groups map[string]*Group
+
+	// Writes counts cpu.shares writes; WriteCycles the cumulative cost.
+	Writes      uint64
+	WriteCycles simtime.Cycles
+	// SkippedWrites counts updates elided because the value was unchanged
+	// (the manager's dirty check).
+	SkippedWrites uint64
+}
+
+// NewFS returns an empty cgroup filesystem.
+func NewFS() *FS {
+	return &FS{groups: make(map[string]*Group)}
+}
+
+// Create makes a cgroup for a task with default shares. Creating an existing
+// name is an error, mirroring mkdir semantics.
+func (fs *FS) Create(name string, task *cpusched.Task) (*Group, error) {
+	if _, ok := fs.groups[name]; ok {
+		return nil, fmt.Errorf("cgroups: %q exists", name)
+	}
+	g := &Group{name: name, shares: DefaultShares, task: task}
+	fs.groups[name] = g
+	return g, nil
+}
+
+// Lookup finds a cgroup by name.
+func (fs *FS) Lookup(name string) (*Group, bool) {
+	g, ok := fs.groups[name]
+	return g, ok
+}
+
+// Groups returns all groups in deterministic (name) order.
+func (fs *FS) Groups() []*Group {
+	names := make([]string, 0, len(fs.groups))
+	for n := range fs.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Group, len(names))
+	for i, n := range names {
+		out[i] = fs.groups[n]
+	}
+	return out
+}
+
+// SetShares writes cpu.shares for the group, clamping to the kernel's valid
+// range and propagating the weight into the task's scheduler. It reports the
+// cycles the write cost (zero when elided because the value is unchanged).
+func (fs *FS) SetShares(g *Group, shares int) simtime.Cycles {
+	if shares < MinShares {
+		shares = MinShares
+	}
+	const maxShares = 1 << 18 // kernel MAX_SHARES (2^18)
+	if shares > maxShares {
+		shares = maxShares
+	}
+	if shares == g.shares {
+		fs.SkippedWrites++
+		return 0
+	}
+	g.shares = shares
+	fs.Writes++
+	fs.WriteCycles += WriteCost
+	if g.task != nil && g.task.Core() != nil {
+		g.task.Core().SetWeight(g.task, shares)
+	}
+	return WriteCost
+}

@@ -1,0 +1,96 @@
+package cgroups
+
+import (
+	"testing"
+
+	"nfvnice/internal/cpusched"
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/simtime"
+)
+
+func TestCreateAndLookup(t *testing.T) {
+	fs := NewFS()
+	g, err := fs.Create("nf1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Shares() != DefaultShares {
+		t.Fatalf("default shares = %d", g.Shares())
+	}
+	if got, ok := fs.Lookup("nf1"); !ok || got != g {
+		t.Fatal("lookup failed")
+	}
+	if _, err := fs.Create("nf1", nil); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+}
+
+func TestSetSharesClamping(t *testing.T) {
+	fs := NewFS()
+	g, _ := fs.Create("nf", nil)
+	fs.SetShares(g, 0)
+	if g.Shares() != MinShares {
+		t.Fatalf("shares = %d, want floor %d", g.Shares(), MinShares)
+	}
+	fs.SetShares(g, 1<<30)
+	if g.Shares() != 1<<18 {
+		t.Fatalf("shares = %d, want ceiling 2^18", g.Shares())
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	fs := NewFS()
+	g, _ := fs.Create("nf", nil)
+	if cost := fs.SetShares(g, 2048); cost != WriteCost {
+		t.Fatalf("cost = %v", cost)
+	}
+	// Unchanged value: elided.
+	if cost := fs.SetShares(g, 2048); cost != 0 {
+		t.Fatalf("unchanged write cost = %v, want 0", cost)
+	}
+	if fs.Writes != 1 || fs.SkippedWrites != 1 {
+		t.Fatalf("writes=%d skipped=%d", fs.Writes, fs.SkippedWrites)
+	}
+	if fs.WriteCycles != WriteCost {
+		t.Fatalf("WriteCycles = %v", fs.WriteCycles)
+	}
+}
+
+func TestGroupsDeterministicOrder(t *testing.T) {
+	fs := NewFS()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		fs.Create(n, nil)
+	}
+	gs := fs.Groups()
+	if gs[0].Name() != "alpha" || gs[1].Name() != "mid" || gs[2].Name() != "zeta" {
+		t.Fatalf("order: %s %s %s", gs[0].Name(), gs[1].Name(), gs[2].Name())
+	}
+}
+
+type busy struct{}
+
+func (busy) Segment(simtime.Cycles) simtime.Cycles { return 10 * simtime.Microsecond }
+func (busy) Complete(simtime.Cycles) bool          { return true }
+
+func TestSharesReachScheduler(t *testing.T) {
+	// End to end: writing cpu.shares must change the CFS allocation.
+	eng := eventsim.New()
+	core := cpusched.NewCore(0, eng, cpusched.NewCFS(), cpusched.DefaultCoreParams())
+	a := cpusched.NewTask(1, "a", busy{})
+	b := cpusched.NewTask(2, "b", busy{})
+	core.AddTask(a)
+	core.AddTask(b)
+	core.Wake(a)
+	core.Wake(b)
+
+	fs := NewFS()
+	ga, _ := fs.Create("a", a)
+	fs.Create("b", b)
+	fs.SetShares(ga, 4*DefaultShares)
+
+	eng.RunUntil(simtime.Second)
+	ratio := float64(a.Stats.Runtime) / float64(b.Stats.Runtime)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("runtime ratio = %.2f, want ~4 after cpu.shares write", ratio)
+	}
+}

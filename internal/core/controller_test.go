@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"nfvnice/internal/cgroups"
+	"nfvnice/internal/cpusched"
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/nf"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+// feeder keeps an NF's receive ring topped up and counts arrivals, emulating
+// the manager's Rx path at a fixed offered rate.
+func feed(eng *eventsim.Engine, pool *packet.Pool, n *nf.NF, rate simtime.Rate) {
+	interval := 10 * simtime.Microsecond
+	perTick := int(float64(rate) * interval.Seconds())
+	eng.Every(0, interval, func() {
+		for i := 0; i < perTick; i++ {
+			n.ArrivalMeter.Inc()
+			pkt := pool.Get()
+			if pkt == nil {
+				return
+			}
+			pkt.Size = 64
+			if !n.Rx.Enqueue(eng.Now(), pkt) {
+				pkt.Release()
+				continue
+			}
+		}
+		if n.Task.Core() != nil && n.WantsWake() {
+			n.Task.Core().Wake(n.Task)
+		}
+	})
+	// Drain the Tx ring so the NF never hits local backpressure.
+	eng.Every(0, interval, func() {
+		n.Tx.DrainAndRelease(eng.Now())
+	})
+}
+
+func TestRateCostProportionalWeights(t *testing.T) {
+	eng := eventsim.New()
+	pool := packet.NewPool(65536)
+	fs := cgroups.NewFS()
+	ctl := New(eng, fs, DefaultParams())
+	core := cpusched.NewCore(0, eng, cpusched.NewCFS(), cpusched.DefaultCoreParams())
+
+	light := nf.New(0, "light", nf.FixedCost(300), nf.DefaultParams(), 1)
+	heavy := nf.New(1, "heavy", nf.FixedCost(900), nf.DefaultParams(), 2)
+	core.AddTask(light.Task)
+	core.AddTask(heavy.Task)
+	if err := ctl.Manage(light); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Manage(heavy); err != nil {
+		t.Fatal(err)
+	}
+	// Same arrival rate, 1:3 cost: shares must converge to ~1:3.
+	feed(eng, pool, light, 10e6)
+	feed(eng, pool, heavy, 10e6)
+	ctl.Start()
+	eng.RunUntil(300 * simtime.Millisecond)
+
+	sl, sh := ctl.ShareOf(light), ctl.ShareOf(heavy)
+	ratio := float64(sh) / float64(sl)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("share ratio = %.2f (light=%d heavy=%d), want ~3", ratio, sl, sh)
+	}
+	if ctl.Loads[1] < ctl.Loads[0]*2 {
+		t.Fatalf("loads not proportional: %v", ctl.Loads)
+	}
+}
+
+func TestPriorityScalesShares(t *testing.T) {
+	eng := eventsim.New()
+	pool := packet.NewPool(65536)
+	fs := cgroups.NewFS()
+	ctl := New(eng, fs, DefaultParams())
+	core := cpusched.NewCore(0, eng, cpusched.NewCFS(), cpusched.DefaultCoreParams())
+	a := nf.New(0, "a", nf.FixedCost(500), nf.DefaultParams(), 1)
+	b := nf.New(1, "b", nf.FixedCost(500), nf.DefaultParams(), 2)
+	b.Priority = 4 // operator-differentiated service
+	core.AddTask(a.Task)
+	core.AddTask(b.Task)
+	ctl.Manage(a)
+	ctl.Manage(b)
+	feed(eng, pool, a, 8e6)
+	feed(eng, pool, b, 8e6)
+	ctl.Start()
+	eng.RunUntil(300 * simtime.Millisecond)
+	ratio := float64(ctl.ShareOf(b)) / float64(ctl.ShareOf(a))
+	if ratio < 3.2 || ratio > 4.8 {
+		t.Fatalf("priority share ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestUnwarmedNFKeepsDefaultShares(t *testing.T) {
+	eng := eventsim.New()
+	pool := packet.NewPool(65536)
+	fs := cgroups.NewFS()
+	ctl := New(eng, fs, DefaultParams())
+	core := cpusched.NewCore(0, eng, cpusched.NewCFS(), cpusched.DefaultCoreParams())
+	active := nf.New(0, "active", nf.FixedCost(300), nf.DefaultParams(), 1)
+	idle := nf.New(1, "idle", nf.FixedCost(300), nf.DefaultParams(), 2)
+	core.AddTask(active.Task)
+	core.AddTask(idle.Task)
+	ctl.Manage(active)
+	ctl.Manage(idle)
+	feed(eng, pool, active, 10e6) // idle NF receives nothing
+	ctl.Start()
+	eng.RunUntil(200 * simtime.Millisecond)
+	if got := ctl.ShareOf(idle); got != cgroups.DefaultShares {
+		t.Fatalf("idle NF shares = %d, want untouched default %d", got, cgroups.DefaultShares)
+	}
+	if ctl.ShareOf(active) <= cgroups.DefaultShares {
+		t.Fatalf("active NF shares = %d, want above default", ctl.ShareOf(active))
+	}
+}
+
+func TestMinShareFloor(t *testing.T) {
+	eng := eventsim.New()
+	pool := packet.NewPool(65536)
+	fs := cgroups.NewFS()
+	params := DefaultParams()
+	ctl := New(eng, fs, params)
+	core := cpusched.NewCore(0, eng, cpusched.NewCFS(), cpusched.DefaultCoreParams())
+	tiny := nf.New(0, "tiny", nf.FixedCost(50), nf.DefaultParams(), 1)
+	huge := nf.New(1, "huge", nf.FixedCost(50000), nf.DefaultParams(), 2)
+	core.AddTask(tiny.Task)
+	core.AddTask(huge.Task)
+	ctl.Manage(tiny)
+	ctl.Manage(huge)
+	feed(eng, pool, tiny, 1e6)
+	feed(eng, pool, huge, 1e6)
+	ctl.Start()
+	eng.RunUntil(300 * simtime.Millisecond)
+	if got := ctl.ShareOf(tiny); got < params.MinShare {
+		t.Fatalf("tiny NF shares = %d below floor %d", got, params.MinShare)
+	}
+}
+
+func TestManageRequiresPinnedTask(t *testing.T) {
+	eng := eventsim.New()
+	ctl := New(eng, cgroups.NewFS(), DefaultParams())
+	n := nf.New(0, "loose", nf.FixedCost(1), nf.DefaultParams(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("managing an unpinned NF did not panic")
+		}
+	}()
+	ctl.Manage(n)
+}
+
+func TestDuplicateManageFails(t *testing.T) {
+	eng := eventsim.New()
+	ctl := New(eng, cgroups.NewFS(), DefaultParams())
+	core := cpusched.NewCore(0, eng, cpusched.NewCFS(), cpusched.DefaultCoreParams())
+	n := nf.New(0, "dup", nf.FixedCost(1), nf.DefaultParams(), 1)
+	core.AddTask(n.Task)
+	if err := ctl.Manage(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Manage(n); err == nil {
+		t.Fatal("duplicate Manage (same NF) should fail")
+	}
+}
+
+func TestShareOfUnknownNF(t *testing.T) {
+	ctl := New(eventsim.New(), cgroups.NewFS(), DefaultParams())
+	n := nf.New(0, "x", nf.FixedCost(1), nf.DefaultParams(), 1)
+	if ctl.ShareOf(n) != 0 {
+		t.Fatal("unknown NF should report 0 shares")
+	}
+}

@@ -1,0 +1,230 @@
+package cpusched
+
+import (
+	"nfvnice/internal/rbtree"
+	"nfvnice/internal/simtime"
+)
+
+// CFSParams are the tunables of the Completely Fair Scheduler, defaulted to
+// the kernel-3.19 values the paper's testbed ran (single-socket scaling).
+type CFSParams struct {
+	// SchedLatency is the targeted preemption latency: every runnable
+	// task should run once within this period (when few tasks contend).
+	SchedLatency simtime.Cycles
+	// MinGranularity is the smallest slice a task is given; the period
+	// stretches to nr_running * MinGranularity when contention is high.
+	MinGranularity simtime.Cycles
+	// WakeupGranularity damps wakeup preemption: a waking task preempts
+	// only if its vruntime lags the running task's by more than this.
+	WakeupGranularity simtime.Cycles
+	// WakeupPreemption enables check_preempt_wakeup (SCHED_NORMAL). The
+	// BATCH policy disables it: batch tasks only switch on tick expiry.
+	WakeupPreemption bool
+	// NrLatency is the runnable-task count beyond which the period
+	// stretches (kernel sched_nr_latency, 8).
+	NrLatency int
+}
+
+// DefaultCFSParams returns SCHED_NORMAL parameters.
+func DefaultCFSParams() CFSParams {
+	return CFSParams{
+		SchedLatency:      6 * simtime.Millisecond,
+		MinGranularity:    simtime.Millisecond * 3 / 4, // 0.75 ms
+		WakeupGranularity: simtime.Millisecond,
+		WakeupPreemption:  true,
+		NrLatency:         8,
+	}
+}
+
+// BatchCFSParams returns SCHED_BATCH parameters: identical fairness math
+// with wakeup preemption disabled. That single change is what yields the
+// paper's "longer time quantum and fewer context switches": batch tasks run
+// until tick preemption instead of being interrupted by every waking NF.
+func BatchCFSParams() CFSParams {
+	p := DefaultCFSParams()
+	p.WakeupPreemption = false
+	return p
+}
+
+// CFS is the Completely Fair Scheduler model. Runnable tasks (excluding the
+// running one) sit in a red-black tree ordered by vruntime; the leftmost is
+// picked next, exactly as in the kernel.
+type CFS struct {
+	params CFSParams
+	name   string
+
+	tree        *rbtree.Tree[*Task]
+	totalWeight int // weight of queued tasks
+	curr        *Task
+	minVruntime uint64
+}
+
+// NewCFS returns a SCHED_NORMAL scheduler.
+func NewCFS() *CFS { return newCFS("cfs-normal", DefaultCFSParams()) }
+
+// NewCFSBatch returns a SCHED_BATCH scheduler.
+func NewCFSBatch() *CFS { return newCFS("cfs-batch", BatchCFSParams()) }
+
+// NewCFSWith returns a CFS with explicit parameters (for tests/ablations).
+func NewCFSWith(name string, p CFSParams) *CFS { return newCFS(name, p) }
+
+func newCFS(name string, p CFSParams) *CFS {
+	return &CFS{
+		params: p,
+		name:   name,
+		tree: rbtree.New(func(a, b *Task) bool {
+			if a.vruntime != b.vruntime {
+				return a.vruntime < b.vruntime
+			}
+			return a.ID < b.ID
+		}),
+	}
+}
+
+// Name implements Scheduler.
+func (c *CFS) Name() string { return c.name }
+
+// Params exposes the active tunables.
+func (c *CFS) Params() CFSParams { return c.params }
+
+func (c *CFS) updateMinVruntime() {
+	mv := c.minVruntime
+	if c.curr != nil && c.curr.vruntime > mv {
+		mv = c.curr.vruntime
+	}
+	if n := c.tree.Min(); n != nil {
+		v := n.Item.vruntime
+		if c.curr != nil {
+			if c.curr.vruntime < v {
+				v = c.curr.vruntime
+			}
+		}
+		if v > mv {
+			mv = v
+		}
+	}
+	c.minVruntime = mv
+}
+
+// Enqueue implements Scheduler.
+func (c *CFS) Enqueue(now simtime.Cycles, t *Task, wakeup bool, curr *Task) bool {
+	if wakeup {
+		// place_entity: sleepers resume slightly behind min_vruntime so
+		// they get modest priority without starving others
+		// (GENTLE_FAIR_SLEEPERS halves the credit).
+		credit := uint64(c.params.SchedLatency / 2)
+		floor := uint64(0)
+		if c.minVruntime > credit {
+			floor = c.minVruntime - credit
+		}
+		if t.vruntime < floor {
+			t.vruntime = floor
+		}
+	}
+	t.cfsNode = c.tree.Insert(t)
+	c.totalWeight += t.weight
+	if !wakeup || curr == nil {
+		return false
+	}
+	// check_preempt_wakeup: only for NORMAL, and batch tasks neither
+	// preempt nor get preempted on wakeup.
+	if !c.params.WakeupPreemption || t.Batch || curr.Batch {
+		return false
+	}
+	// Scale wakeup granularity into the waking task's vruntime units.
+	gran := uint64(c.params.WakeupGranularity) * NiceZeroWeight / uint64(t.weight)
+	return curr.vruntime > t.vruntime && curr.vruntime-t.vruntime > gran
+}
+
+// Dequeue implements Scheduler.
+func (c *CFS) Dequeue(t *Task) {
+	if t.cfsNode == nil {
+		return
+	}
+	c.tree.Delete(t.cfsNode.(*rbtree.Node[*Task]))
+	t.cfsNode = nil
+	c.totalWeight -= t.weight
+	c.updateMinVruntime()
+}
+
+// PickNext implements Scheduler.
+func (c *CFS) PickNext(now simtime.Cycles) *Task {
+	n := c.tree.Min()
+	if n == nil {
+		c.curr = nil
+		return nil
+	}
+	t := n.Item
+	c.tree.Delete(n)
+	t.cfsNode = nil
+	c.totalWeight -= t.weight
+	t.sliceUsed = 0
+	c.curr = t
+	c.updateMinVruntime()
+	return t
+}
+
+// Charge implements Scheduler: vruntime advances inversely to weight.
+func (c *CFS) Charge(t *Task, ran simtime.Cycles) {
+	t.Stats.Runtime += ran
+	t.sliceUsed += ran
+	t.vruntime += uint64(ran) * NiceZeroWeight / uint64(t.weight)
+	if t == c.curr {
+		c.updateMinVruntime()
+	}
+}
+
+// slice computes the task's fair slice of the current period
+// (sched_slice()): period * weight / total_weight, stretched when many
+// tasks are runnable, floored at MinGranularity.
+func (c *CFS) slice(t *Task) simtime.Cycles {
+	nr := c.tree.Len() + 1 // queued + running
+	period := c.params.SchedLatency
+	if nr > c.params.NrLatency {
+		period = simtime.Cycles(nr) * c.params.MinGranularity
+	}
+	total := c.totalWeight + t.weight
+	s := simtime.Cycles(uint64(period) * uint64(t.weight) / uint64(total))
+	if s < c.params.MinGranularity {
+		s = c.params.MinGranularity
+	}
+	return s
+}
+
+// NeedsResched implements Scheduler (check_preempt_tick): the task yields
+// when it has consumed its slice, or when it has run at least MinGranularity
+// and the leftmost task is more than a slice of vruntime behind it.
+func (c *CFS) NeedsResched(now simtime.Cycles, t *Task) bool {
+	if c.tree.Len() == 0 {
+		return false
+	}
+	s := c.slice(t)
+	if t.sliceUsed >= s {
+		t.Stats.SliceExhaustions++
+		return true
+	}
+	if t.sliceUsed < c.params.MinGranularity {
+		return false
+	}
+	left := c.tree.Min().Item
+	if t.vruntime > left.vruntime && t.vruntime-left.vruntime > uint64(s) {
+		return true
+	}
+	return false
+}
+
+// SetWeight implements Scheduler.
+func (c *CFS) SetWeight(t *Task, w int) {
+	if w < 2 {
+		w = 2 // kernel floor: cpu.shares below 2 are clamped
+	}
+	if t.cfsNode != nil {
+		// Re-key under the node's position is unchanged (vruntime is the
+		// key, not weight), so no reinsert needed; just fix totals.
+		c.totalWeight += w - t.weight
+	}
+	t.weight = w
+}
+
+// Runnable implements Scheduler.
+func (c *CFS) Runnable() int { return c.tree.Len() }

@@ -1,0 +1,158 @@
+package cpusched
+
+import (
+	"fmt"
+	"testing"
+
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/simtime"
+)
+
+// schedulers under conformance test.
+func allSchedulers() map[string]func() Scheduler {
+	return map[string]func() Scheduler{
+		"cfs-normal": func() Scheduler { return NewCFS() },
+		"cfs-batch":  func() Scheduler { return NewCFSBatch() },
+		"rr-1ms":     func() Scheduler { return NewRR("rr-1ms", simtime.Millisecond) },
+		"rr-100ms":   func() Scheduler { return NewRR("rr-100ms", 100*simtime.Millisecond) },
+	}
+}
+
+// TestNoStarvationWithMaliciousNF reproduces the §2.1 claim: a malicious NF
+// that never yields must not starve well-behaved NFs under any scheduler.
+func TestNoStarvationWithMaliciousNF(t *testing.T) {
+	for name, mk := range allSchedulers() {
+		t.Run(name, func(t *testing.T) {
+			eng := eventsim.New()
+			core := NewCore(0, eng, mk(), DefaultCoreParams())
+			malicious := NewTask(1, "malicious", &cpuBound{cost: 50 * simtime.Microsecond})
+			good := NewTask(2, "good", &cpuBound{cost: 10 * simtime.Microsecond})
+			core.AddTask(malicious)
+			core.AddTask(good)
+			core.Wake(malicious)
+			core.Wake(good)
+			eng.RunUntil(2 * simtime.Second)
+			share := float64(good.Stats.Runtime) / float64(2*simtime.Second)
+			if share < 0.30 {
+				t.Fatalf("well-behaved NF got only %.1f%% of the CPU", share*100)
+			}
+		})
+	}
+}
+
+// TestWorkConservation: with a single always-ready task the core must be
+// busy nearly all the time under every scheduler.
+func TestWorkConservation(t *testing.T) {
+	for name, mk := range allSchedulers() {
+		t.Run(name, func(t *testing.T) {
+			eng := eventsim.New()
+			core := NewCore(0, eng, mk(), DefaultCoreParams())
+			tk := NewTask(1, "t", &cpuBound{cost: 10 * simtime.Microsecond})
+			core.AddTask(tk)
+			core.Wake(tk)
+			eng.RunUntil(simtime.Second)
+			if util := core.Utilization(simtime.Second); util < 0.99 {
+				t.Fatalf("utilization %.3f with an always-ready task", util)
+			}
+		})
+	}
+}
+
+// TestRuntimeConservation: total charged runtime plus switch overhead can
+// never exceed wall time on one core.
+func TestRuntimeConservation(t *testing.T) {
+	for name, mk := range allSchedulers() {
+		t.Run(name, func(t *testing.T) {
+			eng := eventsim.New()
+			core := NewCore(0, eng, mk(), DefaultCoreParams())
+			var tasks []*Task
+			for i := 0; i < 5; i++ {
+				tk := NewTask(i, fmt.Sprintf("t%d", i), &cpuBound{cost: simtime.Cycles(5+i) * simtime.Microsecond})
+				core.AddTask(tk)
+				tasks = append(tasks, tk)
+				core.Wake(tk)
+			}
+			horizon := simtime.Cycles(500 * simtime.Millisecond)
+			eng.RunUntil(horizon)
+			var total simtime.Cycles
+			for _, tk := range tasks {
+				total += tk.Stats.Runtime
+			}
+			if total+core.SwitchCycles > horizon {
+				t.Fatalf("charged %v + switches %v exceeds wall %v", total, core.SwitchCycles, horizon)
+			}
+			if total < horizon*9/10 {
+				t.Fatalf("only %v of %v charged: core not work conserving", total, horizon)
+			}
+		})
+	}
+}
+
+// TestBlockedNeverRuns: a task that is never woken must never accumulate
+// runtime under any scheduler.
+func TestBlockedNeverRuns(t *testing.T) {
+	for name, mk := range allSchedulers() {
+		t.Run(name, func(t *testing.T) {
+			eng := eventsim.New()
+			core := NewCore(0, eng, mk(), DefaultCoreParams())
+			sleeper := NewTask(1, "sleeper", &cpuBound{cost: simtime.Microsecond})
+			runner := NewTask(2, "runner", &cpuBound{cost: simtime.Microsecond})
+			core.AddTask(sleeper)
+			core.AddTask(runner)
+			core.Wake(runner) // sleeper never woken
+			eng.RunUntil(100 * simtime.Millisecond)
+			if sleeper.Stats.Runtime != 0 {
+				t.Fatal("never-woken task ran")
+			}
+		})
+	}
+}
+
+// TestInterruptDrivenTaskLatency: a task woken with a single packet of work
+// must run within a bounded delay under every scheduler (the paper's
+// scheduling-latency metric).
+func TestInterruptDrivenTaskLatency(t *testing.T) {
+	for name, mk := range allSchedulers() {
+		t.Run(name, func(t *testing.T) {
+			eng := eventsim.New()
+			core := NewCore(0, eng, mk(), DefaultCoreParams())
+			hog := NewTask(1, "hog", &cpuBound{cost: 10 * simtime.Microsecond})
+			act := &finite{cost: simtime.Microsecond, left: 0}
+			light := NewTask(2, "light", act)
+			core.AddTask(hog)
+			core.AddTask(light)
+			core.Wake(hog)
+			eng.Every(0, simtime.Millisecond, func() {
+				act.left = 1
+				core.Wake(light)
+			})
+			eng.RunUntil(simtime.Second)
+			delay := light.Stats.AvgSchedDelay()
+			// Even RR(100ms) bounds the wait by one quantum.
+			if delay > 110*simtime.Millisecond {
+				t.Fatalf("avg scheduling delay %v too large", delay)
+			}
+			if light.Stats.Runtime == 0 {
+				t.Fatal("interrupt-driven task never ran")
+			}
+		})
+	}
+}
+
+// TestVruntimeOverflowHeadroom: a year of simulated runtime at maximum
+// weight skew must not overflow the vruntime accumulator.
+func TestVruntimeOverflowHeadroom(t *testing.T) {
+	// vruntime advances at ran * 1024 / weight; the worst case is
+	// weight=2 (512x scaling). A uint64 at 2.6 GHz holds
+	// 2^64 / (2.6e9 * 512) seconds ≈ 440 years. Simulate the arithmetic.
+	var vr uint64
+	yearCycles := uint64(simtime.Second) * 86400 * 365
+	perYear := yearCycles * 512
+	if perYear < yearCycles { // overflow in one year?
+		t.Fatal("vruntime would overflow within a year")
+	}
+	vr += perYear
+	if vr == 0 {
+		t.Fatal("unexpected wraparound")
+	}
+}

@@ -1,0 +1,217 @@
+package cpusched
+
+import (
+	"fmt"
+
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/simtime"
+)
+
+// CoreParams hold the context-switch cost model. The direct cost of a Linux
+// context switch is 1–2 µs; we charge it to the core (not to either task's
+// useful work), which is how it shows up as lost throughput in the paper.
+type CoreParams struct {
+	VoluntarySwitchCost   simtime.Cycles
+	InvoluntarySwitchCost simtime.Cycles
+	// PickOverhead is charged on every scheduling decision, on top of the
+	// switch cost. It models schedulers that need extra state synchronized
+	// per decision — e.g. the paper's abandoned queue-length-aware kernel
+	// scheduler, which had to pull NF ring occupancies across the
+	// user/kernel boundary.
+	PickOverhead simtime.Cycles
+}
+
+// DefaultCoreParams returns the calibrated switch costs: 1 µs voluntary
+// (semaphore block, warm caches), 2 µs involuntary (preemption, cold caches).
+func DefaultCoreParams() CoreParams {
+	return CoreParams{
+		VoluntarySwitchCost:   1 * simtime.Microsecond,
+		InvoluntarySwitchCost: 2 * simtime.Microsecond,
+	}
+}
+
+// Core executes tasks under a Scheduler inside the event simulation. One
+// Core is one physical CPU core running NF processes; manager threads run on
+// their own dedicated cores and are not modelled by Core.
+type Core struct {
+	ID     int
+	eng    *eventsim.Engine
+	sched  Scheduler
+	params CoreParams
+
+	curr        *Task
+	needResched bool
+	switching   bool
+	segEvent    *eventsim.Event
+	tasks       []*Task
+	runStart    simtime.Cycles
+
+	// OnRunSpan, when set, observes every contiguous on-CPU interval of a
+	// task (tracing).
+	OnRunSpan func(t *Task, start, end simtime.Cycles)
+
+	// BusyCycles is time spent executing task work; SwitchCycles is time
+	// burned in context switches. Idle time is everything else.
+	BusyCycles   simtime.Cycles
+	SwitchCycles simtime.Cycles
+	Switches     uint64
+}
+
+// NewCore returns a core driven by eng under the given scheduling policy.
+func NewCore(id int, eng *eventsim.Engine, sched Scheduler, params CoreParams) *Core {
+	return &Core{ID: id, eng: eng, sched: sched, params: params}
+}
+
+// Scheduler returns the core's scheduling policy.
+func (c *Core) Scheduler() Scheduler { return c.sched }
+
+// Tasks returns the tasks pinned to this core.
+func (c *Core) Tasks() []*Task { return c.tasks }
+
+// Current returns the running task, or nil when idle/switching.
+func (c *Core) Current() *Task { return c.curr }
+
+// Utilization reports busy+switch cycles as a fraction of elapsed.
+func (c *Core) Utilization(elapsed simtime.Cycles) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(c.BusyCycles+c.SwitchCycles) / float64(elapsed)
+}
+
+// AddTask pins a blocked task to this core.
+func (c *Core) AddTask(t *Task) {
+	if t.core != nil {
+		panic(fmt.Sprintf("cpusched: task %q already pinned to core %d", t.Name, t.core.ID))
+	}
+	t.core = c
+	t.state = Blocked
+	c.tasks = append(c.tasks, t)
+}
+
+// Wake transitions a blocked task to runnable. Waking an already-runnable
+// or running task is a no-op (the semaphore is binary). This is the entry
+// point the manager's wakeup subsystem uses.
+func (c *Core) Wake(t *Task) {
+	if t.core != c {
+		panic("cpusched: Wake on foreign task")
+	}
+	if t.state != Blocked {
+		return
+	}
+	now := c.eng.Now()
+	t.state = Runnable
+	t.readyAt = now
+	t.Stats.WakeUps++
+	if c.sched.Enqueue(now, t, true, c.curr) {
+		c.needResched = true
+		t.Stats.WakeupPreemptionsBy++
+	}
+	if c.curr == nil && !c.switching {
+		c.schedule()
+	}
+}
+
+// SetWeight adjusts a task's scheduler weight (cgroup cpu.shares write).
+func (c *Core) SetWeight(t *Task, w int) {
+	c.sched.SetWeight(t, w)
+}
+
+// Kick forces the running task to be re-evaluated at its next batch
+// boundary. The NF manager uses this when it sets a task's yield flag; the
+// flag itself is read by the actor, so Kick is only an optimization and is
+// safe to call at any time.
+func (c *Core) Kick() {
+	// Nothing to do: preemption conditions are re-evaluated at every
+	// segment completion, and actors observe their flags then. Kept as an
+	// explicit method to mark intent at call sites.
+}
+
+func (c *Core) schedule() {
+	if c.curr != nil {
+		panic("cpusched: schedule with task running")
+	}
+	now := c.eng.Now()
+	t := c.sched.PickNext(now)
+	if t == nil {
+		return // idle; next Wake restarts us
+	}
+	wait := now - t.readyAt
+	t.Stats.WaitTime += wait
+	t.Stats.WaitCount++
+	t.state = Running
+	c.curr = t
+	c.needResched = false
+	c.runStart = now
+	if c.params.PickOverhead > 0 {
+		c.SwitchCycles += c.params.PickOverhead
+		c.eng.After(c.params.PickOverhead, c.startSegment)
+		return
+	}
+	c.startSegment()
+}
+
+func (c *Core) startSegment() {
+	t := c.curr
+	now := c.eng.Now()
+	dur := t.Actor.Segment(now)
+	if dur == 0 {
+		c.block(t)
+		return
+	}
+	c.segEvent = c.eng.After(dur, func() { c.segmentDone(dur) })
+}
+
+func (c *Core) segmentDone(ran simtime.Cycles) {
+	t := c.curr
+	if t == nil {
+		panic("cpusched: segment completion with no current task")
+	}
+	now := c.eng.Now()
+	c.sched.Charge(t, ran)
+	c.BusyCycles += ran
+	more := t.Actor.Complete(now)
+
+	// Preemption check at the batch boundary.
+	if (c.needResched || c.sched.NeedsResched(now, t)) && c.sched.Runnable() > 0 {
+		if !more {
+			// The task was about to block anyway; treat as voluntary.
+			c.block(t)
+			return
+		}
+		t.state = Runnable
+		t.readyAt = now
+		t.Stats.InvolSwitches++
+		c.sched.Enqueue(now, t, false, nil)
+		c.deschedule(c.params.InvoluntarySwitchCost)
+		return
+	}
+	if !more {
+		c.block(t)
+		return
+	}
+	c.startSegment()
+}
+
+func (c *Core) block(t *Task) {
+	t.state = Blocked
+	t.Stats.VoluntarySwitches++
+	c.deschedule(c.params.VoluntarySwitchCost)
+}
+
+func (c *Core) deschedule(cost simtime.Cycles) {
+	if c.OnRunSpan != nil && c.curr != nil {
+		c.OnRunSpan(c.curr, c.runStart, c.eng.Now())
+	}
+	c.curr = nil
+	c.needResched = false
+	c.SwitchCycles += cost
+	c.Switches++
+	c.switching = true
+	c.eng.After(cost, func() {
+		c.switching = false
+		if c.curr == nil {
+			c.schedule()
+		}
+	})
+}

@@ -1,0 +1,389 @@
+package cpusched
+
+import (
+	"testing"
+
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/simtime"
+)
+
+// cpuBound always has another batch of work.
+type cpuBound struct {
+	cost simtime.Cycles
+}
+
+func (a *cpuBound) Segment(simtime.Cycles) simtime.Cycles { return a.cost }
+func (a *cpuBound) Complete(simtime.Cycles) bool          { return true }
+
+// finite runs n segments and then blocks until woken (and stays empty).
+type finite struct {
+	cost simtime.Cycles
+	left int
+	done int
+}
+
+func (a *finite) Segment(simtime.Cycles) simtime.Cycles {
+	if a.left == 0 {
+		return 0
+	}
+	return a.cost
+}
+func (a *finite) Complete(simtime.Cycles) bool {
+	a.left--
+	a.done++
+	return a.left > 0
+}
+
+func newEnv(sched Scheduler) (*eventsim.Engine, *Core) {
+	eng := eventsim.New()
+	core := NewCore(0, eng, sched, DefaultCoreParams())
+	return eng, core
+}
+
+func TestCFSFairnessEqualWeights(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	a := NewTask(1, "a", &cpuBound{cost: 10 * simtime.Microsecond})
+	b := NewTask(2, "b", &cpuBound{cost: 10 * simtime.Microsecond})
+	core.AddTask(a)
+	core.AddTask(b)
+	core.Wake(a)
+	core.Wake(b)
+	eng.RunUntil(simtime.Second)
+	ra, rb := float64(a.Stats.Runtime), float64(b.Stats.Runtime)
+	if ra == 0 || rb == 0 {
+		t.Fatalf("starvation: runtimes %v %v", ra, rb)
+	}
+	if ratio := ra / rb; ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("equal-weight runtime ratio = %.3f, want ~1", ratio)
+	}
+}
+
+func TestCFSFairnessWeighted(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	a := NewTask(1, "a", &cpuBound{cost: 10 * simtime.Microsecond})
+	b := NewTask(2, "b", &cpuBound{cost: 10 * simtime.Microsecond})
+	core.AddTask(a)
+	core.AddTask(b)
+	core.SetWeight(a, 3*NiceZeroWeight)
+	core.SetWeight(b, 1*NiceZeroWeight)
+	core.Wake(a)
+	core.Wake(b)
+	eng.RunUntil(simtime.Second)
+	ratio := float64(a.Stats.Runtime) / float64(b.Stats.Runtime)
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("3:1 weight runtime ratio = %.3f, want ~3", ratio)
+	}
+}
+
+func TestCFSWeightChangeMidRun(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	a := NewTask(1, "a", &cpuBound{cost: 10 * simtime.Microsecond})
+	b := NewTask(2, "b", &cpuBound{cost: 10 * simtime.Microsecond})
+	core.AddTask(a)
+	core.AddTask(b)
+	core.Wake(a)
+	core.Wake(b)
+	eng.RunUntil(simtime.Second)
+	baseA := a.Stats.Runtime
+	baseB := b.Stats.Runtime
+	// Now give a 4x the weight and run another second.
+	core.SetWeight(a, 4*NiceZeroWeight)
+	eng.RunUntil(2 * simtime.Second)
+	da := float64(a.Stats.Runtime - baseA)
+	db := float64(b.Stats.Runtime - baseB)
+	if ratio := da / db; ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("post-change ratio = %.3f, want ~4", ratio)
+	}
+}
+
+func TestRRQuantumRotation(t *testing.T) {
+	eng, core := newEnv(NewRR("rr-1ms", simtime.Millisecond))
+	a := NewTask(1, "a", &cpuBound{cost: 10 * simtime.Microsecond})
+	b := NewTask(2, "b", &cpuBound{cost: 10 * simtime.Microsecond})
+	core.AddTask(a)
+	core.AddTask(b)
+	core.Wake(a)
+	core.Wake(b)
+	eng.RunUntil(simtime.Second / 2)
+	// Equal CPU-bound tasks under RR get equal time.
+	ratio := float64(a.Stats.Runtime) / float64(b.Stats.Runtime)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("RR runtime ratio = %.3f", ratio)
+	}
+	// And the switches are involuntary (quantum expiry), roughly
+	// 1 per ms across the two tasks.
+	inv := a.Stats.InvolSwitches + b.Stats.InvolSwitches
+	if inv < 400 || inv > 600 {
+		t.Fatalf("involuntary switches = %d, want ~500 in 0.5s at 1ms quantum", inv)
+	}
+}
+
+func TestRRIgnoresWeights(t *testing.T) {
+	eng, core := newEnv(NewRR("rr", simtime.Millisecond))
+	a := NewTask(1, "a", &cpuBound{cost: 10 * simtime.Microsecond})
+	b := NewTask(2, "b", &cpuBound{cost: 10 * simtime.Microsecond})
+	core.AddTask(a)
+	core.AddTask(b)
+	core.SetWeight(a, 8*NiceZeroWeight)
+	core.Wake(a)
+	core.Wake(b)
+	eng.RunUntil(simtime.Second / 2)
+	ratio := float64(a.Stats.Runtime) / float64(b.Stats.Runtime)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("RR must ignore weights; ratio = %.3f", ratio)
+	}
+}
+
+func TestBlockedTaskDoesNotRun(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	a := NewTask(1, "a", &finite{cost: 100 * simtime.Microsecond, left: 3})
+	core.AddTask(a)
+	core.Wake(a)
+	eng.RunUntil(simtime.Second)
+	if a.Stats.Runtime != 300*simtime.Microsecond {
+		t.Fatalf("runtime = %v, want 300µs", a.Stats.Runtime)
+	}
+	if a.State() != Blocked {
+		t.Fatalf("state = %v, want blocked", a.State())
+	}
+	if a.Stats.VoluntarySwitches != 1 {
+		t.Fatalf("voluntary switches = %d, want 1", a.Stats.VoluntarySwitches)
+	}
+}
+
+func TestWakeResumesBlockedTask(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	act := &finite{cost: 10 * simtime.Microsecond, left: 1}
+	a := NewTask(1, "a", act)
+	core.AddTask(a)
+	core.Wake(a)
+	eng.RunUntil(simtime.Millisecond)
+	if act.done != 1 {
+		t.Fatalf("done = %d", act.done)
+	}
+	// Refill work and wake.
+	act.left = 2
+	core.Wake(a)
+	eng.RunUntil(2 * simtime.Millisecond)
+	if act.done != 3 {
+		t.Fatalf("done after rewake = %d, want 3", act.done)
+	}
+}
+
+func TestWakeIdempotent(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	a := NewTask(1, "a", &cpuBound{cost: 10 * simtime.Microsecond})
+	core.AddTask(a)
+	core.Wake(a)
+	core.Wake(a) // no-op: already runnable/running
+	eng.RunUntil(simtime.Millisecond)
+	if a.Stats.WakeUps != 1 {
+		t.Fatalf("WakeUps = %d, want 1", a.Stats.WakeUps)
+	}
+}
+
+func TestWakeupPreemptionNormalVsBatch(t *testing.T) {
+	// An interrupt-driven light task contending with a CPU hog: under
+	// SCHED_NORMAL the light task's wakeups preempt the hog (many
+	// involuntary switches on the hog); under BATCH they do not.
+	run := func(sched Scheduler) (hogInvol uint64) {
+		eng := eventsim.New()
+		core := NewCore(0, eng, sched, DefaultCoreParams())
+		hog := NewTask(1, "hog", &cpuBound{cost: 10 * simtime.Microsecond})
+		lightAct := &finite{cost: simtime.Microsecond, left: 0}
+		light := NewTask(2, "light", lightAct)
+		core.AddTask(hog)
+		core.AddTask(light)
+		core.Wake(hog)
+		// Wake the light task every 100 µs with one packet of work.
+		eng.Every(0, 100*simtime.Microsecond, func() {
+			lightAct.left = 1
+			core.Wake(light)
+		})
+		eng.RunUntil(simtime.Second)
+		return hog.Stats.InvolSwitches
+	}
+	normal := run(NewCFS())
+	batch := run(NewCFSBatch())
+	if normal < 1000 {
+		t.Fatalf("NORMAL hog involuntary switches = %d, want thousands from wakeup preemption", normal)
+	}
+	if batch > normal/5 {
+		t.Fatalf("BATCH hog involuntary switches = %d vs NORMAL %d; BATCH should be far lower", batch, normal)
+	}
+}
+
+func TestSchedulingDelayAccounted(t *testing.T) {
+	eng, core := newEnv(NewRR("rr", 10*simtime.Millisecond))
+	a := NewTask(1, "a", &cpuBound{cost: 10 * simtime.Microsecond})
+	b := NewTask(2, "b", &cpuBound{cost: 10 * simtime.Microsecond})
+	core.AddTask(a)
+	core.AddTask(b)
+	core.Wake(a)
+	core.Wake(b)
+	eng.RunUntil(simtime.Second)
+	// b waits roughly a quantum each round.
+	if b.Stats.AvgSchedDelay() < 8*simtime.Millisecond {
+		t.Fatalf("avg delay = %v, want ~10ms quantum wait", b.Stats.AvgSchedDelay())
+	}
+}
+
+func TestSwitchCostAccounting(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	a := NewTask(1, "a", &finite{cost: 10 * simtime.Microsecond, left: 1})
+	core.AddTask(a)
+	core.Wake(a)
+	eng.RunUntil(simtime.Millisecond)
+	if core.Switches != 1 {
+		t.Fatalf("Switches = %d", core.Switches)
+	}
+	if core.SwitchCycles != DefaultCoreParams().VoluntarySwitchCost {
+		t.Fatalf("SwitchCycles = %v", core.SwitchCycles)
+	}
+	if core.BusyCycles != 10*simtime.Microsecond {
+		t.Fatalf("BusyCycles = %v", core.BusyCycles)
+	}
+	util := core.Utilization(simtime.Millisecond)
+	if util <= 0 || util >= 1 {
+		t.Fatalf("utilization = %v", util)
+	}
+}
+
+func TestIdleCoreWakesImmediately(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	act := &finite{cost: 10 * simtime.Microsecond, left: 0}
+	a := NewTask(1, "a", act)
+	core.AddTask(a)
+	var ranAt simtime.Cycles
+	eng.At(500*simtime.Microsecond, func() {
+		act.left = 1
+		core.Wake(a)
+	})
+	eng.At(600*simtime.Microsecond, func() { ranAt = a.Stats.Runtime })
+	eng.RunUntil(simtime.Millisecond)
+	if ranAt != 10*simtime.Microsecond {
+		t.Fatalf("task did not run promptly after wake on idle core: %v", ranAt)
+	}
+}
+
+func TestCFSSleeperPlacement(t *testing.T) {
+	// A task that slept a long time must not monopolize the CPU on wake:
+	// its vruntime is clamped near min_vruntime.
+	eng, core := newEnv(NewCFS())
+	hog := NewTask(1, "hog", &cpuBound{cost: 10 * simtime.Microsecond})
+	sleeperAct := &cpuBound{cost: 10 * simtime.Microsecond}
+	sleeper := NewTask(2, "sleeper", sleeperAct)
+	core.AddTask(hog)
+	core.AddTask(sleeper)
+	core.Wake(hog)
+	// Let the hog accumulate 500 ms of vruntime, then wake the sleeper.
+	eng.At(500*simtime.Millisecond, func() { core.Wake(sleeper) })
+	eng.RunUntil(simtime.Second)
+	base := hog.Stats.Runtime
+	eng.RunUntil(simtime.Second + 500*simtime.Millisecond)
+	// After the wake the hog must continue to receive close to half the
+	// CPU; without placement clamping it would starve for ~500ms.
+	delta := hog.Stats.Runtime - base
+	if float64(delta) < 0.40*float64(500*simtime.Millisecond) {
+		t.Fatalf("hog starved after sleeper woke: delta=%v", delta)
+	}
+}
+
+func TestDoublePinPanics(t *testing.T) {
+	_, core := newEnv(NewCFS())
+	eng2 := eventsim.New()
+	core2 := NewCore(1, eng2, NewCFS(), DefaultCoreParams())
+	a := NewTask(1, "a", &cpuBound{cost: 1})
+	core.AddTask(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double pin did not panic")
+		}
+	}()
+	core2.AddTask(a)
+}
+
+func TestCFSManyTasksNoStarvation(t *testing.T) {
+	eng, core := newEnv(NewCFS())
+	var tasks []*Task
+	for i := 0; i < 12; i++ {
+		tk := NewTask(i, "t", &cpuBound{cost: 5 * simtime.Microsecond})
+		core.AddTask(tk)
+		tasks = append(tasks, tk)
+		core.Wake(tk)
+	}
+	eng.RunUntil(simtime.Second)
+	for i, tk := range tasks {
+		share := float64(tk.Stats.Runtime) / float64(simtime.Second)
+		if share < 0.05 {
+			t.Fatalf("task %d share = %.3f, starved", i, share)
+		}
+	}
+}
+
+func TestRRDequeueMiddle(t *testing.T) {
+	// Removing a task from the middle of the RR queue must keep indices
+	// consistent.
+	rr := NewRR("rr", simtime.Millisecond)
+	a := NewTask(1, "a", nil)
+	b := NewTask(2, "b", nil)
+	c := NewTask(3, "c", nil)
+	rr.Enqueue(0, a, true, nil)
+	rr.Enqueue(0, b, true, nil)
+	rr.Enqueue(0, c, true, nil)
+	rr.Dequeue(b)
+	if rr.Runnable() != 2 {
+		t.Fatalf("Runnable = %d", rr.Runnable())
+	}
+	if got := rr.PickNext(0); got != a {
+		t.Fatalf("PickNext = %v", got.Name)
+	}
+	if got := rr.PickNext(0); got != c {
+		t.Fatalf("PickNext = %v", got.Name)
+	}
+	if rr.PickNext(0) != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCFSSliceStretchesUnderLoad(t *testing.T) {
+	cfs := NewCFS()
+	var tasks []*Task
+	for i := 0; i < 20; i++ {
+		tk := NewTask(i, "t", nil)
+		tasks = append(tasks, tk)
+		cfs.Enqueue(0, tk, true, nil)
+	}
+	curr := cfs.PickNext(0)
+	// With 20 runnable tasks, period = 20 * min_granularity and the
+	// per-task slice = period/20 = min_granularity.
+	if got := cfs.slice(curr); got != cfs.params.MinGranularity {
+		t.Fatalf("slice = %v, want min granularity %v", got, cfs.params.MinGranularity)
+	}
+	_ = tasks
+}
+
+func TestSetWeightFloor(t *testing.T) {
+	cfs := NewCFS()
+	tk := NewTask(1, "t", nil)
+	cfs.SetWeight(tk, 0)
+	if tk.Weight() < 2 {
+		t.Fatalf("weight %d below kernel floor", tk.Weight())
+	}
+}
+
+func BenchmarkCFSScheduleCycle(b *testing.B) {
+	eng := eventsim.New()
+	core := NewCore(0, eng, NewCFS(), DefaultCoreParams())
+	for i := 0; i < 3; i++ {
+		tk := NewTask(i, "t", &cpuBound{cost: 10 * simtime.Microsecond})
+		core.AddTask(tk)
+		core.Wake(tk)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cpusched
+
+import (
+	"nfvnice/internal/simtime"
+)
+
+// QLen is the custom queue-length-aware CPU scheduler the paper's authors
+// prototyped and abandoned (§3.2): it always runs the runnable task with
+// the deepest receive backlog. As a pure policy it is excellent for chains —
+// it is effectively backpressure enforced by the scheduler — but in a real
+// kernel every decision needs NF queue lengths synchronized across the
+// user/kernel boundary, an overhead the paper measured as outweighing the
+// benefits. The experiment harness models that cost with Core.PickOverhead.
+//
+// Tasks must have Backlog set; a nil Backlog reads as zero (idle-ish).
+type QLen struct {
+	quantum simtime.Cycles
+	queue   []*Task
+}
+
+// NewQLen returns a queue-length scheduler with the given quantum bound.
+func NewQLen(quantum simtime.Cycles) *QLen {
+	if quantum == 0 {
+		quantum = 250 * simtime.Microsecond
+	}
+	return &QLen{quantum: quantum}
+}
+
+// Name implements Scheduler.
+func (q *QLen) Name() string { return "qlen-custom" }
+
+// Enqueue implements Scheduler. A waking task with a deeper backlog than
+// the running task preempts it — the whole point of the design.
+func (q *QLen) Enqueue(now simtime.Cycles, t *Task, wakeup bool, curr *Task) bool {
+	t.rrIndex = len(q.queue)
+	q.queue = append(q.queue, t)
+	if !wakeup || curr == nil {
+		return false
+	}
+	return backlog(t) > backlog(curr)
+}
+
+// Dequeue implements Scheduler.
+func (q *QLen) Dequeue(t *Task) {
+	if t.rrIndex < 0 || t.rrIndex >= len(q.queue) || q.queue[t.rrIndex] != t {
+		return
+	}
+	copy(q.queue[t.rrIndex:], q.queue[t.rrIndex+1:])
+	q.queue = q.queue[:len(q.queue)-1]
+	for i := t.rrIndex; i < len(q.queue); i++ {
+		q.queue[i].rrIndex = i
+	}
+	t.rrIndex = -1
+}
+
+// PickNext implements Scheduler: deepest backlog wins; ties go to the
+// longest-waiting task (queue order).
+func (q *QLen) PickNext(now simtime.Cycles) *Task {
+	if len(q.queue) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(q.queue); i++ {
+		if backlog(q.queue[i]) > backlog(q.queue[best]) {
+			best = i
+		}
+	}
+	t := q.queue[best]
+	q.Dequeue(t)
+	t.sliceUsed = 0
+	return t
+}
+
+// Charge implements Scheduler.
+func (q *QLen) Charge(t *Task, ran simtime.Cycles) {
+	t.Stats.Runtime += ran
+	t.sliceUsed += ran
+}
+
+// NeedsResched implements Scheduler: re-evaluate when the quantum expires
+// or some queued task's backlog now dominates the running task's.
+func (q *QLen) NeedsResched(now simtime.Cycles, t *Task) bool {
+	if len(q.queue) == 0 {
+		return false
+	}
+	if t.sliceUsed >= q.quantum {
+		t.Stats.SliceExhaustions++
+		return true
+	}
+	cur := backlog(t)
+	for _, w := range q.queue {
+		if backlog(w) > 2*cur {
+			return true
+		}
+	}
+	return false
+}
+
+// SetWeight implements Scheduler (queue length is the only signal).
+func (q *QLen) SetWeight(t *Task, w int) { t.weight = w }
+
+// Runnable implements Scheduler.
+func (q *QLen) Runnable() int { return len(q.queue) }
+
+func backlog(t *Task) int {
+	if t.Backlog == nil {
+		return 0
+	}
+	return t.Backlog()
+}

@@ -1,0 +1,156 @@
+package cpusched
+
+import (
+	"testing"
+
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/simtime"
+)
+
+// backlogActor pairs a work source with a mutable backlog counter.
+type backlogActor struct {
+	cpuBound
+	depth int
+}
+
+func TestQLenPicksDeepestQueue(t *testing.T) {
+	q := NewQLen(0)
+	if q.Name() != "qlen-custom" {
+		t.Fatal("name")
+	}
+	mk := func(depth int) *Task {
+		a := &backlogActor{cpuBound: cpuBound{cost: simtime.Microsecond}, depth: depth}
+		tk := NewTask(depth, "t", a)
+		tk.Backlog = func() int { return a.depth }
+		return tk
+	}
+	shallow := mk(3)
+	deep := mk(100)
+	mid := mk(50)
+	q.Enqueue(0, shallow, true, nil)
+	q.Enqueue(0, deep, true, nil)
+	q.Enqueue(0, mid, true, nil)
+	if got := q.PickNext(0); got != deep {
+		t.Fatalf("picked %s, want deepest", got.Name)
+	}
+	if got := q.PickNext(0); got != mid {
+		t.Fatal("second pick should be mid")
+	}
+	if q.Runnable() != 1 {
+		t.Fatalf("runnable = %d", q.Runnable())
+	}
+}
+
+func TestQLenNilBacklogReadsZero(t *testing.T) {
+	q := NewQLen(0)
+	a := NewTask(1, "a", nil) // no Backlog
+	b := NewTask(2, "b", nil)
+	b.Backlog = func() int { return 5 }
+	q.Enqueue(0, a, true, nil)
+	q.Enqueue(0, b, true, nil)
+	if got := q.PickNext(0); got != b {
+		t.Fatal("task with backlog should beat nil-backlog task")
+	}
+}
+
+func TestQLenWakeupPreemption(t *testing.T) {
+	q := NewQLen(0)
+	curr := NewTask(1, "curr", nil)
+	curr.Backlog = func() int { return 10 }
+	deeper := NewTask(2, "deeper", nil)
+	deeper.Backlog = func() int { return 50 }
+	if !q.Enqueue(0, deeper, true, curr) {
+		t.Fatal("deeper waker should preempt")
+	}
+	shallower := NewTask(3, "shallower", nil)
+	shallower.Backlog = func() int { return 5 }
+	if q.Enqueue(0, shallower, true, curr) {
+		t.Fatal("shallower waker must not preempt")
+	}
+}
+
+func TestQLenNeedsResched(t *testing.T) {
+	q := NewQLen(simtime.Millisecond)
+	curr := NewTask(1, "curr", nil)
+	curr.Backlog = func() int { return 10 }
+	other := NewTask(2, "other", nil)
+	depth := 15
+	other.Backlog = func() int { return depth }
+	q.Enqueue(0, other, true, nil)
+	// Below quantum and below 2x dominance: keep running.
+	q.Charge(curr, simtime.Microsecond)
+	if q.NeedsResched(0, curr) {
+		t.Fatal("no resched expected")
+	}
+	// A queued task with >2x the backlog forces a resched.
+	depth = 25
+	if !q.NeedsResched(0, curr) {
+		t.Fatal("2x-dominant queue should preempt")
+	}
+	// Quantum exhaustion forces a resched regardless.
+	depth = 1
+	q.Charge(curr, simtime.Millisecond)
+	if !q.NeedsResched(0, curr) {
+		t.Fatal("quantum exhaustion should preempt")
+	}
+	if curr.Stats.SliceExhaustions != 1 {
+		t.Fatal("exhaustion not counted")
+	}
+}
+
+func TestQLenEndToEndDrainsBottleneck(t *testing.T) {
+	// Two tasks with synthetic backlogs that deplete as they run: the
+	// scheduler must keep the deeper one on CPU until parity.
+	eng := eventsim.New()
+	core := NewCore(0, eng, NewQLen(0), DefaultCoreParams())
+	mkDraining := func(id, depth int) (*Task, *int) {
+		d := depth
+		var tk *Task
+		a := &drainingActor{cost: 10 * simtime.Microsecond, depth: &d}
+		tk = NewTask(id, "t", a)
+		tk.Backlog = func() int { return d }
+		return tk, &d
+	}
+	a, da := mkDraining(1, 1000)
+	b, db := mkDraining(2, 100)
+	core.AddTask(a)
+	core.AddTask(b)
+	core.Wake(a)
+	core.Wake(b)
+	eng.RunUntil(simtime.Second)
+	if *da != 0 || *db != 0 {
+		t.Fatalf("backlogs not drained: %d %d", *da, *db)
+	}
+	// The deep task must have finished the bulk of its work before the
+	// shallow one got sustained time: its runtime dominates.
+	if a.Stats.Runtime < 5*b.Stats.Runtime {
+		t.Fatalf("deep task runtime %v vs shallow %v", a.Stats.Runtime, b.Stats.Runtime)
+	}
+}
+
+type drainingActor struct {
+	cost  simtime.Cycles
+	depth *int
+}
+
+func (d *drainingActor) Segment(simtime.Cycles) simtime.Cycles {
+	if *d.depth == 0 {
+		return 0
+	}
+	return d.cost
+}
+
+func (d *drainingActor) Complete(simtime.Cycles) bool {
+	if *d.depth > 0 {
+		*d.depth--
+	}
+	return *d.depth > 0
+}
+
+func TestQLenZeroQuantumPanicsNot(t *testing.T) {
+	// Zero quantum takes the default.
+	q := NewQLen(0)
+	if q.quantum == 0 {
+		t.Fatal("default quantum not applied")
+	}
+}

@@ -1,0 +1,93 @@
+package cpusched
+
+import (
+	"nfvnice/internal/simtime"
+)
+
+// RR models SCHED_RR with equal-priority tasks: a FIFO of runnable tasks,
+// each running for a fixed quantum before rotating to the tail. The paper
+// evaluates 1 ms and 100 ms quanta (sched_rr_timeslice_ms).
+type RR struct {
+	quantum simtime.Cycles
+	queue   []*Task
+	name    string
+}
+
+// NewRR returns a round-robin scheduler with the given time quantum.
+func NewRR(name string, quantum simtime.Cycles) *RR {
+	if quantum == 0 {
+		panic("cpusched: RR quantum must be positive")
+	}
+	return &RR{quantum: quantum, name: name}
+}
+
+// Name implements Scheduler.
+func (r *RR) Name() string { return r.name }
+
+// Quantum reports the configured time slice.
+func (r *RR) Quantum() simtime.Cycles { return r.quantum }
+
+// Enqueue implements Scheduler. RR at equal priority never preempts on
+// wakeup; the waker waits for the current task's quantum.
+func (r *RR) Enqueue(now simtime.Cycles, t *Task, wakeup bool, curr *Task) bool {
+	t.rrIndex = len(r.queue)
+	r.queue = append(r.queue, t)
+	return false
+}
+
+// Dequeue implements Scheduler.
+func (r *RR) Dequeue(t *Task) {
+	if t.rrIndex < 0 || t.rrIndex >= len(r.queue) || r.queue[t.rrIndex] != t {
+		return
+	}
+	copy(r.queue[t.rrIndex:], r.queue[t.rrIndex+1:])
+	r.queue = r.queue[:len(r.queue)-1]
+	for i := t.rrIndex; i < len(r.queue); i++ {
+		r.queue[i].rrIndex = i
+	}
+	t.rrIndex = -1
+}
+
+// PickNext implements Scheduler.
+func (r *RR) PickNext(now simtime.Cycles) *Task {
+	if len(r.queue) == 0 {
+		return nil
+	}
+	t := r.queue[0]
+	copy(r.queue, r.queue[1:])
+	r.queue = r.queue[:len(r.queue)-1]
+	for i, q := range r.queue {
+		q.rrIndex = i
+	}
+	t.rrIndex = -1
+	t.sliceUsed = 0
+	return t
+}
+
+// Charge implements Scheduler.
+func (r *RR) Charge(t *Task, ran simtime.Cycles) {
+	t.Stats.Runtime += ran
+	t.sliceUsed += ran
+}
+
+// NeedsResched implements Scheduler: quantum exhaustion only.
+func (r *RR) NeedsResched(now simtime.Cycles, t *Task) bool {
+	if len(r.queue) == 0 {
+		return false
+	}
+	if t.sliceUsed >= r.quantum {
+		t.Stats.SliceExhaustions++
+		return true
+	}
+	return false
+}
+
+// SetWeight implements Scheduler. SCHED_RR ignores cgroup cpu.shares (the
+// real-time class is outside CFS bandwidth control), so this is a no-op
+// beyond recording the value — which matches the paper's observation that
+// NFVnice's cgroup mechanism has no lever over RR and must rely on
+// backpressure there.
+func (r *RR) SetWeight(t *Task, w int) { t.weight = w }
+
+// Runnable implements Scheduler.
+func (r *RR) Runnable() int { return len(r.queue) }

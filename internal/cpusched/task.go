@@ -1,0 +1,169 @@
+// Package cpusched models the Linux process schedulers the paper evaluates —
+// CFS (SCHED_NORMAL), CFS-BATCH, and SCHED_RR — together with the per-core
+// executor that runs NF tasks inside the discrete-event simulation.
+//
+// The models reproduce the mechanisms the paper's results hinge on:
+//
+//   - CFS keeps runnable tasks ordered by weighted virtual runtime on a
+//     red-black tree; the leftmost task runs next. Weights come from cgroup
+//     cpu.shares (nice-0 = 1024).
+//   - SCHED_NORMAL preempts the running task when a waking task's vruntime
+//     is sufficiently behind (wakeup preemption) — the source of the ~65k
+//     involuntary context switches/s in the paper's Table 2.
+//   - SCHED_BATCH disables wakeup preemption, leaving only tick preemption —
+//     the ~1k switches/s behaviour.
+//   - SCHED_RR cycles a FIFO of equal-priority tasks with a fixed quantum
+//     (1 ms and 100 ms variants in the paper).
+//
+// Preemption decisions are evaluated at NF batch boundaries (≤ 32 packets,
+// tens of microseconds), which is the granularity at which a real NFV
+// platform observes them anyway — libnf checks flags between batches.
+package cpusched
+
+import (
+	"fmt"
+
+	"nfvnice/internal/simtime"
+)
+
+// TaskState is the run state of a task.
+type TaskState uint8
+
+// Task states.
+const (
+	Blocked  TaskState = iota // waiting on semaphore (no packets) or I/O
+	Runnable                  // on the runqueue
+	Running                   // current on its core
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case Blocked:
+		return "blocked"
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// NiceZeroWeight is the CFS load weight of a nice-0 task; cgroup cpu.shares
+// map 1:1 onto this scale (1024 = one default share).
+const NiceZeroWeight = 1024
+
+// TaskStats accumulates the perf-sched style metrics the paper reports.
+type TaskStats struct {
+	Runtime             simtime.Cycles // cycles actually executed
+	VoluntarySwitches   uint64         // blocked while holding the CPU
+	InvolSwitches       uint64         // preempted while still runnable
+	WaitTime            simtime.Cycles // total runnable-but-waiting time
+	WaitCount           uint64         // number of waits (for average delay)
+	WakeUps             uint64
+	SliceExhaustions    uint64 // RR/CFS tick preemptions
+	WakeupPreemptionsBy uint64 // times this task's wakeup preempted another
+}
+
+// AvgSchedDelay reports the mean time from runnable to running.
+func (s *TaskStats) AvgSchedDelay() simtime.Cycles {
+	if s.WaitCount == 0 {
+		return 0
+	}
+	return s.WaitTime / simtime.Cycles(s.WaitCount)
+}
+
+// Task is a schedulable entity (one NF process).
+type Task struct {
+	Name string
+	ID   int
+
+	// Actor supplies the task's work when it is on CPU.
+	Actor Actor
+
+	// Batch is true for SCHED_BATCH tasks (no wakeup preemption by or of
+	// them in the BATCH policy model).
+	Batch bool
+
+	// Backlog, when set, reports the task's pending-work depth (the NF's
+	// receive-ring occupancy). Only queue-aware schedulers read it.
+	Backlog func() int
+
+	weight int
+	state  TaskState
+
+	// CFS bookkeeping.
+	vruntime  uint64 // weighted virtual runtime, in nice-0 cycles
+	sliceUsed simtime.Cycles
+	readyAt   simtime.Cycles
+
+	Stats TaskStats
+
+	// core the task is assigned to; tasks never migrate in the paper's
+	// experiments (NFs are pinned).
+	core *Core
+
+	// queue linkage, owned by the scheduler implementations.
+	cfsNode any
+	rrIndex int
+}
+
+// NewTask returns a blocked task with nice-0 weight.
+func NewTask(id int, name string, actor Actor) *Task {
+	return &Task{ID: id, Name: name, Actor: actor, weight: NiceZeroWeight, rrIndex: -1}
+}
+
+// Weight reports the task's scheduler weight.
+func (t *Task) Weight() int { return t.weight }
+
+// State reports the task's current run state.
+func (t *Task) State() TaskState { return t.state }
+
+// Core returns the core the task is attached to (nil before AddTask).
+func (t *Task) Core() *Core { return t.core }
+
+// Actor is the work source a task runs. The executor calls Segment to learn
+// the cost of the next indivisible unit (one packet batch); after charging
+// that time it calls Complete, which performs the unit's effects (deliver
+// packets, enqueue I/O) and reports whether the task has more work.
+//
+// Segment returning 0 means "no work": the task blocks (a voluntary switch)
+// until Core.Wake is called.
+type Actor interface {
+	Segment(now simtime.Cycles) simtime.Cycles
+	Complete(now simtime.Cycles) (more bool)
+}
+
+// Scheduler is a per-core scheduling policy.
+type Scheduler interface {
+	Name() string
+
+	// Enqueue makes t runnable. wakeup is true when the task transitions
+	// from Blocked (rather than being put back after preemption); wakeup
+	// preemption applies only then. Returns true if the newly enqueued
+	// task should preempt the currently running task curr (nil when the
+	// core is idle).
+	Enqueue(now simtime.Cycles, t *Task, wakeup bool, curr *Task) (preempt bool)
+
+	// Dequeue removes a runnable task (it blocked or is being migrated).
+	Dequeue(t *Task)
+
+	// PickNext removes and returns the next task to run, or nil if the
+	// runqueue is empty.
+	PickNext(now simtime.Cycles) *Task
+
+	// Charge accounts ran cycles of CPU to the running task t.
+	Charge(t *Task, ran simtime.Cycles)
+
+	// NeedsResched reports whether the running task t has exhausted its
+	// quantum / fairness slice and should be preempted, given that other
+	// tasks are runnable.
+	NeedsResched(now simtime.Cycles, t *Task) bool
+
+	// SetWeight updates t's scheduling weight (from cgroup cpu.shares).
+	// Valid for queued and running tasks.
+	SetWeight(t *Task, w int)
+
+	// Runnable reports the number of queued (not running) tasks.
+	Runnable() int
+}

@@ -1,0 +1,557 @@
+// Package dataplane is a real (non-simulated) concurrent service-chain
+// runtime implementing NFVnice's control algorithms with goroutines: stages
+// (NFs) connected by lock-free SPSC rings, a weighted-fair cooperative
+// scheduler standing in for cgroup-weighted CFS, watermark backpressure with
+// chain-entry shedding, and yield flags checked at batch boundaries.
+//
+// Where the simulator (the rest of this repository) reproduces the paper's
+// evaluation against faithful kernel-scheduler models, this package shows
+// the same control plane working against wall-clock time: rate-cost
+// proportional weights equalize throughput of unequal-cost stages, and
+// backpressure sheds load at chain entries instead of wasting work.
+//
+// Threading model: user code injects packets from one producer goroutine;
+// each stage's handler runs on its own goroutine but only while holding a
+// grant from the scheduler, which serializes stage execution (the shared-
+// CPU-core regime the paper studies) while keeping handlers free to block
+// briefly on their own I/O.
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nfvnice/internal/ring"
+)
+
+// Packet is the unit of work flowing through a pipeline. Handlers may use
+// Userdata to carry per-packet state between stages.
+type Packet struct {
+	FlowID   int
+	ChainID  int
+	Size     int
+	Hop      int
+	Userdata any
+
+	enqueued time.Time
+}
+
+// Handler processes one packet at a stage.
+type Handler func(*Packet)
+
+// Config tunes the runtime.
+type Config struct {
+	// Cores is the number of scheduler loops; stages are assigned to a
+	// core with AddStageOn and contend only with co-resident stages, as
+	// NFs pinned to CPU cores do (default 1).
+	Cores int
+	// RingSize is each stage's receive/transmit ring capacity (rounded up
+	// to a power of two).
+	RingSize int
+	// BatchSize bounds packets processed per grant between yield checks.
+	BatchSize int
+	// HighFrac and LowFrac are the backpressure watermarks.
+	HighFrac, LowFrac float64
+	// WeightPeriod is how often auto-weights are recomputed (0 disables
+	// the rate-cost controller; manual SetWeight still works).
+	WeightPeriod time.Duration
+}
+
+// DefaultConfig mirrors the paper's platform parameters.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        1,
+		RingSize:     4096,
+		BatchSize:    32,
+		HighFrac:     0.80,
+		LowFrac:      0.60,
+		WeightPeriod: 10 * time.Millisecond,
+	}
+}
+
+// StageStats is a snapshot of one stage's counters.
+type StageStats struct {
+	Name      string
+	Processed uint64
+	Weight    int64
+	// Busy is cumulative handler wall time.
+	Busy time.Duration
+	// EstCost is the controller's smoothed per-packet cost estimate.
+	EstCost time.Duration
+}
+
+type stage struct {
+	id     int
+	core   int
+	name   string
+	fn     Handler
+	rx     *ring.SPSC[*Packet]
+	rxMu   sync.Mutex // serializes rx producers (injector + mover)
+	tx     *ring.SPSC[*Packet]
+	weight atomic.Int64
+	yield  atomic.Bool
+
+	grant chan int // batch budget; closed on shutdown
+	done  chan struct{}
+
+	processed atomic.Uint64
+	busyNanos atomic.Int64
+	arrivals  atomic.Uint64
+
+	pass     float64 // WFQ virtual time, owned by the scheduler goroutine
+	estCost  float64 // smoothed ns/packet, owned by the controller
+	lastArr  uint64
+	lastBusy int64
+	lastProc uint64
+}
+
+// Engine is a runnable pipeline host.
+type Engine struct {
+	cfg    Config
+	stages []*stage
+	chains [][]int  // chainID -> stage ids
+	flows  sync.Map // flowID -> chainID
+
+	throttled []atomic.Bool // per chain
+	highWater int
+	lowWater  int
+
+	out chan *Packet
+	tap func(*Packet)
+
+	// Delivered, EntryDrops and RingDrops count packet outcomes;
+	// ThrottleEvents counts chain-throttle activations.
+	Delivered      atomic.Uint64
+	EntryDrops     atomic.Uint64
+	RingDrops      atomic.Uint64
+	ThrottleEvents atomic.Uint64
+
+	// latNanos accumulates end-to-end sojourn time of delivered packets
+	// (owned by the control goroutine; read via LatencyStats).
+	latSumNanos atomic.Int64
+	latMaxNanos atomic.Int64
+
+	running atomic.Bool
+}
+
+// New returns an engine with the given config (zero value fields take
+// defaults).
+func New(cfg Config) *Engine {
+	def := DefaultConfig()
+	if cfg.RingSize == 0 {
+		cfg.RingSize = def.RingSize
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = def.BatchSize
+	}
+	if cfg.HighFrac == 0 {
+		cfg.HighFrac = def.HighFrac
+	}
+	if cfg.LowFrac == 0 {
+		cfg.LowFrac = def.LowFrac
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = def.Cores
+	}
+	return &Engine{
+		cfg:       cfg,
+		highWater: int(float64(cfg.RingSize) * cfg.HighFrac),
+		lowWater:  int(float64(cfg.RingSize) * cfg.LowFrac),
+		out:       make(chan *Packet, cfg.RingSize),
+	}
+}
+
+// AddStage registers an NF on core 0 with the given initial weight (1024 =
+// one default share). Must be called before Run.
+func (e *Engine) AddStage(name string, weight int64, fn Handler) int {
+	return e.AddStageOn(name, weight, 0, fn)
+}
+
+// AddStageOn registers an NF pinned to the given core. Must be called
+// before Run.
+func (e *Engine) AddStageOn(name string, weight int64, core int, fn Handler) int {
+	if core < 0 || core >= e.cfg.Cores {
+		panic("dataplane: stage core out of range")
+	}
+	s := &stage{
+		id:    len(e.stages),
+		core:  core,
+		name:  name,
+		fn:    fn,
+		rx:    ring.NewSPSC[*Packet](e.cfg.RingSize),
+		tx:    ring.NewSPSC[*Packet](e.cfg.RingSize),
+		grant: make(chan int),
+		done:  make(chan struct{}),
+	}
+	s.weight.Store(weight)
+	s.estCost = float64(time.Microsecond) // prior until measured
+	e.stages = append(e.stages, s)
+	return s.id
+}
+
+// AddChain registers a service chain over stage ids and returns the chain
+// id. Must be called before Run.
+func (e *Engine) AddChain(stageIDs ...int) (int, error) {
+	if len(stageIDs) == 0 {
+		return 0, errors.New("dataplane: empty chain")
+	}
+	for _, id := range stageIDs {
+		if id < 0 || id >= len(e.stages) {
+			return 0, errors.New("dataplane: unknown stage in chain")
+		}
+	}
+	e.chains = append(e.chains, append([]int(nil), stageIDs...))
+	e.throttled = append(e.throttled, atomic.Bool{})
+	return len(e.chains) - 1, nil
+}
+
+// MapFlow routes a flow to a chain. Safe to call at any time.
+func (e *Engine) MapFlow(flowID, chainID int) { e.flows.Store(flowID, chainID) }
+
+// SetWeight adjusts a stage's scheduler weight (manual control when the
+// auto controller is disabled).
+func (e *Engine) SetWeight(stageID int, w int64) {
+	if w < 2 {
+		w = 2
+	}
+	e.stages[stageID].weight.Store(w)
+}
+
+// Output delivers packets that completed their chains. The consumer must
+// drain it; a full output channel backpressures the final stages.
+func (e *Engine) Output() <-chan *Packet { return e.out }
+
+// Inject offers a packet from the (single) producer goroutine. It reports
+// false when the packet was shed — by chain-entry backpressure or a full
+// entry ring — or when the flow has no route.
+func (e *Engine) Inject(p *Packet) bool {
+	v, ok := e.flows.Load(p.FlowID)
+	if !ok {
+		return false
+	}
+	chainID := v.(int)
+	p.ChainID = chainID
+	p.Hop = 0
+	entry := e.stages[e.chains[chainID][0]]
+	// Arrivals count offered load (attempts), not surviving enqueues:
+	// the rate-cost controller's λ must not collapse to the drain rate
+	// when a stage is overloaded or its chain is being shed.
+	entry.arrivals.Add(1)
+	if e.throttled[chainID].Load() {
+		e.EntryDrops.Add(1)
+		return false
+	}
+	p.enqueued = time.Now()
+	entry.rxMu.Lock()
+	ok = entry.rx.Enqueue(p)
+	entry.rxMu.Unlock()
+	if !ok {
+		e.RingDrops.Add(1)
+		return false
+	}
+	return true
+}
+
+// Stats snapshots every stage.
+func (e *Engine) Stats() []StageStats {
+	out := make([]StageStats, len(e.stages))
+	for i, s := range e.stages {
+		out[i] = StageStats{
+			Name:      s.name,
+			Processed: s.processed.Load(),
+			Weight:    s.weight.Load(),
+			Busy:      time.Duration(s.busyNanos.Load()),
+			EstCost:   time.Duration(s.estCost),
+		}
+	}
+	return out
+}
+
+// LatencyStats reports the mean and maximum end-to-end sojourn time of
+// delivered packets.
+func (e *Engine) LatencyStats() (mean, max time.Duration) {
+	n := e.Delivered.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	return time.Duration(e.latSumNanos.Load() / int64(n)), time.Duration(e.latMaxNanos.Load())
+}
+
+// Throttled reports whether a chain is currently shed at entry.
+func (e *Engine) Throttled(chainID int) bool { return e.throttled[chainID].Load() }
+
+// Run operates the pipeline until ctx is canceled. It blocks; run it on its
+// own goroutine. Run may be called once.
+func (e *Engine) Run(ctx context.Context) {
+	if !e.running.CompareAndSwap(false, true) {
+		panic("dataplane: Run called twice")
+	}
+	var workers, cores sync.WaitGroup
+	for _, s := range e.stages {
+		workers.Add(1)
+		go func(s *stage) {
+			defer workers.Done()
+			e.worker(s)
+		}(s)
+	}
+	// One scheduler loop per core; core 0's loop doubles as the control
+	// plane (Tx-thread packet movement, backpressure, weights), matching
+	// the manager-on-dedicated-core split.
+	for core := 1; core < e.cfg.Cores; core++ {
+		cores.Add(1)
+		go func(core int) {
+			defer cores.Done()
+			for ctx.Err() == nil {
+				if !e.scheduleCore(core) {
+					select {
+					case <-ctx.Done():
+					case <-time.After(50 * time.Microsecond):
+					}
+				}
+			}
+		}(core)
+	}
+	lastWeights := time.Now()
+	for ctx.Err() == nil {
+		granted := e.scheduleCore(0)
+		e.moveAll()
+		e.updateBackpressure()
+		if e.cfg.WeightPeriod > 0 && time.Since(lastWeights) >= e.cfg.WeightPeriod {
+			e.updateWeights()
+			lastWeights = time.Now()
+		}
+		if !granted {
+			// Idle: nothing runnable; yield the OS thread briefly.
+			select {
+			case <-ctx.Done():
+			case <-time.After(50 * time.Microsecond):
+			}
+		}
+	}
+	// Shutdown order matters: first join the scheduler loops (no more
+	// grants in flight), then close grant channels so workers drain out.
+	cores.Wait()
+	for _, s := range e.stages {
+		close(s.grant)
+	}
+	workers.Wait()
+}
+
+// worker runs a stage's handler under grants.
+func (e *Engine) worker(s *stage) {
+	for budget := range s.grant {
+		start := time.Now()
+		n := 0
+		for n < budget {
+			pkt, ok := s.rx.Dequeue()
+			if !ok {
+				break
+			}
+			s.fn(pkt)
+			pkt.Hop++
+			// Tx is sized like Rx and drained between grants, and the
+			// grant budget never exceeds free Tx space, so this cannot
+			// fail.
+			s.tx.Enqueue(pkt)
+			n++
+		}
+		s.processed.Add(uint64(n))
+		s.busyNanos.Add(time.Since(start).Nanoseconds())
+		s.done <- struct{}{}
+	}
+}
+
+// scheduleCore grants the core's runnable stage with the smallest WFQ pass
+// one batch and waits for completion. Reports whether anything ran.
+func (e *Engine) scheduleCore(core int) bool {
+	var pick *stage
+	for _, s := range e.stages {
+		if s.core != core || s.yield.Load() || s.rx.Len() == 0 {
+			continue
+		}
+		if s.tx.Len() >= e.cfg.RingSize-1-e.cfg.BatchSize {
+			continue // local backpressure: tx nearly full
+		}
+		if pick == nil || s.pass < pick.pass {
+			pick = s
+		}
+	}
+	if pick == nil {
+		return false
+	}
+	before := time.Duration(pick.busyNanos.Load())
+	pick.grant <- e.cfg.BatchSize
+	<-pick.done
+	ran := time.Duration(pick.busyNanos.Load()) - before
+	w := pick.weight.Load()
+	if w < 2 {
+		w = 2
+	}
+	pick.pass += float64(ran) * 1024 / float64(w)
+	// Keep sleeping stages from banking unbounded credit.
+	min := pick.pass
+	for _, s := range e.stages {
+		if s.core == core && s.pass < min-float64(time.Second) {
+			s.pass = min - float64(time.Second)
+		}
+	}
+	return true
+}
+
+// moveAll drains every stage's tx ring toward the next hop or the output
+// channel (the Tx-thread role).
+func (e *Engine) moveAll() {
+	for _, s := range e.stages {
+		for {
+			pkt, ok := s.tx.Dequeue()
+			if !ok {
+				break
+			}
+			chain := e.chains[pkt.ChainID]
+			if pkt.Hop >= len(chain) {
+				if e.tap != nil {
+					e.tap(pkt)
+				}
+				select {
+				case e.out <- pkt:
+					e.Delivered.Add(1)
+					lat := time.Since(pkt.enqueued).Nanoseconds()
+					e.latSumNanos.Add(lat)
+					for {
+						cur := e.latMaxNanos.Load()
+						if lat <= cur || e.latMaxNanos.CompareAndSwap(cur, lat) {
+							break
+						}
+					}
+				default:
+					e.RingDrops.Add(1) // consumer not draining
+				}
+				continue
+			}
+			dst := e.stages[chain[pkt.Hop]]
+			dst.rxMu.Lock()
+			ok = dst.rx.Enqueue(pkt)
+			dst.rxMu.Unlock()
+			if !ok {
+				e.RingDrops.Add(1)
+				continue
+			}
+			dst.arrivals.Add(1)
+		}
+	}
+}
+
+// updateBackpressure applies the watermark state machine: a chain sheds at
+// entry while any of its stages' receive queues is above the high watermark,
+// and clears when all are below the low one. Upstream yield flags follow the
+// same rule as the simulator: set only when every chain through the stage is
+// throttled and the stage sits upstream of a bottleneck.
+func (e *Engine) updateBackpressure() {
+	over := make([]bool, len(e.stages))
+	under := make([]bool, len(e.stages))
+	for i, s := range e.stages {
+		l := s.rx.Len()
+		over[i] = l >= e.highWater
+		under[i] = l < e.lowWater
+	}
+	for ci, chain := range e.chains {
+		if e.throttled[ci].Load() {
+			all := true
+			for _, sid := range chain {
+				if !under[sid] {
+					all = false
+					break
+				}
+			}
+			if all {
+				e.throttled[ci].Store(false)
+			}
+		} else {
+			for _, sid := range chain {
+				if over[sid] {
+					e.throttled[ci].Store(true)
+					e.ThrottleEvents.Add(1)
+					break
+				}
+			}
+		}
+	}
+	for sid, s := range e.stages {
+		yield := false
+		for ci, chain := range e.chains {
+			pos := -1
+			for i, id := range chain {
+				if id == sid {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				continue
+			}
+			if !e.throttled[ci].Load() {
+				yield = false
+				break
+			}
+			upstreamOfBottleneck := false
+			for i := pos + 1; i < len(chain); i++ {
+				if over[chain[i]] {
+					upstreamOfBottleneck = true
+					break
+				}
+			}
+			yield = upstreamOfBottleneck
+			if !yield {
+				break
+			}
+		}
+		s.yield.Store(yield)
+	}
+}
+
+// updateWeights is the rate-cost proportional controller: weight_i ∝
+// arrivals_i × estimated cost_i, with an EWMA cost estimate from measured
+// handler time.
+func (e *Engine) updateWeights() {
+	loads := make([]float64, len(e.stages))
+	totals := make([]float64, e.cfg.Cores)
+	for i, s := range e.stages {
+		arr := s.arrivals.Load()
+		busy := s.busyNanos.Load()
+		proc := s.processed.Load()
+		dArr := arr - s.lastArr
+		dBusy := busy - s.lastBusy
+		dProc := proc - s.lastProc
+		s.lastArr, s.lastBusy, s.lastProc = arr, busy, proc
+		if dProc > 0 {
+			sample := float64(dBusy) / float64(dProc)
+			s.estCost = 0.3*sample + 0.7*s.estCost
+		}
+		loads[i] = float64(dArr) * s.estCost
+		totals[s.core] += loads[i]
+	}
+	const scale = 10 * 1024
+	for i, s := range e.stages {
+		if totals[s.core] <= 0 {
+			continue
+		}
+		w := int64(loads[i] / totals[s.core] * scale)
+		if w < scale/100 {
+			w = scale / 100
+		}
+		s.weight.Store(w)
+	}
+}
+
+// Tap registers a callback invoked (on the control goroutine) for every
+// delivered packet, e.g. to mirror frames into a pcap capture. Must be set
+// before Run.
+func (e *Engine) Tap(fn func(*Packet)) {
+	if e.running.Load() {
+		panic("dataplane: Tap after Run")
+	}
+	e.tap = fn
+}

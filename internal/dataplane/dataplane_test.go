@@ -1,0 +1,446 @@
+package dataplane
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// spin burns roughly d of CPU, standing in for packet processing work.
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func drain(e *Engine, stop <-chan struct{}) *uint64 {
+	var n uint64
+	go func() {
+		for {
+			select {
+			case <-e.Output():
+				n++
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return &n
+}
+
+func TestPipelineDeliversAll(t *testing.T) {
+	e := New(Config{RingSize: 256, WeightPeriod: 0})
+	a := e.AddStage("a", 1024, func(p *Packet) { p.Userdata = p.Userdata.(int) + 1 })
+	b := e.AddStage("b", 1024, func(p *Packet) { p.Userdata = p.Userdata.(int) * 2 })
+	ch, err := e.AddChain(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MapFlow(7, ch)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+
+	const total = 1000
+	results := make(map[int]bool)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			p := <-e.Output()
+			results[p.Userdata.(int)] = true
+		}
+	}()
+	sent := 0
+	for sent < total {
+		if e.Inject(&Packet{FlowID: 7, Size: 64, Userdata: sent}) {
+			sent++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout waiting for deliveries")
+	}
+	// Both handlers applied, in order: (v+1)*2.
+	if !results[(0+1)*2] || !results[(999+1)*2] {
+		t.Fatal("handlers not applied in chain order")
+	}
+	if e.Delivered.Load() != total {
+		t.Fatalf("delivered %d, want %d", e.Delivered.Load(), total)
+	}
+}
+
+func TestUnroutedFlowRejected(t *testing.T) {
+	e := New(Config{})
+	if e.Inject(&Packet{FlowID: 99}) {
+		t.Fatal("unrouted inject accepted")
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.AddChain(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := e.AddChain(42); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+}
+
+func TestWeightedSharesSkewThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	// Two independent single-stage chains with equal work and a 4:1
+	// manual weight ratio: the heavy stage should process several times
+	// more packets when both queues are always full.
+	// Pre-fill both queues so the scheduler is never idle-constrained by
+	// the injector (on one CPU a hot injector goroutine starves), then
+	// measure a window during which both queues stay non-empty.
+	e := New(Config{RingSize: 4096, BatchSize: 8, WeightPeriod: 0})
+	work := func(p *Packet) { spin(20 * time.Microsecond) }
+	a := e.AddStage("a", 4096, work)
+	b := e.AddStage("b", 1024, work)
+	ca, _ := e.AddChain(a)
+	cb, _ := e.AddChain(b)
+	e.MapFlow(0, ca)
+	e.MapFlow(1, cb)
+	for i := 0; i < 3000; i++ {
+		e.Inject(&Packet{FlowID: 0})
+		e.Inject(&Packet{FlowID: 1})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go e.Run(ctx)
+	stop := make(chan struct{})
+	drain(e, stop)
+	time.Sleep(40 * time.Millisecond)
+	cancel()
+	close(stop)
+	st := e.Stats()
+	if st[0].Processed >= 2900 || st[1].Processed >= 2900 {
+		t.Skipf("queues drained during window (a=%d b=%d); host too fast for sizing assumptions",
+			st[0].Processed, st[1].Processed)
+	}
+	if st[0].Processed < 200 {
+		t.Skipf("host too slow: only %d grants in the window", st[0].Processed)
+	}
+	ratio := float64(st[0].Processed) / float64(st[1].Processed)
+	if ratio < 2.0 {
+		t.Fatalf("4:1 weights produced only %.2fx throughput skew (a=%d b=%d)",
+			ratio, st[0].Processed, st[1].Processed)
+	}
+}
+
+func TestAutoWeightsEqualizeUnequalCosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	// Rate-cost proportional controller: stage B costs 4x stage A; with
+	// equal arrivals the controller should weight B up and roughly
+	// equalize processed counts.
+	e := New(Config{RingSize: 512, BatchSize: 8, WeightPeriod: 5 * time.Millisecond})
+	a := e.AddStage("light", 1024, func(p *Packet) { spin(5 * time.Microsecond) })
+	b := e.AddStage("heavy", 1024, func(p *Packet) { spin(50 * time.Microsecond) })
+	ca, _ := e.AddChain(a)
+	cb, _ := e.AddChain(b)
+	e.MapFlow(0, ca)
+	e.MapFlow(1, cb)
+	ctx, cancel := context.WithCancel(context.Background())
+	go e.Run(ctx)
+	stop := make(chan struct{})
+	drain(e, stop)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		e.Inject(&Packet{FlowID: 0})
+		e.Inject(&Packet{FlowID: 1})
+	}
+	cancel()
+	close(stop)
+	st := e.Stats()
+	if st[1].EstCost <= st[0].EstCost {
+		// Wall-clock measurement was inverted by host scheduling noise;
+		// the controller acted on garbage inputs, so the assertions below
+		// would test the host, not the code.
+		t.Skipf("host timing noise inverted cost estimates: light=%v heavy=%v",
+			st[0].EstCost, st[1].EstCost)
+	}
+	if st[1].Weight <= st[0].Weight {
+		t.Fatalf("controller did not weight the heavy stage up: %d vs %d",
+			st[1].Weight, st[0].Weight)
+	}
+	ratio := float64(st[0].Processed) / float64(st[1].Processed)
+	if ratio > 4 {
+		t.Fatalf("throughputs not equalized: light=%d heavy=%d (%.2fx)",
+			st[0].Processed, st[1].Processed, ratio)
+	}
+}
+
+func TestBackpressureShedsAtEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	// A fast upstream feeding a very slow downstream: the chain must
+	// throttle at entry rather than queueing without bound.
+	e := New(Config{RingSize: 128, BatchSize: 8, WeightPeriod: 0})
+	fast := e.AddStage("fast", 1024, func(p *Packet) {})
+	slow := e.AddStage("slow", 1024, func(p *Packet) { spin(200 * time.Microsecond) })
+	ch, _ := e.AddChain(fast, slow)
+	e.MapFlow(0, ch)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+	stop := make(chan struct{})
+	defer close(stop)
+	drain(e, stop)
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		e.Inject(&Packet{FlowID: 0})
+	}
+	if e.EntryDrops.Load() == 0 {
+		t.Fatal("overloaded chain never shed at entry")
+	}
+	// Wasted work should be bounded: the fast stage must not have
+	// processed vastly more than the slow one (default platforms waste a
+	// ring's worth at every cycle; here it is bounded by ring depth).
+	st := e.Stats()
+	if st[0].Processed > st[1].Processed+3*128 {
+		t.Fatalf("wasted work: fast=%d slow=%d", st[0].Processed, st[1].Processed)
+	}
+}
+
+func TestThrottleClears(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	e := New(Config{RingSize: 128, BatchSize: 8, WeightPeriod: 0})
+	slow := e.AddStage("slow", 1024, func(p *Packet) { spin(50 * time.Microsecond) })
+	ch, _ := e.AddChain(slow)
+	e.MapFlow(0, ch)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+	stop := make(chan struct{})
+	defer close(stop)
+	drain(e, stop)
+	// Flood: on a single CPU the engine may set AND clear the throttle
+	// within one of its own timeslices, so assert on the event counter
+	// rather than polling the instantaneous state.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) && e.ThrottleEvents.Load() == 0 {
+		e.Inject(&Packet{FlowID: 0})
+	}
+	if e.ThrottleEvents.Load() == 0 {
+		t.Fatal("never throttled under flood")
+	}
+	// Stop injecting; the queue drains and the throttle clears.
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && e.Throttled(ch) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Throttled(ch) {
+		t.Fatal("throttle never cleared after drain")
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	e := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Run(ctx) // returns immediately
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	e.Run(ctx)
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	e := New(Config{})
+	e.AddStage("x", 2048, func(*Packet) {})
+	st := e.Stats()
+	if len(st) != 1 || st[0].Name != "x" || st[0].Weight != 2048 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSetWeightFloor(t *testing.T) {
+	e := New(Config{})
+	id := e.AddStage("x", 1024, func(*Packet) {})
+	e.SetWeight(id, 0)
+	if e.Stats()[0].Weight < 2 {
+		t.Fatal("weight floor not applied")
+	}
+}
+
+func TestRunShutsDownCleanly(t *testing.T) {
+	// Run must return after cancellation — no deadlocked workers.
+	e := New(Config{Cores: 2, RingSize: 64, WeightPeriod: 0})
+	a := e.AddStageOn("a", 1024, 0, func(*Packet) {})
+	b := e.AddStageOn("b", 1024, 1, func(*Packet) {})
+	ch, _ := e.AddChain(a, b)
+	e.MapFlow(0, ch)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+	for i := 0; i < 100; i++ {
+		e.Inject(&Packet{FlowID: 0})
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel: worker deadlock")
+	}
+}
+
+func TestMultiCoreChainsProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	// A chain spanning two cores: both stages progress and all packets
+	// arrive in order of chain position.
+	e := New(Config{Cores: 2, RingSize: 256, BatchSize: 8, WeightPeriod: 0})
+	a := e.AddStageOn("a", 1024, 0, func(p *Packet) {})
+	b := e.AddStageOn("b", 1024, 1, func(p *Packet) {})
+	ch, _ := e.AddChain(a, b)
+	e.MapFlow(0, ch)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+	got := 0
+	recv := make(chan struct{})
+	go func() {
+		for range e.Output() {
+			got++
+			if got == 500 {
+				close(recv)
+				return
+			}
+		}
+	}()
+	sent := 0
+	for sent < 500 {
+		if e.Inject(&Packet{FlowID: 0}) {
+			sent++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	select {
+	case <-recv:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("cross-core chain delivered only %d/500", got)
+	}
+	st := e.Stats()
+	if st[0].Processed < 500 || st[1].Processed < 500 {
+		t.Fatalf("stage progress: %d/%d", st[0].Processed, st[1].Processed)
+	}
+	cancel()
+	<-done
+}
+
+func TestAddStageOnValidatesCore(t *testing.T) {
+	e := New(Config{Cores: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range core accepted")
+		}
+	}()
+	e.AddStageOn("x", 1024, 5, func(*Packet) {})
+}
+
+func TestLatencyStats(t *testing.T) {
+	e := New(Config{RingSize: 64, WeightPeriod: 0})
+	a := e.AddStage("a", 1024, func(p *Packet) { spin(100 * time.Microsecond) })
+	ch, _ := e.AddChain(a)
+	e.MapFlow(0, ch)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+	got := make(chan struct{})
+	go func() {
+		for i := 0; i < 20; i++ {
+			<-e.Output()
+		}
+		close(got)
+	}()
+	for i := 0; i < 20; {
+		if e.Inject(&Packet{FlowID: 0}) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	select {
+	case <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+	mean, max := e.LatencyStats()
+	if mean < 100*time.Microsecond {
+		t.Fatalf("mean latency %v below the 100µs handler time", mean)
+	}
+	if max < mean {
+		t.Fatalf("max %v < mean %v", max, mean)
+	}
+	cancel()
+	<-done
+}
+
+func TestTapSeesDeliveredPackets(t *testing.T) {
+	e := New(Config{RingSize: 64, WeightPeriod: 0})
+	a := e.AddStage("a", 1024, func(*Packet) {})
+	ch, _ := e.AddChain(a)
+	e.MapFlow(0, ch)
+	var tapped int
+	e.Tap(func(*Packet) { tapped++ })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+	seen := make(chan struct{})
+	go func() {
+		for i := 0; i < 30; i++ {
+			<-e.Output()
+		}
+		close(seen)
+	}()
+	for i := 0; i < 30; {
+		if e.Inject(&Packet{FlowID: 0}) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	select {
+	case <-seen:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+	if tapped < 30 {
+		t.Fatalf("tap saw %d packets, want >=30", tapped)
+	}
+	cancel()
+	<-done
+}
+
+func TestTapAfterRunPanics(t *testing.T) {
+	e := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Run(ctx)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tap after Run did not panic")
+		}
+	}()
+	e.Tap(func(*Packet) {})
+}

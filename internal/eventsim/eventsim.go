@@ -1,0 +1,177 @@
+// Package eventsim provides the deterministic discrete-event engine that
+// drives the NFVnice simulator. Components schedule callbacks at absolute
+// simulated times; the engine executes them in timestamp order, breaking
+// ties by scheduling sequence so that runs are bit-reproducible.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nfvnice/internal/simtime"
+)
+
+// Event is a scheduled callback. The zero Event is invalid; obtain events
+// only through Engine.At or Engine.After.
+type Event struct {
+	when     simtime.Cycles
+	seq      uint64
+	index    int // position in the heap, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// When reports the time the event is scheduled to fire.
+func (e *Event) When() simtime.Cycles { return e.when }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the whole simulation runs on one goroutine by design.
+type Engine struct {
+	now     simtime.Cycles
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics and tests.
+	Executed uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (g *Engine) Now() simtime.Cycles { return g.now }
+
+// At schedules fn at absolute time t. Scheduling in the past (t < Now)
+// panics: it always indicates a simulator bug, and silently clamping would
+// mask causality violations.
+func (g *Engine) At(t simtime.Cycles, fn func()) *Event {
+	if t < g.now {
+		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", t, g.now))
+	}
+	g.seq++
+	e := &Event{when: t, seq: g.seq, fn: fn}
+	heap.Push(&g.queue, e)
+	return e
+}
+
+// After schedules fn d cycles from now.
+func (g *Engine) After(d simtime.Cycles, fn func()) *Event {
+	return g.At(g.now+d, fn)
+}
+
+// Every schedules fn at t, t+period, t+2*period, ... until the returned
+// Event is canceled. fn observes the tick time via Engine.Now. The returned
+// event handle remains valid across ticks: canceling it stops the series.
+func (g *Engine) Every(start, period simtime.Cycles, fn func()) *Event {
+	if period == 0 {
+		panic("eventsim: Every with zero period")
+	}
+	// series outlives individual heap entries; reuse one handle so the
+	// caller's Cancel works at any point in the series.
+	series := &Event{}
+	var tick func()
+	tick = func() {
+		if series.canceled {
+			return
+		}
+		fn()
+		if series.canceled {
+			return
+		}
+		next := g.At(g.now+period, tick)
+		series.when = next.when
+	}
+	first := g.At(start, tick)
+	series.when = first.when
+	return series
+}
+
+// Step fires the earliest pending event. It reports false when the queue is
+// empty or the engine was stopped.
+func (g *Engine) Step() bool {
+	for len(g.queue) > 0 && !g.stopped {
+		e := heap.Pop(&g.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.when < g.now {
+			panic("eventsim: time went backwards")
+		}
+		g.now = e.when
+		g.Executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock reaches t (inclusive of events at
+// exactly t) or the queue drains. The clock is advanced to t even if the
+// queue drains earlier, so rate computations over the window are exact.
+func (g *Engine) RunUntil(t simtime.Cycles) {
+	for len(g.queue) > 0 && !g.stopped {
+		next := g.queue[0]
+		if next.canceled {
+			heap.Pop(&g.queue)
+			continue
+		}
+		if next.when > t {
+			break
+		}
+		g.Step()
+	}
+	if !g.stopped && g.now < t {
+		g.now = t
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (g *Engine) Run() {
+	for g.Step() {
+	}
+}
+
+// Stop halts the engine; subsequent Step/RunUntil calls do nothing.
+func (g *Engine) Stop() { g.stopped = true }
+
+// Pending reports the number of queued (possibly canceled) events.
+func (g *Engine) Pending() int { return len(g.queue) }

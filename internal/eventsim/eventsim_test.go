@@ -1,0 +1,214 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nfvnice/internal/simtime"
+)
+
+func TestOrdering(t *testing.T) {
+	g := New()
+	var got []int
+	g.At(30, func() { got = append(got, 3) })
+	g.At(10, func() { got = append(got, 1) })
+	g.At(20, func() { got = append(got, 2) })
+	g.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if g.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", g.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	g := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		g.At(50, func() { got = append(got, i) })
+	}
+	g.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("same-timestamp events did not fire in scheduling order")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	g := New()
+	g.At(100, func() {})
+	g.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	g.At(50, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	g := New()
+	fired := false
+	e := g.At(10, func() { fired = true })
+	e.Cancel()
+	g.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if g.Executed != 0 {
+		t.Fatalf("Executed = %d, want 0", g.Executed)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	g := New()
+	var at simtime.Cycles
+	g.At(100, func() {
+		g.After(50, func() { at = g.Now() })
+	})
+	g.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	g := New()
+	var ticks []simtime.Cycles
+	series := g.Every(10, 25, func() { ticks = append(ticks, g.Now()) })
+	g.At(100, func() { series.Cancel() })
+	g.Run()
+	want := []simtime.Cycles{10, 35, 60, 85}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEveryCancelInsideCallback(t *testing.T) {
+	g := New()
+	n := 0
+	var series *Event
+	series = g.Every(0, 10, func() {
+		n++
+		if n == 3 {
+			series.Cancel()
+		}
+	})
+	g.Run()
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	g := New()
+	var fired []simtime.Cycles
+	for _, tm := range []simtime.Cycles{5, 10, 15, 20} {
+		tm := tm
+		g.At(tm, func() { fired = append(fired, tm) })
+	}
+	g.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5,10", fired)
+	}
+	if g.Now() != 12 {
+		t.Fatalf("clock = %v, want 12 (advanced to boundary)", g.Now())
+	}
+	g.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4", fired)
+	}
+	if g.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", g.Now())
+	}
+}
+
+func TestRunUntilInclusive(t *testing.T) {
+	g := New()
+	fired := false
+	g.At(10, func() { fired = true })
+	g.RunUntil(10)
+	if !fired {
+		t.Fatal("event at boundary time did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	g := New()
+	n := 0
+	g.At(1, func() { n++; g.Stop() })
+	g.At(2, func() { n++ })
+	g.Run()
+	if n != 1 {
+		t.Fatalf("events after Stop fired: n=%d", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two runs with identical random schedules must produce identical
+	// firing orders.
+	run := func(seed int64) []int {
+		g := New()
+		rng := rand.New(rand.NewSource(seed))
+		var order []int
+		for i := 0; i < 1000; i++ {
+			i := i
+			g.At(simtime.Cycles(rng.Intn(100)), func() { order = append(order, i) })
+		}
+		g.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled at the current time from within a callback fire in
+	// the same Run, after already-queued same-time events.
+	g := New()
+	var got []string
+	g.At(10, func() {
+		got = append(got, "a")
+		g.At(10, func() { got = append(got, "c") })
+	})
+	g.At(10, func() { got = append(got, "b") })
+	g.Run()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	g := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			g.After(10, tick)
+		}
+	}
+	g.At(0, tick)
+	b.ResetTimer()
+	g.Run()
+}
+
+func BenchmarkEngineFanOut(b *testing.B) {
+	g := New()
+	for i := 0; i < b.N; i++ {
+		g.At(simtime.Cycles(i%1000), func() {})
+	}
+	b.ResetTimer()
+	g.Run()
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+
+	"nfvnice"
+	"nfvnice/internal/mgr"
+	"nfvnice/internal/simtime"
+	"nfvnice/internal/stats"
+)
+
+// diversityJain runs the 6-NF diversity scenario (Fig 15b/c) under a custom
+// config and reports Jain's index over per-flow throughput.
+func diversityJain(cfg nfvnice.Config, variable bool, d Durations) float64 {
+	costs := diversityCosts(6)
+	p := nfvnice.NewPlatform(cfg)
+	core := p.AddCore()
+	chains := make([]int, len(costs))
+	for i, c := range costs {
+		var model nfvnice.CostModel
+		if variable {
+			// ±50% per-packet jitter stresses the estimator.
+			model = nfvnice.UniformCost(c/2, c+c/2)
+		} else {
+			model = nfvnice.FixedCost(c)
+		}
+		id := p.AddNF(nfName(i), model, core)
+		chains[i] = p.AddChain(nfName(i), id)
+		f := nfvnice.UDPFlow(i, 64)
+		p.MapFlow(f, chains[i])
+		p.AddCBR(f, 1.1e6)
+	}
+	s := measure(p, d)
+	tputs := make([]float64, len(chains))
+	for i, ch := range chains {
+		tputs[i] = mpps(p.ChainDeliveredSince(s, ch))
+	}
+	return stats.Jain(tputs)
+}
+
+// fig9Chain1 runs the Fig 9 shared-NF two-chain topology under a custom
+// feature set and reports chain-1 throughput (the victim of head-of-line
+// blocking) and total wasted work.
+func fig9Chain1(features mgr.Features, d Durations) (chain1, wasted float64) {
+	cfg := nfvnice.DefaultConfig(nfvnice.SchedNormal, nfvnice.ModeNFVnice)
+	cfg.FeatureOverride = &features
+	p := nfvnice.NewPlatform(cfg)
+	costs := []nfvnice.Cycles{270, 120, 4500, 300}
+	ids := make([]int, 4)
+	for i, c := range costs {
+		ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(c), p.AddCore())
+	}
+	ch1 := p.AddChain("chain1", ids[0], ids[1], ids[3])
+	ch2 := p.AddChain("chain2", ids[0], ids[2], ids[3])
+	f1, f2 := nfvnice.UDPFlow(0, 64), nfvnice.UDPFlow(1, 64)
+	p.MapFlow(f1, ch1)
+	p.MapFlow(f2, ch2)
+	half := nfvnice.LineRate10G(64) / 2
+	p.AddCBR(f1, half)
+	p.AddCBR(f2, half)
+	s := measure(p, d)
+	return mpps(p.ChainDeliveredSince(s, ch1)), float64(p.TotalWastedSince(s)) / 1e6
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out.
+func Ablations(d Durations) *Result {
+	// Weight-update period: too slow and the allocation lags load; the
+	// metric is fairness in the diversity scenario where weights do the
+	// work (backpressure alone cannot equalize independent flows).
+	weight := &Table{
+		ID:      "ablation-weight-period",
+		Title:   "cpu.shares update period, diversity-6 fairness: Jain index",
+		Columns: []string{"period", "jain"},
+	}
+	for _, ms := range []float64{1, 10, 100, 1000} {
+		cfg := nfvnice.DefaultConfig(nfvnice.SchedNormal, nfvnice.ModeNFVnice)
+		cfg.CtlParams.WeightInterval = simtime.Cycles(ms * float64(simtime.Millisecond))
+		weight.Add(fmt.Sprintf("%.0fms", ms), diversityJain(cfg, false, d))
+	}
+
+	// Estimator: median vs mean under ±50% per-packet cost jitter.
+	est := &Table{
+		ID:      "ablation-estimator",
+		Title:   "Service-time estimator, diversity-6 with ±50% cost jitter: Jain index",
+		Columns: []string{"estimator", "jain"},
+	}
+	for _, mean := range []bool{false, true} {
+		cfg := nfvnice.DefaultConfig(nfvnice.SchedNormal, nfvnice.ModeNFVnice)
+		cfg.CtlParams.UseMeanEstimator = mean
+		name := "median"
+		if mean {
+			name = "mean"
+		}
+		est.Add(name, diversityJain(cfg, true, d))
+	}
+
+	// Batch size: throughput of the Fig 7 chain (yield-check granularity
+	// vs per-batch overhead amortization).
+	batch := &Table{
+		ID:      "ablation-batch",
+		Title:   "libnf batch size (NFVnice, BATCH), Fig7 chain: throughput (Mpps)",
+		Columns: []string{"batch", "throughput"},
+	}
+	for _, bs := range []int{4, 8, 32, 128, 512} {
+		cfg := nfvnice.DefaultConfig(nfvnice.SchedBatch, nfvnice.ModeNFVnice)
+		cfg.NFParams.BatchSize = bs
+		p := nfvnice.NewPlatform(cfg)
+		core := p.AddCore()
+		ids := make([]int, 3)
+		for i, c := range fig7Costs() {
+			ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(c), core)
+		}
+		ch := p.AddChain("chain", ids...)
+		f := nfvnice.UDPFlow(0, 64)
+		p.MapFlow(f, ch)
+		p.AddCBR(f, nfvnice.LineRate10G(64))
+		s := measure(p, d)
+		batch.Add(fmt.Sprintf("%d", bs), mpps(p.ChainDeliveredSince(s, ch)))
+	}
+
+	// Backpressure scope on the shared-NF topology: entry shedding frees
+	// the shared upstream NF for the healthy chain; hop-by-hop holds
+	// suffer head-of-line blocking at NF1; none wastes a core's worth of
+	// work at the bottleneck queue.
+	scope := &Table{
+		ID:      "ablation-bp-scope",
+		Title:   "Backpressure scope, Fig9 shared-NF topology: chain1 (Mpps) / wasted (Mpps)",
+		Columns: []string{"scope", "chain1", "wasted"},
+	}
+	{
+		f := mgr.FeatureNFVnice()
+		c1, w := fig9Chain1(f, d)
+		scope.Add("chain-entry", c1, w)
+	}
+	{
+		f := mgr.FeatureNFVnice()
+		f.NoEntryDrop = true
+		c1, w := fig9Chain1(f, d)
+		scope.Add("hop-by-hop", c1, w)
+	}
+	{
+		f := mgr.FeatureCgroupsOnly()
+		c1, w := fig9Chain1(f, d)
+		scope.Add("none", c1, w)
+	}
+
+	return &Result{Tables: []*Table{weight, est, batch, scope}}
+}

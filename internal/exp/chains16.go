@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"fmt"
+
+	"nfvnice"
+)
+
+// Fig16 reproduces Figure 16: chains of length 1–10 built by cycling the
+// Low/Med/High costs, in two placements — SC (all NFs share one core) and
+// MC (NFs placed round-robin over three cores) — default NORMAL vs NFVnice.
+func Fig16(d Durations) *Result {
+	t := &Table{
+		ID:    "fig16",
+		Title: "Throughput (Mpps) vs chain length; SC = 1 core, MC = 3 cores round-robin",
+		Columns: []string{"length",
+			"SC Default", "SC NFVnice",
+			"MC Default", "MC NFVnice"},
+	}
+	base := []nfvnice.Cycles{120, 270, 550}
+	for length := 1; length <= 10; length++ {
+		costs := make([]nfvnice.Cycles, length)
+		for i := range costs {
+			costs[i] = base[i%3]
+		}
+		var row []float64
+		for _, cores := range []int{1, 3} {
+			for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+				p := nfvnice.NewPlatform(nfvnice.DefaultConfig(nfvnice.SchedNormal, mode))
+				coreIDs := make([]int, cores)
+				for i := range coreIDs {
+					coreIDs[i] = p.AddCore()
+				}
+				ids := make([]int, length)
+				for i := range ids {
+					ids[i] = p.AddNF(fmt.Sprintf("NF%d", i+1), nfvnice.FixedCost(costs[i]), coreIDs[i%cores])
+				}
+				ch := p.AddChain("chain", ids...)
+				f := nfvnice.UDPFlow(0, 64)
+				p.MapFlow(f, ch)
+				p.AddCBR(f, nfvnice.LineRate10G(64))
+				s := measure(p, d)
+				row = append(row, mpps(p.ChainDeliveredSince(s, ch)))
+			}
+		}
+		t.Add(fmt.Sprintf("%d", length), row...)
+	}
+	return &Result{Tables: []*Table{t}}
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the table as horizontal ASCII bar groups — one group per
+// row, one bar per column — scaled to the table's maximum value. It is how
+// cmd/nfvsim turns result tables back into the paper's figures in a
+// terminal.
+func (t *Table) Chart() string {
+	const barWidth = 50
+	f := t.Fmt
+	if f == "" {
+		f = "%.3f"
+	}
+	maxVal := 0.0
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if maxVal <= 0 {
+		b.WriteString("(no positive values to chart)\n")
+		return b.String()
+	}
+	labelW := 0
+	for _, c := range t.Columns[1:] {
+		if len(c) > labelW {
+			labelW = len(c)
+		}
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s\n", r.Label)
+		for i, v := range r.Values {
+			if i+1 >= len(t.Columns) {
+				break
+			}
+			n := int(v / maxVal * barWidth)
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %s\n", labelW, t.Columns[i+1],
+				strings.Repeat("█", n), fmt.Sprintf(f, v))
+		}
+	}
+	return b.String()
+}

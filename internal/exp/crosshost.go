@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"nfvnice"
+	"nfvnice/internal/mgr"
+	"nfvnice/internal/traffic"
+)
+
+// CrossHost is the §3.3 extension in full: a service chain spread across
+// two hosts sharing one simulated timeline. The sender's TCP traverses
+// host A (firewall + NAT, lightly loaded), a 50 µs link, and host B, whose
+// WAN-optimizer NF is the end-to-end bottleneck. Host B's backpressure
+// cannot reach the remote sender — only ECN can. With marking enabled the
+// flow converges on B's capacity with no loss; without it, B's ring must
+// overflow to say "slow down".
+func CrossHostDebug(d Durations) *Result { return crossHost(d, true) }
+
+// CrossHost runs the two-host chain experiment.
+func CrossHost(d Durations) *Result { return crossHost(d, false) }
+
+func crossHost(d Durations, debug bool) *Result {
+	t := &Table{
+		ID:      "crosshost",
+		Title:   "Two-host chain (A: fw→nat, 50µs link, B: wan-opt bottleneck): TCP behaviour",
+		Columns: []string{"config", "goodput Mbps", "losses/s", "marks/s", "p50 B-latency µs"},
+		Fmt:     "%.1f",
+	}
+	for _, ecnOn := range []bool{false, true} {
+		// Host A: ample capacity, full NFVnice.
+		cfgA := nfvnice.DefaultConfig(nfvnice.SchedNormal, nfvnice.ModeNFVnice)
+		hostA := nfvnice.NewPlatform(cfgA)
+		coreA := hostA.AddCore()
+		fw := hostA.AddNF("fw", nfvnice.FixedCost(480), coreA)
+		nat := hostA.AddNF("nat", nfvnice.FixedCost(1080), coreA)
+		chainA := hostA.AddChain("a", fw, nat)
+
+		// Host B: the bottleneck, small rings, ECN per configuration.
+		cfgB := nfvnice.DefaultConfig(nfvnice.SchedNormal, nfvnice.ModeNFVnice)
+		if !ecnOn {
+			f := nfvnice.ModeNFVnice.Features()
+			f.ECN = false
+			cfgB.FeatureOverride = &f
+		}
+		cfgB.NFParams.RingSize = 256
+		mp := mgr.DefaultParams(cfgB.Mode.Features())
+		mp.ECNThreshold = 128
+		cfgB.MgrParams = &mp
+		hostB := nfvnice.NewPlatformOn(cfgB, hostA.Eng)
+		wan := hostB.AddNF("wan-opt", nfvnice.FixedCost(14700), hostB.AddCore())
+		chainB := hostB.AddChain("b", wan)
+
+		f := nfvnice.TCPFlow(0, 1470)
+		hostA.MapFlow(f, chainA)
+		hostB.MapFlow(f, chainB)
+
+		tcp := hostA.AddTCP(f, traffic.DefaultTCPParams())
+		// The link takes over host A's sink; the TCP sender sees only
+		// end-to-end events.
+		link := nfvnice.ConnectHosts(hostA, hostB, f, nfvnice.Cycles(50*2600))
+		link.Downstream = tcp
+
+		hostB.Start()
+		hostA.Start()
+		tcp.Start()
+
+		warm := d.Warm * 10
+		meas := d.Meas * 10
+		hostA.Run(warm)
+		baseBytes := tcp.DeliveredBytes.Total()
+		baseLoss := tcp.Losses.Total()
+		baseMarks := tcp.ECNEchoes.Total()
+		hostA.Run(warm + meas)
+		secs := meas.Seconds()
+		name := "loss-based (ECN off)"
+		if ecnOn {
+			name = "ECN across hosts"
+		}
+		t.Add(name,
+			float64(tcp.DeliveredBytes.Total()-baseBytes)*8/1e6/secs,
+			float64(tcp.Losses.Total()-baseLoss)/secs,
+			float64(tcp.ECNEchoes.Total()-baseMarks)/secs,
+			hostB.LatencyQuantile(0.5))
+		if debug {
+			println("dbg:", name, "sent", tcp.Sent.Total(), "fwd", link.Forwarded,
+				"dropB", link.DroppedAtB, "losses", tcp.Losses.Total(),
+				"timeouts", tcp.Timeouts.Total(), "cwnd", int(tcp.Cwnd()), "inflight", tcp.Inflight())
+		}
+	}
+	return &Result{Tables: []*Table{t}}
+}

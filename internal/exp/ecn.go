@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"nfvnice"
+	"nfvnice/internal/mgr"
+	"nfvnice/internal/traffic"
+)
+
+// ECN is an extension experiment for §3.3's cross-host story: when an
+// NFVnice middlebox is only one hop of a chain spanning hosts, local
+// backpressure cannot reach the remote sender — ECN marking is the lever
+// for responsive flows. A TCP flow traverses a moderately overloaded NF;
+// with ECN the flow converges to the NF's capacity with (almost) no losses,
+// without it the queue must overflow to signal congestion.
+func ECN(d Durations) *Result {
+	t := &Table{
+		ID:      "ecn",
+		Title:   "TCP through a saturating NF: ECN vs loss-based congestion signalling",
+		Columns: []string{"config", "goodput Mbps", "losses/s", "marks/s", "timeouts/s", "p50 latency µs"},
+		Fmt:     "%.1f",
+	}
+	for _, ecnOn := range []bool{false, true} {
+		cfg := nfvnice.DefaultConfig(nfvnice.SchedNormal, nfvnice.ModeNFVnice)
+		if !ecnOn {
+			f := nfvnice.ModeNFVnice.Features()
+			f.ECN = false
+			cfg.FeatureOverride = &f
+		}
+		// Small rings so loss-based signalling has to drop rather than
+		// absorb entire windows; the ECN threshold scales with the ring.
+		cfg.NFParams.RingSize = 256
+		mp := mgr.DefaultParams(cfg.Mode.Features())
+		mp.ECNThreshold = 128
+		cfg.MgrParams = &mp
+		p := nfvnice.NewPlatform(cfg)
+		core := p.AddCore()
+		// The NF can carry ~177 kpps; TCP at cwnd 4096/1470B wants more.
+		nfid := p.AddNF("wan-opt", nfvnice.FixedCost(14700), core)
+		ch := p.AddChain("wan", nfid)
+		f := nfvnice.TCPFlow(0, 1470)
+		p.MapFlow(f, ch)
+		tcp := p.AddTCP(f, traffic.DefaultTCPParams())
+		p.Start()
+		tcp.Start()
+		p.Run(d.Warm * 10)
+		snapDelivered := tcp.DeliveredBytes.Total()
+		snapLoss := tcp.Losses.Total()
+		snapMarks := tcp.ECNEchoes.Total()
+		snapTO := tcp.Timeouts.Total()
+		meas := d.Meas * 10
+		p.Run(d.Warm*10 + meas)
+		secs := meas.Seconds()
+		name := "loss-based (ECN off)"
+		if ecnOn {
+			name = "ECN (RFC 3168)"
+		}
+		t.Add(name,
+			float64(tcp.DeliveredBytes.Total()-snapDelivered)*8/1e6/secs,
+			float64(tcp.Losses.Total()-snapLoss)/secs,
+			float64(tcp.ECNEchoes.Total()-snapMarks)/secs,
+			float64(tcp.Timeouts.Total()-snapTO)/secs,
+			p.LatencyQuantile(0.5))
+	}
+	return &Result{Tables: []*Table{t}}
+}

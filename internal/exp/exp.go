@@ -1,0 +1,213 @@
+// Package exp contains one constructor per table and figure in the paper's
+// evaluation (§4): each builds the corresponding workload on the public
+// Platform API, runs it, and emits the same rows or series the paper
+// reports. The cmd/nfvsim binary and the repository's bench harness both
+// call into this package; EXPERIMENTS.md is generated from its output.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nfvnice"
+)
+
+// Durations control warmup (excluded from measurement) and the measured
+// window of each run.
+type Durations struct {
+	Warm, Meas nfvnice.Cycles
+}
+
+// Default durations give stable steady-state numbers; Quick is for tests.
+func Default() Durations {
+	return Durations{Warm: nfvnice.Milliseconds(100), Meas: nfvnice.Milliseconds(300)}
+}
+
+// Quick returns short windows for smoke tests.
+func Quick() Durations {
+	return Durations{Warm: nfvnice.Milliseconds(30), Meas: nfvnice.Milliseconds(80)}
+}
+
+// Table is a paper-style result table: labelled rows of float values.
+type Table struct {
+	ID      string // e.g. "fig7", "table3"
+	Title   string
+	Columns []string // Columns[0] labels the row-name column
+	Rows    []Row
+	// Fmt formats values (default "%.3f").
+	Fmt string
+}
+
+// Row is one table line.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Get returns the value at (rowLabel, column) for assertions in tests; ok is
+// false when not found.
+func (t *Table) Get(rowLabel, column string) (float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i - 1 // Columns[0] is the label column
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && col < len(r.Values) {
+			return r.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	f := t.Fmt
+	if f == "" {
+		f = "%.3f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, 0, len(t.Rows)+1)
+	header := make([]string, len(t.Columns))
+	copy(header, t.Columns)
+	cells = append(cells, header)
+	for _, r := range t.Rows {
+		row := make([]string, len(t.Columns))
+		row[0] = r.Label
+		for i, v := range r.Values {
+			if i+1 < len(row) {
+				row[i+1] = fmt.Sprintf(f, v)
+			}
+		}
+		cells = append(cells, row)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range cells {
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w+2))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	f := t.Fmt
+	if f == "" {
+		f = "%.3f"
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Values {
+			b.WriteByte(',')
+			fmt.Fprintf(&b, f, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Result bundles an experiment's tables (a figure plus its companion tables
+// when they come from the same runs).
+type Result struct {
+	Tables []*Table
+}
+
+// String concatenates all tables.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Find returns the table with the given id, or nil.
+func (r *Result) Find(id string) *Table {
+	for _, t := range r.Tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Runner is an experiment entry point, keyed by id in the Registry.
+type Runner func(d Durations) *Result
+
+// Registry maps experiment ids to runners, in presentation order.
+func Registry() []struct {
+	ID   string
+	Desc string
+	Run  Runner
+} {
+	return []struct {
+		ID   string
+		Desc string
+		Run  Runner
+	}{
+		{"fig1a", "Scheduler (in)ability to share a core fairly: homogeneous NFs", Fig1a},
+		{"fig1b", "Scheduler (in)ability to share a core fairly: heterogeneous NFs", Fig1b},
+		{"table1", "Context switches/s, homogeneous NFs", Table1},
+		{"table2", "Context switches/s, heterogeneous NFs", Table2},
+		{"fig7", "3-NF chain on one core: modes x schedulers throughput", Fig7},
+		{"table3", "Packet drop rate after processing (wasted work)", Table3},
+		{"table4", "Scheduling latency and runtime per NF", Table4},
+		{"table5", "3-NF chain pinned to 3 cores: svc rate, drops, CPU util", Table5},
+		{"fig9", "Two chains sharing NFs across 4 cores (+Table 6)", Fig9},
+		{"fig10", "Variable per-packet processing costs", Fig10},
+		{"fig11", "All 6 orderings of the Low/Med/High chain", Fig11},
+		{"fig12", "Workload heterogeneity: 1-6 flows with random NF order", Fig12},
+		{"fig13", "TCP/UDP performance isolation time series", Fig13},
+		{"fig14", "Async disk I/O: throughput vs packet size", Fig14},
+		{"fig15a", "Dynamic CPU weight adaptation time series", Fig15a},
+		{"fig15b", "Jain's fairness index vs NF cost diversity", Fig15b},
+		{"fig15c", "CPU share and throughput at diversity 6", Fig15c},
+		{"fig16", "Chain lengths 1-10, single core and 3 cores", Fig16},
+		{"sweep", "Watermark tuning sweep (section 4.3.8)", WatermarkSweep},
+		{"ecn", "Extension: ECN vs loss signalling for cross-host responsive flows", ECN},
+		{"customsched", "Extension: the abandoned queue-length-aware kernel scheduler (section 3.2)", CustomSched},
+		{"latency", "Extension: end-to-end latency percentiles per feature mode", Latency},
+		{"poisson", "Extension: Poisson vs CBR arrivals robustness", Poisson},
+		{"crosshost", "Extension: a chain spanning two hosts over a link (section 3.3)", CrossHost},
+		{"ablation", "Design-choice ablations (weight period, estimator, batch, BP scope)", Ablations},
+	}
+}
+
+// Lookup finds a registered experiment by id.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAccessors(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"row", "a", "b"}}
+	tb.Add("r1", 1.5, 2.5)
+	tb.Add("r2", 3.5, 4.5)
+	if v, ok := tb.Get("r2", "b"); !ok || v != 4.5 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if _, ok := tb.Get("r2", "nope"); ok {
+		t.Fatal("unknown column should miss")
+	}
+	if _, ok := tb.Get("nope", "a"); ok {
+		t.Fatal("unknown row should miss")
+	}
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "r1") || !strings.Contains(s, "3.500") {
+		t.Fatalf("render missing content:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "row,a,b\n") || !strings.Contains(csv, "r1,1.500,2.500") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestResultFind(t *testing.T) {
+	r := &Result{Tables: []*Table{{ID: "a"}, {ID: "b"}}}
+	if r.Find("b") == nil || r.Find("c") != nil {
+		t.Fatal("Find broken")
+	}
+	_ = r.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure from the paper's evaluation must be present.
+	want := []string{
+		"fig1a", "fig1b", "table1", "table2", "fig7", "table3", "table4",
+		"table5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15a", "fig15b", "fig15c", "fig16", "sweep", "ablation",
+		"ecn", "customsched", "latency", "poisson", "crosshost",
+	}
+	reg := Registry()
+	ids := make(map[string]bool)
+	for _, e := range reg {
+		ids[e.ID] = true
+		if _, ok := Lookup(e.ID); !ok {
+			t.Errorf("Lookup(%q) failed", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res := Fig7(Quick())
+	tb := res.Find("fig7")
+	if tb == nil {
+		t.Fatal("fig7 table missing")
+	}
+	for _, sched := range []string{"NORMAL", "BATCH", "RR(1ms)", "RR(100ms)"} {
+		def, _ := tb.Get("Default", sched)
+		nfv, _ := tb.Get("NFVnice", sched)
+		if nfv <= def {
+			t.Errorf("%s: NFVnice %.3f not above Default %.3f", sched, nfv, def)
+		}
+		if nfv < 2.0 {
+			t.Errorf("%s: NFVnice %.3f too far below the 2.77 Mpps ceiling", sched, nfv)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res := Table3(Quick())
+	tb := res.Find("table3")
+	for _, nfRow := range []string{"NF1", "NF2"} {
+		def, _ := tb.Get(nfRow, "BATCH Default")
+		nfv, _ := tb.Get(nfRow, "BATCH NFVnice")
+		if def < 100_000 {
+			t.Errorf("%s default wasted %.0f pps: overload scenario broken", nfRow, def)
+		}
+		if nfv > def/20 {
+			t.Errorf("%s NFVnice wasted %.0f vs default %.0f", nfRow, nfv, def)
+		}
+	}
+}
+
+func TestFig1bRRProportional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	// The §2.2 motivation: under uneven load, RR allocates CPU by arrival
+	// rate (NF3 at half load gets less), CFS equalizes.
+	res := Fig1a(Quick())
+	tb := res.Find("fig1a-uneven")
+	nf1RR, _ := tb.Get("NF1", "RR")
+	nf3RR, _ := tb.Get("NF3", "RR")
+	if nf1RR <= nf3RR {
+		t.Errorf("RR should favor the higher-rate NF: NF1 %.3f vs NF3 %.3f", nf1RR, nf3RR)
+	}
+	nf1N, _ := tb.Get("NF1", "NORMAL")
+	nf3N, _ := tb.Get("NF3", "NORMAL")
+	if nf1N/nf3N > 1.25 || nf1N/nf3N < 0.8 {
+		t.Errorf("CFS should equalize: NF1 %.3f vs NF3 %.3f", nf1N, nf3N)
+	}
+}
+
+func TestTable2WakeupPreemption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res := Table2(Quick())
+	tb := res.Find("table2-even")
+	// The light NF3 under NORMAL does a huge number of voluntary switches
+	// whose wakeups involuntarily preempt the heavy NFs; BATCH suppresses
+	// this by an order of magnitude or more.
+	nf1Normal, _ := tb.Get("NF1", "NORMAL nvcswch/s")
+	nf1Batch, _ := tb.Get("NF1", "BATCH nvcswch/s")
+	if nf1Normal < 10_000 {
+		t.Errorf("NORMAL nvcswch/s = %.0f, want tens of thousands", nf1Normal)
+	}
+	if nf1Batch > nf1Normal/10 {
+		t.Errorf("BATCH nvcswch/s = %.0f vs NORMAL %.0f, want >=10x reduction", nf1Batch, nf1Normal)
+	}
+}
+
+func TestFig15cRateCostFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res := Fig15c(Default())
+	tb := res.Find("fig15c")
+	// NFVnice: lightest NF ~1% CPU, heaviest ~46%, equal throughput.
+	cpu1, _ := tb.Get("NF1", "NFVnice CPU %")
+	cpu6, _ := tb.Get("NF6", "NFVnice CPU %")
+	if cpu1 > 3 {
+		t.Errorf("lightest NF CPU = %.1f%%, want ~1%%", cpu1)
+	}
+	if cpu6 < 40 || cpu6 > 55 {
+		t.Errorf("heaviest NF CPU = %.1f%%, want ~46%%", cpu6)
+	}
+	t1, _ := tb.Get("NF1", "NFVnice Mpps")
+	t6, _ := tb.Get("NF6", "NFVnice Mpps")
+	if t6 == 0 || t1/t6 > 1.6 || t1/t6 < 0.6 {
+		t.Errorf("NFVnice throughputs not equalized: %.3f vs %.3f", t1, t6)
+	}
+	// Default skews heavily.
+	d1, _ := tb.Get("NF1", "Default Mpps")
+	d6, _ := tb.Get("NF6", "Default Mpps")
+	if d1/d6 < 10 {
+		t.Errorf("default skew only %.1fx, want >10x", d1/d6)
+	}
+}
+
+func TestTable5CPURecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res := Table5(Quick())
+	tb := res.Find("table5")
+	defU, _ := tb.Get("NF1", "Default CPU %")
+	nfvU, _ := tb.Get("NF1", "NFVnice CPU %")
+	if defU < 95 {
+		t.Errorf("default NF1 util = %.1f%%, want ~100%%", defU)
+	}
+	if nfvU > 30 {
+		t.Errorf("NFVnice NF1 util = %.1f%%, want ~12%% (backpressure idles it)", nfvU)
+	}
+	// Aggregate throughput preserved.
+	defAgg, _ := tb.Get("Aggregate", "Default svc (Mpps)")
+	nfvAgg, _ := tb.Get("Aggregate", "NFVnice svc (Mpps)")
+	if nfvAgg < defAgg*0.95 {
+		t.Errorf("NFVnice aggregate %.3f below default %.3f", nfvAgg, defAgg)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"row", "a", "b"}}
+	tb.Add("r1", 10, 5)
+	tb.Add("r2", 0, 2.5)
+	c := tb.Chart()
+	if !strings.Contains(c, "r1") || !strings.Contains(c, "█") {
+		t.Fatalf("chart missing bars:\n%s", c)
+	}
+	// Max value gets the widest bar; half value gets roughly half.
+	lines := strings.Split(c, "\n")
+	var aLen, bLen int
+	for _, l := range lines {
+		if strings.Contains(l, "a |") && strings.Contains(l, "10") {
+			aLen = strings.Count(l, "█")
+		}
+		if strings.Contains(l, "b |") && strings.Contains(l, "5.000") {
+			bLen = strings.Count(l, "█")
+		}
+	}
+	if aLen == 0 || bLen == 0 || bLen*2 != aLen {
+		t.Fatalf("bar scaling wrong: a=%d b=%d\n%s", aLen, bLen, c)
+	}
+	empty := &Table{ID: "e", Columns: []string{"row", "v"}}
+	empty.Add("r", 0)
+	if !strings.Contains(empty.Chart(), "no positive values") {
+		t.Fatal("empty chart not handled")
+	}
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+
+	"nfvnice"
+	"nfvnice/internal/stats"
+)
+
+// Fig15a reproduces Figure 15a: two NFs with a 1:3 cost ratio share a core
+// at equal arrival rates; NF1's cost temporarily triples (matching NF2)
+// mid-run. NFVnice's weights track the change (75/25 → 50/50 → 75/25 CPU);
+// the default NORMAL scheduler stays pinned at 50/50 throughout.
+//
+// The timeline is compressed (cost change during seconds 11–20 of 30) and
+// costs scaled up so simulated packet counts stay tractable; ratios match
+// the paper.
+func Fig15a(d Durations) *Result {
+	t := &Table{
+		ID:    "fig15a",
+		Title: "CPU share (%) per second; NF1 cost x3 during seconds 11-20",
+		Columns: []string{"second",
+			"Default NF1", "Default NF2",
+			"NFVnice NF1", "NFVnice NF2"},
+		Fmt: "%.1f",
+	}
+	const totalSecs = 30
+	type series struct{ nf1, nf2 []float64 }
+	results := make(map[nfvnice.Mode]series)
+	for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+		p := nfvnice.NewPlatform(nfvnice.DefaultConfig(nfvnice.SchedNormal, mode))
+		core := p.AddCore()
+		dyn := nfvnice.NewDynamicCost(6500)
+		nf1 := p.AddNF("NF1", dyn, core)
+		nf2 := p.AddNF("NF2", nfvnice.FixedCost(19500), core)
+		c1 := p.AddChain("c1", nf1)
+		c2 := p.AddChain("c2", nf2)
+		f1, f2 := nfvnice.UDPFlow(0, 64), nfvnice.UDPFlow(1, 64)
+		p.MapFlow(f1, c1)
+		p.MapFlow(f2, c2)
+		// 400 Kpps each: NF1 demands 100% of a core, NF2 300%.
+		p.AddCBR(f1, 400_000)
+		p.AddCBR(f2, 400_000)
+		p.Start()
+		var sr series
+		sec := nfvnice.Seconds(1)
+		snap := p.TakeSnapshot()
+		for s := 1; s <= totalSecs; s++ {
+			switch s {
+			case 11:
+				dyn.Set(19500)
+			case 21:
+				dyn.Set(6500)
+			}
+			p.Run(nfvnice.Cycles(s) * sec)
+			m := p.NFMetricsSince(snap)
+			sr.nf1 = append(sr.nf1, m[0].CPUShare*100)
+			sr.nf2 = append(sr.nf2, m[1].CPUShare*100)
+			snap = p.TakeSnapshot()
+		}
+		results[mode] = sr
+	}
+	dr, nr := results[nfvnice.ModeDefault], results[nfvnice.ModeNFVnice]
+	for s := 0; s < totalSecs; s++ {
+		t.Add(secondLabel(s+1), dr.nf1[s], dr.nf2[s], nr.nf1[s], nr.nf2[s])
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+// diversityCosts returns the paper's cost ratios 1:2:5:20:40:60 over a
+// 500-cycle base, truncated to the given diversity level.
+func diversityCosts(level int) []nfvnice.Cycles {
+	ratios := []nfvnice.Cycles{1, 2, 5, 20, 40, 60}
+	out := make([]nfvnice.Cycles, level)
+	for i := 0; i < level; i++ {
+		out[i] = 500 * ratios[i]
+	}
+	return out
+}
+
+// runDiversity runs one fairness configuration and returns per-flow
+// throughputs (Mpps) and per-NF CPU shares (%).
+func runDiversity(mode nfvnice.Mode, level int, d Durations) (tputs, cpus []float64) {
+	costs := diversityCosts(level)
+	loads := make([]nfvnice.Rate, level)
+	for i := range loads {
+		loads[i] = 1.1e6 // equal arrival rate per flow, overloading the core
+	}
+	p, chains := parallelNFs(nfvnice.SchedNormal, mode, costs, loads)
+	s := measure(p, d)
+	m := p.NFMetricsSince(s)
+	for i := 0; i < level; i++ {
+		tputs = append(tputs, mpps(p.ChainDeliveredSince(s, chains[i])))
+		cpus = append(cpus, m[i].CPUShare*100)
+	}
+	return tputs, cpus
+}
+
+// Fig15b reproduces Figure 15b: Jain's fairness index over flow throughputs
+// as NF cost diversity grows from 1 to 6. The default scheduler collapses
+// toward 0.6; NFVnice stays at ~1.0.
+func Fig15b(d Durations) *Result {
+	t := &Table{
+		ID:      "fig15b",
+		Title:   "Jain's fairness index of per-flow throughput vs diversity level",
+		Columns: []string{"diversity", "Default (NORMAL)", "NFVnice"},
+	}
+	for level := 1; level <= 6; level++ {
+		var row []float64
+		for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+			tputs, _ := runDiversity(mode, level, d)
+			row = append(row, stats.Jain(tputs))
+		}
+		t.Add(fmt.Sprintf("%d", level), row...)
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+// Fig15c reproduces Figure 15c: at diversity 6, per-NF CPU share and
+// per-flow throughput. NFVnice gives the lightest NF ~1% and the heaviest
+// ~46% of the CPU, equalizing flow throughputs; NORMAL splits CPU evenly and
+// skews throughput ~15:1.
+func Fig15c(d Durations) *Result {
+	t := &Table{
+		ID:    "fig15c",
+		Title: "Diversity 6: CPU share (%) and throughput (Mpps) per NF",
+		Columns: []string{"NF",
+			"Default CPU %", "Default Mpps",
+			"NFVnice CPU %", "NFVnice Mpps"},
+	}
+	dt, dc := runDiversity(nfvnice.ModeDefault, 6, d)
+	nt, nc := runDiversity(nfvnice.ModeNFVnice, 6, d)
+	for i := 0; i < 6; i++ {
+		t.Add(nfName(i), dc[i], dt[i], nc[i], nt[i])
+	}
+	return &Result{Tables: []*Table{t}}
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"nfvnice"
+)
+
+// fig1Schedulers are the three policies §2.2 compares (RR with its default
+// 100 ms real-time slice).
+func fig1Schedulers() []nfvnice.SchedPolicy {
+	return []nfvnice.SchedPolicy{nfvnice.SchedNormal, nfvnice.SchedBatch, nfvnice.SchedRR100ms}
+}
+
+// fig1Loads returns the paper's offered loads: even 5 Mpps to all NFs, and
+// uneven 6/6/3 Mpps.
+func fig1Loads() (even, uneven []nfvnice.Rate) {
+	return []nfvnice.Rate{5e6, 5e6, 5e6}, []nfvnice.Rate{6e6, 6e6, 3e6}
+}
+
+func runFig1(costs []nfvnice.Cycles, d Durations) (tputEven, tputUneven, cswEven, cswUneven *Table) {
+	even, uneven := fig1Loads()
+	mkTput := func(title string) *Table {
+		return &Table{Columns: []string{"NF", "NORMAL", "BATCH", "RR"}, Title: title}
+	}
+	mkCsw := func(title string) *Table {
+		return &Table{
+			Columns: []string{"NF",
+				"NORMAL cswch/s", "NORMAL nvcswch/s",
+				"BATCH cswch/s", "BATCH nvcswch/s",
+				"RR cswch/s", "RR nvcswch/s"},
+			Title: title, Fmt: "%.0f",
+		}
+	}
+	tputEven, tputUneven = mkTput("throughput (Mpps), even load"), mkTput("throughput (Mpps), uneven load")
+	cswEven, cswUneven = mkCsw("context switches, even load"), mkCsw("context switches, uneven load")
+
+	for li, loads := range [][]nfvnice.Rate{even, uneven} {
+		tputRows := make([][]float64, len(costs))
+		cswRows := make([][]float64, len(costs))
+		for i := range costs {
+			tputRows[i] = nil
+			cswRows[i] = nil
+		}
+		for _, sched := range fig1Schedulers() {
+			p, chains := parallelNFs(sched, nfvnice.ModeDefault, costs, loads)
+			s := measure(p, d)
+			m := p.NFMetricsSince(s)
+			for i := range costs {
+				tputRows[i] = append(tputRows[i], mpps(p.ChainDeliveredSince(s, chains[i])))
+				cswRows[i] = append(cswRows[i], m[i].VoluntaryCswch, m[i].InvoluntaryCswch)
+			}
+		}
+		tt, ct := tputEven, cswEven
+		if li == 1 {
+			tt, ct = tputUneven, cswUneven
+		}
+		for i := range costs {
+			tt.Add(nfName(i), tputRows[i]...)
+			ct.Add(nfName(i), cswRows[i]...)
+		}
+	}
+	return tputEven, tputUneven, cswEven, cswUneven
+}
+
+// Fig1a reproduces Figure 1a: three homogeneous NFs (250 cycles/packet)
+// sharing one core under NORMAL, BATCH and RR, with even (5/5/5 Mpps) and
+// uneven (6/6/3 Mpps) offered load.
+func Fig1a(d Durations) *Result {
+	te, tu, _, _ := runFig1([]nfvnice.Cycles{250, 250, 250}, d)
+	te.ID, tu.ID = "fig1a-even", "fig1a-uneven"
+	te.Title = "Homogeneous NFs (250 cyc), " + te.Title
+	tu.Title = "Homogeneous NFs (250 cyc), " + tu.Title
+	return &Result{Tables: []*Table{te, tu}}
+}
+
+// Fig1b reproduces Figure 1b: heterogeneous NFs (500/250/50 cycles).
+func Fig1b(d Durations) *Result {
+	te, tu, _, _ := runFig1([]nfvnice.Cycles{500, 250, 50}, d)
+	te.ID, tu.ID = "fig1b-even", "fig1b-uneven"
+	te.Title = "Heterogeneous NFs (500/250/50 cyc), " + te.Title
+	tu.Title = "Heterogeneous NFs (500/250/50 cyc), " + tu.Title
+	return &Result{Tables: []*Table{te, tu}}
+}
+
+// Table1 reproduces Table 1: voluntary and involuntary context switches per
+// second for the homogeneous-NF scenario.
+func Table1(d Durations) *Result {
+	_, _, ce, cu := runFig1([]nfvnice.Cycles{250, 250, 250}, d)
+	ce.ID, cu.ID = "table1-even", "table1-uneven"
+	ce.Title = "Homogeneous NFs, " + ce.Title
+	cu.Title = "Homogeneous NFs, " + cu.Title
+	return &Result{Tables: []*Table{ce, cu}}
+}
+
+// Table2 reproduces Table 2: context switches for heterogeneous NFs, where
+// SCHED_NORMAL's wakeup preemption generates tens of thousands of
+// involuntary switches per second on the heavy NF while BATCH stays near
+// its timer tick.
+func Table2(d Durations) *Result {
+	_, _, ce, cu := runFig1([]nfvnice.Cycles{500, 250, 50}, d)
+	ce.ID, cu.ID = "table2-even", "table2-uneven"
+	ce.Title = "Heterogeneous NFs, " + ce.Title
+	cu.Title = "Heterogeneous NFs, " + cu.Title
+	return &Result{Tables: []*Table{ce, cu}}
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"nfvnice"
+)
+
+// fig7Costs is the §4.2.1 chain: Low(120) → Med(270) → High(550) cycles.
+func fig7Costs() []nfvnice.Cycles { return []nfvnice.Cycles{120, 270, 550} }
+
+// Fig7 reproduces Figure 7: throughput of the 3-NF single-core chain for
+// each feature mode (Default / CGroup / Only-BKPR / NFVnice) under each of
+// the four kernel schedulers, at 64-byte line rate.
+func Fig7(d Durations) *Result {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "3-NF chain (120/270/550 cyc) on one core, 64B line rate: throughput (Mpps)",
+		Columns: []string{"mode", "NORMAL", "BATCH", "RR(1ms)", "RR(100ms)"},
+	}
+	for _, mode := range nfvnice.AllModes() {
+		row := make([]float64, 0, 4)
+		for _, sched := range nfvnice.AllSchedPolicies() {
+			p, ch := singleChain(sched, mode, fig7Costs(), nfvnice.LineRate10G(64))
+			s := measure(p, d)
+			row = append(row, mpps(p.ChainDeliveredSince(s, ch)))
+		}
+		t.Add(mode.String(), row...)
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+// Table3 reproduces Table 3: packets dropped per second at the upstream NFs
+// (NF1, NF2) after processing — pure wasted work — default vs NFVnice for
+// each scheduler.
+func Table3(d Durations) *Result {
+	t := &Table{
+		ID:    "table3",
+		Title: "Packet drop rate per second after processing (wasted work)",
+		Columns: []string{"NF",
+			"NORMAL Default", "NORMAL NFVnice",
+			"BATCH Default", "BATCH NFVnice",
+			"RR(1ms) Default", "RR(1ms) NFVnice",
+			"RR(100ms) Default", "RR(100ms) NFVnice"},
+		Fmt: "%.0f",
+	}
+	rows := [2][]float64{}
+	for _, sched := range nfvnice.AllSchedPolicies() {
+		for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+			p, _ := singleChain(sched, mode, fig7Costs(), nfvnice.LineRate10G(64))
+			s := measure(p, d)
+			m := p.NFMetricsSince(s)
+			for i := 0; i < 2; i++ {
+				rows[i] = append(rows[i], float64(m[i].WastedDropsPps))
+			}
+		}
+	}
+	t.Add("NF1", rows[0]...)
+	t.Add("NF2", rows[1]...)
+	return &Result{Tables: []*Table{t}}
+}
+
+// Table4 reproduces Table 4: average scheduling latency (runnable → running,
+// ms) and cumulative runtime (ms) per NF, default vs NFVnice, per scheduler.
+func Table4(d Durations) *Result {
+	delay := &Table{
+		ID:    "table4-delay",
+		Title: "Average scheduling delay (ms)",
+		Columns: []string{"NF",
+			"NORMAL Default", "NORMAL NFVnice",
+			"BATCH Default", "BATCH NFVnice",
+			"RR(1ms) Default", "RR(1ms) NFVnice",
+			"RR(100ms) Default", "RR(100ms) NFVnice"},
+		Fmt: "%.3f",
+	}
+	runtime := &Table{
+		ID:      "table4-runtime",
+		Title:   "Cumulative runtime (ms)",
+		Columns: append([]string(nil), delay.Columns...),
+		Fmt:     "%.1f",
+	}
+	delayRows := [3][]float64{}
+	rtRows := [3][]float64{}
+	for _, sched := range nfvnice.AllSchedPolicies() {
+		for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+			p, _ := singleChain(sched, mode, fig7Costs(), nfvnice.LineRate10G(64))
+			s := measure(p, d)
+			m := p.NFMetricsSince(s)
+			for i := 0; i < 3; i++ {
+				delayRows[i] = append(delayRows[i], m[i].AvgSchedDelayMs)
+				rtRows[i] = append(rtRows[i], m[i].RuntimeMs)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		delay.Add(nfName(i), delayRows[i]...)
+		runtime.Add(nfName(i), rtRows[i]...)
+	}
+	return &Result{Tables: []*Table{delay, runtime}}
+}

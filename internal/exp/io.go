@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"nfvnice"
+)
+
+// Fig14 reproduces Figure 14: two flows share a monitoring NF; only flow 1
+// logs its packets to disk. With libnf's asynchronous double-buffered writer
+// the NF overlaps I/O with packet processing; the synchronous baseline
+// stalls the NF for every logged packet. Aggregate throughput is swept over
+// packet sizes. (The disk, not the CPU, is the contended resource the async
+// path hides; the BATCH scheduler is used as in the paper.)
+func Fig14(d Durations) *Result {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Aggregate throughput (Mpps) with one of two flows logging to disk",
+		Columns: []string{"pktsize", "Sync I/O (default)", "Async I/O (NFVnice)", "Async gain x"},
+	}
+	for _, size := range []int{64, 128, 256, 512, 1024} {
+		var rates [2]float64
+		for vi, variant := range []string{"sync", "async"} {
+			mode := nfvnice.ModeDefault
+			if variant == "async" {
+				mode = nfvnice.ModeNFVnice
+			}
+			p := nfvnice.NewPlatform(nfvnice.DefaultConfig(nfvnice.SchedBatch, mode))
+			core := p.AddCore()
+			// Payload-touching monitor: cost grows with packet size.
+			mon := p.AddNF("monitor", nfvnice.ByteCost(200, 1), core)
+			fwd := p.AddNF("fwd", nfvnice.FixedCost(150), core)
+			ch := p.AddChain("mon-fwd", mon, fwd)
+			f0 := nfvnice.UDPFlow(0, size)
+			f1 := nfvnice.UDPFlow(1, size)
+			p.MapFlow(f0, ch)
+			p.MapFlow(f1, ch)
+			half := nfvnice.LineRate10G(size) / 2
+			p.AddCBR(f0, half)
+			p.AddCBR(f1, half)
+			logged := map[int]bool{1: true}
+			if variant == "async" {
+				p.AttachAsyncLogger(mon, logged)
+			} else {
+				p.AttachSyncLogger(mon, logged)
+			}
+			s := measure(p, d)
+			rates[vi] = mpps(p.ChainDeliveredSince(s, ch))
+		}
+		gain := 0.0
+		if rates[0] > 0 {
+			gain = rates[1] / rates[0]
+		}
+		t.Add(sizeLabel(size), rates[0], rates[1], gain)
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+func sizeLabel(n int) string {
+	switch n {
+	case 64:
+		return "64B"
+	case 128:
+		return "128B"
+	case 256:
+		return "256B"
+	case 512:
+		return "512B"
+	case 1024:
+		return "1024B"
+	}
+	return "?"
+}

@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"nfvnice"
+)
+
+// Latency is an extension experiment: end-to-end packet latency percentiles
+// for the Fig 7 chain under each feature mode. The paper reports throughput
+// and drops; latency is the other face of the same mechanism — the default
+// platform runs every ring at capacity (maximum bufferbloat), while
+// backpressure holds occupancy between the watermarks, bounding delay.
+func Latency(d Durations) *Result {
+	t := &Table{
+		ID:      "latency",
+		Title:   "End-to-end latency of delivered packets, Fig7 chain on BATCH (µs)",
+		Columns: []string{"mode", "p50", "p90", "p99", "throughput Mpps"},
+		Fmt:     "%.1f",
+	}
+	for _, mode := range nfvnice.AllModes() {
+		p, ch := singleChain(nfvnice.SchedBatch, mode, fig7Costs(), nfvnice.LineRate10G(64))
+		s := measure(p, d)
+		t.Add(mode.String(),
+			p.LatencyQuantile(0.50),
+			p.LatencyQuantile(0.90),
+			p.LatencyQuantile(0.99),
+			float64(p.ChainDeliveredSince(s, ch))/1e6)
+	}
+	return &Result{Tables: []*Table{t}}
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"nfvnice"
+)
+
+// multiCoreChain builds a chain with each NF pinned to its own core.
+func multiCoreChain(mode nfvnice.Mode, costs []nfvnice.Cycles, rate nfvnice.Rate) (*nfvnice.Platform, int) {
+	p := nfvnice.NewPlatform(nfvnice.DefaultConfig(nfvnice.SchedNormal, mode))
+	ids := make([]int, len(costs))
+	for i, c := range costs {
+		core := p.AddCore()
+		ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(c), core)
+	}
+	ch := p.AddChain("chain", ids...)
+	f := nfvnice.UDPFlow(0, 64)
+	p.MapFlow(f, ch)
+	p.AddCBR(f, rate)
+	return p, ch
+}
+
+// Table5 reproduces Table 5: a 550/2200/4500-cycle chain with each NF on its
+// own core. Default burns three full cores to deliver the bottleneck rate;
+// NFVnice delivers the same aggregate with NF1/NF2 mostly idle.
+func Table5(d Durations) *Result {
+	t := &Table{
+		ID:    "table5",
+		Title: "3-NF chain (550/2200/4500 cyc), one NF per core, 64B line rate",
+		Columns: []string{"NF",
+			"Default svc (Mpps)", "Default drop (Mpps)", "Default CPU %",
+			"NFVnice svc (Mpps)", "NFVnice drop (Mpps)", "NFVnice CPU %"},
+	}
+	costs := []nfvnice.Cycles{550, 2200, 4500}
+	type res struct {
+		svc, drop []float64
+		util      []float64
+		agg       float64
+	}
+	results := make(map[nfvnice.Mode]res)
+	for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+		p, ch := multiCoreChain(mode, costs, nfvnice.LineRate10G(64))
+		s := measure(p, d)
+		m := p.NFMetricsSince(s)
+		cm := p.CoreMetricsSince(s)
+		r := res{agg: mpps(p.ChainDeliveredSince(s, ch))}
+		for i := range costs {
+			r.svc = append(r.svc, float64(m[i].ProcessedPps)/1e6)
+			r.drop = append(r.drop, float64(p.QueueDropSince(s, i))/1e6)
+			r.util = append(r.util, cm[i].Utilization*100)
+		}
+		results[mode] = r
+	}
+	dr, nr := results[nfvnice.ModeDefault], results[nfvnice.ModeNFVnice]
+	for i := range costs {
+		t.Add(nfName(i), dr.svc[i], dr.drop[i], dr.util[i], nr.svc[i], nr.drop[i], nr.util[i])
+	}
+	t.Add("Aggregate", dr.agg, 0, (dr.util[0] + dr.util[1] + dr.util[2]), nr.agg, 0, (nr.util[0] + nr.util[1] + nr.util[2]))
+	return &Result{Tables: []*Table{t}}
+}
+
+// Fig9 reproduces Figure 9 and Table 6: two chains sharing NF1 and NF4
+// across four cores (chain1: NF1→NF2→NF4; chain2: NF1→NF3→NF4, with NF3 a
+// 4500-cycle hog). Backpressure confines chain 2 to its bottleneck rate and
+// roughly doubles chain 1's throughput.
+func Fig9(d Durations) *Result {
+	fig := &Table{
+		ID:      "fig9",
+		Title:   "Two chains sharing NF1/NF4 on 4 cores: chain throughput (Mpps)",
+		Columns: []string{"chain", "Default", "NFVnice"},
+	}
+	tbl6 := &Table{
+		ID:    "table6",
+		Title: "Per-NF service rate (Mpps), drops (Mpps) and CPU %",
+		Columns: []string{"NF",
+			"Default svc", "Default drop", "Default CPU %",
+			"NFVnice svc", "NFVnice drop", "NFVnice CPU %"},
+	}
+	costs := []nfvnice.Cycles{270, 120, 4500, 300}
+	type res struct {
+		chain1, chain2  float64
+		svc, drop, util []float64
+	}
+	results := make(map[nfvnice.Mode]res)
+	for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+		p := nfvnice.NewPlatform(nfvnice.DefaultConfig(nfvnice.SchedNormal, mode))
+		ids := make([]int, 4)
+		for i, c := range costs {
+			ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(c), p.AddCore())
+		}
+		ch1 := p.AddChain("chain1", ids[0], ids[1], ids[3])
+		ch2 := p.AddChain("chain2", ids[0], ids[2], ids[3])
+		f1, f2 := nfvnice.UDPFlow(0, 64), nfvnice.UDPFlow(1, 64)
+		p.MapFlow(f1, ch1)
+		p.MapFlow(f2, ch2)
+		half := nfvnice.LineRate10G(64) / 2
+		p.AddCBR(f1, half)
+		p.AddCBR(f2, half)
+		s := measure(p, d)
+		m := p.NFMetricsSince(s)
+		cm := p.CoreMetricsSince(s)
+		r := res{
+			chain1: mpps(p.ChainDeliveredSince(s, ch1)),
+			chain2: mpps(p.ChainDeliveredSince(s, ch2)),
+		}
+		for i := range costs {
+			r.svc = append(r.svc, float64(m[i].ProcessedPps)/1e6)
+			r.drop = append(r.drop, float64(p.QueueDropSince(s, i))/1e6)
+			r.util = append(r.util, cm[i].Utilization*100)
+		}
+		results[mode] = r
+	}
+	dr, nr := results[nfvnice.ModeDefault], results[nfvnice.ModeNFVnice]
+	fig.Add("chain1", dr.chain1, nr.chain1)
+	fig.Add("chain2", dr.chain2, nr.chain2)
+	fig.Add("aggregate", dr.chain1+dr.chain2, nr.chain1+nr.chain2)
+	for i := range costs {
+		tbl6.Add(nfName(i), dr.svc[i], dr.drop[i], dr.util[i], nr.svc[i], nr.drop[i], nr.util[i])
+	}
+	return &Result{Tables: []*Table{fig, tbl6}}
+}

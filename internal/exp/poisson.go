@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"nfvnice"
+)
+
+// Poisson is a robustness extension: the Fig 7 chain offered Poisson
+// arrivals instead of MoonGen's CBR, at the same mean rate. Backpressure's
+// hysteresis must absorb the burstiness without giving up throughput.
+func Poisson(d Durations) *Result {
+	t := &Table{
+		ID:      "poisson",
+		Title:   "Fig7 chain under Poisson vs CBR arrivals (BATCH): throughput (Mpps)",
+		Columns: []string{"mode", "CBR", "Poisson"},
+	}
+	for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+		row := make([]float64, 0, 2)
+		for _, poisson := range []bool{false, true} {
+			p := nfvnice.NewPlatform(nfvnice.DefaultConfig(nfvnice.SchedBatch, mode))
+			core := p.AddCore()
+			ids := make([]int, 3)
+			for i, c := range fig7Costs() {
+				ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(c), core)
+			}
+			ch := p.AddChain("chain", ids...)
+			f := nfvnice.UDPFlow(0, 64)
+			p.MapFlow(f, ch)
+			if poisson {
+				p.AddPoisson(f, nfvnice.LineRate10G(64))
+			} else {
+				p.AddCBR(f, nfvnice.LineRate10G(64))
+			}
+			s := measure(p, d)
+			row = append(row, mpps(p.ChainDeliveredSince(s, ch)))
+		}
+		t.Add(mode.String(), row...)
+	}
+	return &Result{Tables: []*Table{t}}
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"nfvnice"
+)
+
+// parallelNFs builds N independent single-NF chains sharing one core — the
+// §2.2 motivation scenario (Fig 1, Tables 1-2) and the fairness experiments.
+// costs[i] is NF i's per-packet cost; loads[i] its offered rate.
+func parallelNFs(sched nfvnice.SchedPolicy, mode nfvnice.Mode, costs []nfvnice.Cycles, loads []nfvnice.Rate) (*nfvnice.Platform, []int) {
+	p := nfvnice.NewPlatform(nfvnice.DefaultConfig(sched, mode))
+	core := p.AddCore()
+	chains := make([]int, len(costs))
+	for i, c := range costs {
+		id := p.AddNF(nfName(i), nfvnice.FixedCost(c), core)
+		chains[i] = p.AddChain(nfName(i), id)
+		f := nfvnice.UDPFlow(i, 64)
+		p.MapFlow(f, chains[i])
+		p.AddCBR(f, loads[i])
+	}
+	return p, chains
+}
+
+func nfName(i int) string {
+	return "NF" + string(rune('1'+i))
+}
+
+// singleChain builds one service chain of the given per-NF costs on one
+// shared core, offered one UDP flow at rate.
+func singleChain(sched nfvnice.SchedPolicy, mode nfvnice.Mode, costs []nfvnice.Cycles, rate nfvnice.Rate) (*nfvnice.Platform, int) {
+	p := nfvnice.NewPlatform(nfvnice.DefaultConfig(sched, mode))
+	core := p.AddCore()
+	ids := make([]int, len(costs))
+	for i, c := range costs {
+		ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(c), core)
+	}
+	ch := p.AddChain("chain", ids...)
+	f := nfvnice.UDPFlow(0, 64)
+	p.MapFlow(f, ch)
+	p.AddCBR(f, rate)
+	return p, ch
+}
+
+// measure runs warmup, snapshots, runs the window, and returns the snapshot.
+func measure(p *nfvnice.Platform, d Durations) *nfvnice.Snapshot {
+	p.Run(d.Warm)
+	s := p.TakeSnapshot()
+	p.Run(d.Warm + d.Meas)
+	return s
+}
+
+// mpps converts a rate to Mpps for table cells.
+func mpps(r nfvnice.Rate) float64 { return r.Mpps() }

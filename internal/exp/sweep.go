@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+
+	"nfvnice"
+)
+
+// watermarkRun measures the Fig 7 chain under NFVnice/BATCH with explicit
+// watermark fractions, returning throughput (Mpps), wasted work (Mpps), and
+// median packet latency (µs). Rings are shrunk to 1024 descriptors so the
+// watermark placement actually bites: with the default 4096 rings the
+// hysteresis band dwarfs both the burst headroom needed above HIGH and the
+// drain buffer needed below LOW, and every setting looks alike (which is
+// itself a finding — see EXPERIMENTS.md).
+func watermarkRun(high, low float64, d Durations) (tput, wasted, p50us float64) {
+	cfg := nfvnice.DefaultConfig(nfvnice.SchedBatch, nfvnice.ModeNFVnice)
+	cfg.NFParams.HighFrac = high
+	cfg.NFParams.LowFrac = low
+	cfg.NFParams.RingSize = 1024
+	p := nfvnice.NewPlatform(cfg)
+	core := p.AddCore()
+	ids := make([]int, 3)
+	for i, c := range fig7Costs() {
+		ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(c), core)
+	}
+	ch := p.AddChain("chain", ids...)
+	f := nfvnice.UDPFlow(0, 64)
+	p.MapFlow(f, ch)
+	p.AddCBR(f, nfvnice.LineRate10G(64))
+	s := measure(p, d)
+	return mpps(p.ChainDeliveredSince(s, ch)),
+		float64(p.TotalWastedSince(s)) / 1e6,
+		p.LatencyQuantile(0.5)
+}
+
+// WatermarkSweep reproduces the §4.3.8 tuning study: sweep the high
+// watermark at a fixed 20-point margin, then sweep the margin at the chosen
+// 80% high watermark. The paper lands on HIGH=80%, margin=20.
+func WatermarkSweep(d Durations) *Result {
+	highT := &Table{
+		ID:      "sweep-high",
+		Title:   "HIGH_WATER_MARK sweep (margin fixed at 20 points, 1024-slot rings): throughput / wasted (Mpps) / p50 latency (µs)",
+		Columns: []string{"high", "throughput", "wasted", "p50us"},
+	}
+	for _, high := range []float64{0.30, 0.50, 0.70, 0.80, 0.90, 0.98} {
+		tput, wasted, lat := watermarkRun(high, high-0.20, d)
+		highT.Add(fmt.Sprintf("%.0f%%", high*100), tput, wasted, lat)
+	}
+	marginT := &Table{
+		ID:      "sweep-margin",
+		Title:   "Margin sweep (HIGH fixed at 80%, 1024-slot rings): throughput / wasted (Mpps) / p50 latency (µs)",
+		Columns: []string{"margin", "throughput", "wasted", "p50us"},
+	}
+	for _, margin := range []float64{0.01, 0.05, 0.10, 0.20, 0.30, 0.50} {
+		tput, wasted, lat := watermarkRun(0.80, 0.80-margin, d)
+		marginT.Add(fmt.Sprintf("%.0fpt", margin*100), tput, wasted, lat)
+	}
+	return &Result{Tables: []*Table{highT, marginT}}
+}

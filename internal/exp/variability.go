@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"math/rand"
+
+	"nfvnice"
+)
+
+// Fig10 reproduces Figure 10: the Fig 7 chain but every packet draws a cost
+// of 120, 270 or 550 cycles independently at each NF (9 total-cost variants
+// per packet). Cost estimation gets noisy, so cgroup weights degrade while
+// pure backpressure stays robust.
+func Fig10(d Durations) *Result {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "3-NF chain, variable per-packet costs (120/270/550 drawn per NF): throughput (Mpps)",
+		Columns: []string{"mode", "NORMAL", "BATCH", "RR(1ms)", "RR(100ms)"},
+	}
+	for _, mode := range nfvnice.AllModes() {
+		row := make([]float64, 0, 4)
+		for _, sched := range nfvnice.AllSchedPolicies() {
+			p := nfvnice.NewPlatform(nfvnice.DefaultConfig(sched, mode))
+			core := p.AddCore()
+			ids := make([]int, 3)
+			for i := 0; i < 3; i++ {
+				ids[i] = p.AddNF(nfName(i), nfvnice.ClassCost(120, 270, 550), core)
+			}
+			ch := p.AddChain("chain", ids...)
+			f := nfvnice.UDPFlow(0, 64)
+			p.MapFlow(f, ch)
+			g := p.AddCBR(f, nfvnice.LineRate10G(64))
+			// Each packet carries a class the NFs interpret; drawing it
+			// per packet at the generator keeps runs deterministic.
+			g.CostClass = func(rng *rand.Rand) int { return rng.Intn(3) }
+			s := measure(p, d)
+			row = append(row, mpps(p.ChainDeliveredSince(s, ch)))
+		}
+		t.Add(mode.String(), row...)
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+// Fig11 reproduces Figure 11: all six orderings of the Low/Med/High chain on
+// one core, Default vs NFVnice under each scheduler. The bottleneck's
+// position interacts catastrophically with coarse RR slices ("fast producer,
+// slow consumer"); NFVnice recovers every case.
+func Fig11(d Durations) *Result {
+	t := &Table{
+		ID:    "fig11",
+		Title: "Chain orderings of {Low 120, Med 270, High 550} on one core: throughput (Mpps)",
+		Columns: []string{"order",
+			"NORMAL Def", "NORMAL NFV",
+			"BATCH Def", "BATCH NFV",
+			"RR(1ms) Def", "RR(1ms) NFV",
+			"RR(100ms) Def", "RR(100ms) NFV"},
+	}
+	type perm struct {
+		name  string
+		costs []nfvnice.Cycles
+	}
+	perms := []perm{
+		{"Low-Med-High", []nfvnice.Cycles{120, 270, 550}},
+		{"Low-High-Med", []nfvnice.Cycles{120, 550, 270}},
+		{"Med-Low-High", []nfvnice.Cycles{270, 120, 550}},
+		{"Med-High-Low", []nfvnice.Cycles{270, 550, 120}},
+		{"High-Low-Med", []nfvnice.Cycles{550, 120, 270}},
+		{"High-Med-Low", []nfvnice.Cycles{550, 270, 120}},
+	}
+	for _, pm := range perms {
+		row := make([]float64, 0, 8)
+		for _, sched := range nfvnice.AllSchedPolicies() {
+			for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+				p, ch := singleChain(sched, mode, pm.costs, nfvnice.LineRate10G(64))
+				s := measure(p, d)
+				row = append(row, mpps(p.ChainDeliveredSince(s, ch)))
+			}
+		}
+		t.Add(pm.name, row...)
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+// Fig12 reproduces Figure 12: three homogeneous NFs (270 cycles), workload
+// "types" 1–6 where type k offers k equal-rate flows, each traversing the
+// three NFs in a random (per-flow) order, so bottlenecks differ per flow.
+func Fig12(d Durations) *Result {
+	t := &Table{
+		ID:    "fig12",
+		Title: "Aggregate throughput (Mpps), k flows each with a random NF order",
+		Columns: []string{"type",
+			"NORMAL Def", "BATCH Def", "RR(1ms) Def", "RR(100ms) Def",
+			"NORMAL NFV", "BATCH NFV", "RR(1ms) NFV", "RR(100ms) NFV"},
+	}
+	lineRate := nfvnice.LineRate10G(64)
+	for k := 1; k <= 6; k++ {
+		rowDef := make([]float64, 0, 4)
+		rowNfv := make([]float64, 0, 4)
+		for _, mode := range []nfvnice.Mode{nfvnice.ModeDefault, nfvnice.ModeNFVnice} {
+			for _, sched := range nfvnice.AllSchedPolicies() {
+				p := nfvnice.NewPlatform(nfvnice.DefaultConfig(sched, mode))
+				core := p.AddCore()
+				ids := make([]int, 3)
+				for i := range ids {
+					ids[i] = p.AddNF(nfName(i), nfvnice.FixedCost(270), core)
+				}
+				// Deterministic random orders per flow, fixed across
+				// schedulers/modes so the comparison is paired.
+				rng := rand.New(rand.NewSource(int64(1000 + k)))
+				chains := make([]int, k)
+				var total float64
+				for fi := 0; fi < k; fi++ {
+					order := rng.Perm(3)
+					chains[fi] = p.AddChain("flow", ids[order[0]], ids[order[1]], ids[order[2]])
+					f := nfvnice.UDPFlow(fi, 64)
+					p.MapFlow(f, chains[fi])
+					p.AddCBR(f, lineRate/nfvnice.Rate(k))
+				}
+				s := measure(p, d)
+				for _, ch := range chains {
+					total += mpps(p.ChainDeliveredSince(s, ch))
+				}
+				if mode == nfvnice.ModeDefault {
+					rowDef = append(rowDef, total)
+				} else {
+					rowNfv = append(rowNfv, total)
+				}
+			}
+		}
+		t.Add(typeName(k), append(rowDef, rowNfv...)...)
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+func typeName(k int) string {
+	return "Type " + string(rune('0'+k))
+}

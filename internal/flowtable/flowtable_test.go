@@ -1,0 +1,126 @@
+package flowtable
+
+import (
+	"testing"
+
+	"nfvnice/internal/packet"
+)
+
+func key(src, dst uint32, sp, dp uint16, proto packet.Proto) packet.FlowKey {
+	return packet.FlowKey{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+}
+
+func TestExactMatch(t *testing.T) {
+	ft := New()
+	k := key(1, 2, 10, 80, packet.TCP)
+	ft.InstallExact(k, 7)
+	id, ok := ft.Lookup(k)
+	if !ok || id != 7 {
+		t.Fatalf("Lookup = %d,%v", id, ok)
+	}
+	if ft.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d", ft.CacheHits)
+	}
+}
+
+func TestMiss(t *testing.T) {
+	ft := New()
+	if _, ok := ft.Lookup(key(1, 2, 3, 4, packet.UDP)); ok {
+		t.Fatal("lookup in empty table matched")
+	}
+	if ft.Misses != 1 {
+		t.Fatalf("Misses = %d", ft.Misses)
+	}
+}
+
+func TestWildcardRule(t *testing.T) {
+	ft := New()
+	ft.Install(Rule{DstPort: 80, ChainID: 1})       // anything to port 80
+	ft.Install(Rule{Proto: packet.UDP, ChainID: 2}) // any UDP
+	if id, ok := ft.Lookup(key(5, 6, 1000, 80, packet.TCP)); !ok || id != 1 {
+		t.Fatalf("port-80 rule: %d,%v", id, ok)
+	}
+	if id, ok := ft.Lookup(key(5, 6, 1000, 53, packet.UDP)); !ok || id != 2 {
+		t.Fatalf("udp rule: %d,%v", id, ok)
+	}
+	if _, ok := ft.Lookup(key(5, 6, 1000, 53, packet.TCP)); ok {
+		t.Fatal("TCP/53 should not match either rule")
+	}
+}
+
+func TestRuleCachesResolution(t *testing.T) {
+	ft := New()
+	ft.Install(Rule{ChainID: 3}) // match-all
+	k := key(1, 2, 3, 4, packet.UDP)
+	ft.Lookup(k)
+	if ft.Entries() != 1 {
+		t.Fatalf("Entries = %d, want cached resolution", ft.Entries())
+	}
+	ft.Lookup(k)
+	if ft.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want second lookup cached", ft.CacheHits)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	ft := New()
+	ft.Install(Rule{Proto: packet.TCP, ChainID: 1, Priority: 0})
+	ft.Install(Rule{DstPort: 443, ChainID: 2, Priority: 10})
+	// TCP to 443: higher priority rule (chain 2) must win.
+	if id, _ := ft.Lookup(key(1, 2, 3, 443, packet.TCP)); id != 2 {
+		t.Fatalf("priority violated: chain %d", id)
+	}
+	// TCP elsewhere: falls to chain 1.
+	if id, _ := ft.Lookup(key(1, 2, 3, 80, packet.TCP)); id != 1 {
+		t.Fatalf("fallback rule: chain %d", id)
+	}
+}
+
+func TestEqualPriorityStable(t *testing.T) {
+	ft := New()
+	ft.Install(Rule{Proto: packet.UDP, ChainID: 1, Priority: 5})
+	ft.Install(Rule{Proto: packet.UDP, ChainID: 2, Priority: 5})
+	if id, _ := ft.Lookup(key(1, 2, 3, 4, packet.UDP)); id != 1 {
+		t.Fatalf("equal priority must be first-installed-wins, got chain %d", id)
+	}
+}
+
+func TestInstallInvalidatesCache(t *testing.T) {
+	ft := New()
+	ft.Install(Rule{ChainID: 1})
+	k := key(9, 9, 9, 9, packet.UDP)
+	ft.Lookup(k) // caches chain 1
+	ft.Install(Rule{SrcIP: 9, ChainID: 2, Priority: 1})
+	if id, _ := ft.Lookup(k); id != 2 {
+		t.Fatalf("stale cache after rule install: chain %d", id)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	ft := New()
+	ft.Install(Rule{ChainID: 1})
+	k := key(1, 1, 1, 1, packet.UDP)
+	ft.Lookup(k)
+	ft.Lookup(k)
+	ft.Lookup(key(2, 2, 2, 2, packet.UDP))
+	if ft.Lookups != 3 {
+		t.Fatalf("Lookups = %d", ft.Lookups)
+	}
+	if ft.Rules() != 1 {
+		t.Fatalf("Rules = %d", ft.Rules())
+	}
+	_ = ft.String()
+}
+
+func BenchmarkLookupCached(b *testing.B) {
+	ft := New()
+	keys := make([]packet.FlowKey, 64)
+	for i := range keys {
+		keys[i] = key(uint32(i), uint32(i+1), uint16(i), 80, packet.UDP)
+		ft.InstallExact(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Lookup(keys[i%64])
+	}
+}

@@ -1,0 +1,279 @@
+// Package iosim models the storage path behind libnf's asynchronous I/O
+// API (libnf_read_data / libnf_write_data): a bandwidth-limited disk that
+// serves requests in FIFO order, and a double-buffered batched writer that
+// lets an NF keep processing packets while a full buffer flushes in the
+// background. When both buffers are full the NF must yield the CPU — the
+// blocking condition the paper describes.
+package iosim
+
+import (
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/simtime"
+)
+
+// Disk is a simple storage device: one request at a time, each costing a
+// fixed setup latency plus size/bandwidth. The defaults approximate a SATA
+// SSD (500 MB/s, 50 µs op latency), enough to be the bottleneck an NF's
+// logging must hide.
+type Disk struct {
+	eng *eventsim.Engine
+
+	// Bandwidth is in bytes per second; Latency is the per-op setup cost.
+	Bandwidth uint64
+	Latency   simtime.Cycles
+
+	busy  bool
+	queue []request
+
+	// Ops and Bytes count completed operations.
+	Ops   uint64
+	Bytes uint64
+}
+
+type request struct {
+	bytes    int
+	callback func(now simtime.Cycles)
+}
+
+// NewDisk returns a disk attached to the engine with default parameters.
+func NewDisk(eng *eventsim.Engine) *Disk {
+	return &Disk{eng: eng, Bandwidth: 500_000_000, Latency: 50 * simtime.Microsecond}
+}
+
+// Submit queues an operation of the given size; callback (optional) runs at
+// completion time in engine context.
+func (d *Disk) Submit(bytes int, callback func(now simtime.Cycles)) {
+	d.queue = append(d.queue, request{bytes, callback})
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+// QueueDepth reports outstanding requests (including the one in flight).
+func (d *Disk) QueueDepth() int {
+	n := len(d.queue)
+	if d.busy {
+		n++
+	}
+	return n
+}
+
+func (d *Disk) startNext() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	req := d.queue[0]
+	d.queue = d.queue[1:]
+	d.busy = true
+	dur := d.Latency + simtime.Cycles(uint64(req.bytes)*uint64(simtime.Second)/d.Bandwidth)
+	d.eng.After(dur, func() {
+		d.Ops++
+		d.Bytes += uint64(req.bytes)
+		if req.callback != nil {
+			req.callback(d.eng.Now())
+		}
+		d.startNext()
+	})
+}
+
+// bufState is the lifecycle of one of the writer's two buffers.
+type bufState uint8
+
+const (
+	bufIdle bufState = iota
+	bufFilling
+	bufFlushing
+)
+
+// Writer is libnf's double-buffered batched log writer. Log appends bytes
+// to the filling buffer; when it reaches BufBytes the writer swaps buffers
+// and flushes the full one asynchronously. A flush timer bounds how long a
+// partial buffer can linger. Log reports false — "NF must yield" — exactly
+// when both buffers are unavailable (one flushing, the other full waiting).
+type Writer struct {
+	eng  *eventsim.Engine
+	disk *Disk
+
+	// BufBytes is each buffer's capacity; FlushInterval bounds staleness
+	// of a partially filled buffer. Both are the "tunable by the NF
+	// implementation" knobs from the paper.
+	BufBytes      int
+	FlushInterval simtime.Cycles
+
+	fill       [2]int
+	state      [2]bufState
+	active     int
+	flushTimer *eventsim.Event
+
+	// Unblock, if set, is invoked when buffer space becomes available
+	// after Log returned false — libnf's wakeup of a blocked NF.
+	Unblock func(now simtime.Cycles)
+	blocked bool
+
+	// LoggedBytes counts accepted bytes; BlockedLogs counts Log calls
+	// that found no space.
+	LoggedBytes uint64
+	BlockedLogs uint64
+}
+
+// NewWriter returns a writer with 64 KiB buffers and a 1 ms flush interval.
+func NewWriter(eng *eventsim.Engine, disk *Disk) *Writer {
+	return &Writer{
+		eng:           eng,
+		disk:          disk,
+		BufBytes:      64 << 10,
+		FlushInterval: simtime.Millisecond,
+	}
+}
+
+// Log appends bytes to the active buffer. It reports false when no buffer
+// can accept the data; the caller should block until Unblock fires.
+func (w *Writer) Log(bytes int) bool {
+	if bytes <= 0 {
+		return true
+	}
+	a := w.active
+	if w.state[a] == bufFlushing {
+		// Try the other buffer.
+		a = 1 - a
+		if w.state[a] == bufFlushing {
+			w.BlockedLogs++
+			w.blocked = true
+			return false
+		}
+		w.active = a
+	}
+	if w.state[a] == bufIdle {
+		w.state[a] = bufFilling
+		w.armFlushTimer()
+	}
+	w.fill[a] += bytes
+	w.LoggedBytes += uint64(bytes)
+	if w.fill[a] >= w.BufBytes {
+		w.flush(a)
+	}
+	return true
+}
+
+// Pending reports bytes buffered but not yet submitted to the disk.
+func (w *Writer) Pending() int { return w.fill[0] + w.fill[1] }
+
+func (w *Writer) armFlushTimer() {
+	if w.flushTimer != nil {
+		w.flushTimer.Cancel()
+	}
+	w.flushTimer = w.eng.After(w.FlushInterval, func() {
+		w.flushTimer = nil
+		a := w.active
+		if w.state[a] == bufFilling && w.fill[a] > 0 {
+			w.flush(a)
+		}
+	})
+}
+
+func (w *Writer) flush(i int) {
+	bytes := w.fill[i]
+	w.state[i] = bufFlushing
+	w.disk.Submit(bytes, func(now simtime.Cycles) {
+		w.fill[i] = 0
+		w.state[i] = bufIdle
+		if w.blocked {
+			w.blocked = false
+			if w.Unblock != nil {
+				w.Unblock(now)
+			}
+		}
+	})
+	// Continue filling into the other buffer if it is free.
+	if w.state[1-i] != bufFlushing {
+		w.active = 1 - i
+	}
+}
+
+// SyncWriter models the naive alternative the paper compares against:
+// blocking write() calls on the packet path. Each call pays the syscall +
+// page-cache copy cost inline, and the writeback throttles the caller to the
+// device bandwidth once the cache is dirty — so the NF stalls for
+// syscall + bytes/bandwidth per logged packet instead of overlapping I/O
+// with processing as libnf's double-buffered writer does.
+type SyncWriter struct {
+	disk *Disk
+
+	// SyscallCost is the blocking write() overhead (trap, copy, locking).
+	SyscallCost simtime.Cycles
+
+	// LoggedBytes counts written bytes.
+	LoggedBytes uint64
+}
+
+// NewSyncWriter returns a synchronous writer over the disk.
+func NewSyncWriter(disk *Disk) *SyncWriter {
+	return &SyncWriter{disk: disk, SyscallCost: 5 * simtime.Microsecond}
+}
+
+// StallCycles reports how long the NF is stalled writing the given size.
+func (s *SyncWriter) StallCycles(bytes int) simtime.Cycles {
+	s.LoggedBytes += uint64(bytes)
+	return s.SyscallCost + simtime.Cycles(uint64(bytes)*uint64(simtime.Second)/s.disk.Bandwidth)
+}
+
+// Reader is the read half of libnf's async I/O (libnf_read_data): requests
+// are queued with a callback and completed off the packet path; the NF keeps
+// processing while reads are in flight, blocking only when too many are
+// outstanding.
+type Reader struct {
+	eng  *eventsim.Engine
+	disk *Disk
+
+	// MaxOutstanding bounds in-flight reads before Read pushes back.
+	MaxOutstanding int
+
+	outstanding int
+	blocked     bool
+
+	// Unblock, if set, fires when a completion frees a slot after Read
+	// returned false.
+	Unblock func(now simtime.Cycles)
+
+	// ReadsIssued and BytesRead count completed activity; BlockedReads
+	// counts rejected submissions.
+	ReadsIssued  uint64
+	BytesRead    uint64
+	BlockedReads uint64
+}
+
+// NewReader returns a reader allowing 8 outstanding requests.
+func NewReader(eng *eventsim.Engine, disk *Disk) *Reader {
+	return &Reader{eng: eng, disk: disk, MaxOutstanding: 8}
+}
+
+// Outstanding reports in-flight reads.
+func (r *Reader) Outstanding() int { return r.outstanding }
+
+// Read submits an asynchronous read of the given size; callback (optional)
+// runs at completion. It reports false when the outstanding window is full —
+// the NF should yield until Unblock fires.
+func (r *Reader) Read(bytes int, callback func(now simtime.Cycles)) bool {
+	if r.outstanding >= r.MaxOutstanding {
+		r.BlockedReads++
+		r.blocked = true
+		return false
+	}
+	r.outstanding++
+	r.disk.Submit(bytes, func(now simtime.Cycles) {
+		r.outstanding--
+		r.ReadsIssued++
+		r.BytesRead += uint64(bytes)
+		if callback != nil {
+			callback(now)
+		}
+		if r.blocked && r.outstanding < r.MaxOutstanding {
+			r.blocked = false
+			if r.Unblock != nil {
+				r.Unblock(now)
+			}
+		}
+	})
+	return true
+}

@@ -1,0 +1,209 @@
+package iosim
+
+import (
+	"testing"
+
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/simtime"
+)
+
+func TestDiskCompletesInOrder(t *testing.T) {
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	var order []int
+	d.Submit(1000, func(simtime.Cycles) { order = append(order, 1) })
+	d.Submit(1000, func(simtime.Cycles) { order = append(order, 2) })
+	d.Submit(1000, func(simtime.Cycles) { order = append(order, 3) })
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[2] != 3 {
+		t.Fatalf("completion order %v", order)
+	}
+	if d.Ops != 3 || d.Bytes != 3000 {
+		t.Fatalf("ops=%d bytes=%d", d.Ops, d.Bytes)
+	}
+}
+
+func TestDiskTiming(t *testing.T) {
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	d.Bandwidth = 1_000_000 // 1 MB/s to make transfer time visible
+	d.Latency = simtime.Millisecond
+	var doneAt simtime.Cycles
+	// 1000 bytes at 1MB/s = 1ms transfer + 1ms latency = 2ms.
+	d.Submit(1000, func(now simtime.Cycles) { doneAt = now })
+	eng.Run()
+	want := 2 * simtime.Millisecond
+	if doneAt != want {
+		t.Fatalf("completion at %v, want %v", doneAt, want)
+	}
+}
+
+func TestDiskQueueDepth(t *testing.T) {
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	d.Submit(1<<20, nil)
+	d.Submit(1<<20, nil)
+	if d.QueueDepth() != 2 {
+		t.Fatalf("depth = %d", d.QueueDepth())
+	}
+	eng.Run()
+	if d.QueueDepth() != 0 {
+		t.Fatalf("depth after drain = %d", d.QueueDepth())
+	}
+}
+
+func TestWriterDoubleBuffering(t *testing.T) {
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	w := NewWriter(eng, d)
+	w.BufBytes = 1000
+	// Fill buffer A: triggers a flush, but logging continues into B.
+	if !w.Log(1000) {
+		t.Fatal("first fill rejected")
+	}
+	if !w.Log(500) {
+		t.Fatal("log during flush rejected: double buffering broken")
+	}
+	eng.Run()
+	if d.Bytes < 1000 {
+		t.Fatalf("flushed bytes = %d", d.Bytes)
+	}
+}
+
+func TestWriterBlocksWhenBothBuffersBusy(t *testing.T) {
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	// Glacial disk so flushes stay in flight.
+	d.Bandwidth = 1000
+	d.Latency = simtime.Second
+	w := NewWriter(eng, d)
+	w.BufBytes = 100
+	unblocked := false
+	w.Unblock = func(simtime.Cycles) { unblocked = true }
+	if !w.Log(100) { // A flushes
+		t.Fatal("fill A rejected")
+	}
+	if !w.Log(100) { // B flushes
+		t.Fatal("fill B rejected")
+	}
+	if w.Log(10) { // both in flight: must report blocked
+		t.Fatal("log accepted with both buffers flushing")
+	}
+	if w.BlockedLogs != 1 {
+		t.Fatalf("BlockedLogs = %d", w.BlockedLogs)
+	}
+	eng.Run()
+	if !unblocked {
+		t.Fatal("Unblock never fired after flush completed")
+	}
+}
+
+func TestWriterFlushInterval(t *testing.T) {
+	// A partial buffer must flush after FlushInterval even without
+	// reaching capacity.
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	w := NewWriter(eng, d)
+	w.BufBytes = 1 << 20
+	w.FlushInterval = simtime.Millisecond
+	w.Log(100)
+	eng.RunUntil(10 * simtime.Millisecond)
+	eng.Run()
+	if d.Bytes != 100 {
+		t.Fatalf("partial buffer never flushed: disk bytes = %d", d.Bytes)
+	}
+}
+
+func TestWriterZeroBytes(t *testing.T) {
+	eng := eventsim.New()
+	w := NewWriter(eng, NewDisk(eng))
+	if !w.Log(0) {
+		t.Fatal("zero-byte log should be accepted")
+	}
+	if w.Pending() != 0 {
+		t.Fatal("zero-byte log should not buffer")
+	}
+}
+
+func TestWriterThroughputMatchesDisk(t *testing.T) {
+	// Saturating the writer must achieve the disk's bandwidth: flushes of
+	// full buffers back to back.
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	d.Latency = 0
+	d.Bandwidth = 100_000_000 // 100 MB/s
+	w := NewWriter(eng, d)
+	w.BufBytes = 64 << 10
+
+	// Offer 1500 bytes every microsecond for a simulated second
+	// (1.5 GB/s offered, far above disk speed).
+	var rejected int
+	eng.Every(0, simtime.Microsecond, func() {
+		if eng.Now() >= simtime.Second {
+			eng.Stop()
+			return
+		}
+		if !w.Log(1500) {
+			rejected++
+		}
+	})
+	eng.Run()
+	gbDone := float64(d.Bytes)
+	if gbDone < 95_000_000 || gbDone > 105_000_000 {
+		t.Fatalf("disk moved %.0f bytes in 1s, want ~100MB", gbDone)
+	}
+	if rejected == 0 {
+		t.Fatal("overdriven writer never pushed back")
+	}
+}
+
+func TestSyncWriterStalls(t *testing.T) {
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	s := NewSyncWriter(d)
+	stall := s.StallCycles(1500)
+	// Syscall cost plus 1500 bytes at 500 MB/s.
+	want := s.SyscallCost + simtime.Cycles(uint64(1500)*uint64(simtime.Second)/d.Bandwidth)
+	if stall != want {
+		t.Fatalf("stall %v, want %v", stall, want)
+	}
+	if s.LoggedBytes != 1500 {
+		t.Fatalf("LoggedBytes = %d", s.LoggedBytes)
+	}
+}
+
+func TestReaderWindow(t *testing.T) {
+	eng := eventsim.New()
+	d := NewDisk(eng)
+	d.Latency = simtime.Millisecond
+	r := NewReader(eng, d)
+	r.MaxOutstanding = 2
+	unblocked := 0
+	r.Unblock = func(simtime.Cycles) { unblocked++ }
+	completions := 0
+	cb := func(simtime.Cycles) { completions++ }
+	if !r.Read(512, cb) || !r.Read(512, cb) {
+		t.Fatal("reads within window rejected")
+	}
+	if r.Read(512, cb) {
+		t.Fatal("read beyond window accepted")
+	}
+	if r.Outstanding() != 2 || r.BlockedReads != 1 {
+		t.Fatalf("outstanding=%d blocked=%d", r.Outstanding(), r.BlockedReads)
+	}
+	eng.Run()
+	if completions != 2 {
+		t.Fatalf("completions = %d", completions)
+	}
+	if unblocked == 0 {
+		t.Fatal("Unblock never fired")
+	}
+	if r.BytesRead != 1024 || r.ReadsIssued != 2 {
+		t.Fatalf("bytes=%d reads=%d", r.BytesRead, r.ReadsIssued)
+	}
+	// Window free again.
+	if !r.Read(100, nil) {
+		t.Fatal("read after drain rejected")
+	}
+	eng.Run()
+}

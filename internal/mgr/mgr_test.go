@@ -1,0 +1,341 @@
+package mgr
+
+import (
+	"testing"
+
+	"nfvnice/internal/bp"
+	"nfvnice/internal/chain"
+	"nfvnice/internal/cpusched"
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/nf"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+// env is a minimal two-NF chain on one core for manager tests.
+type env struct {
+	eng   *eventsim.Engine
+	m     *Manager
+	core  *cpusched.Core
+	nfs   []*nf.NF
+	chain *chain.Chain
+	flow  packet.FlowKey
+}
+
+func newEnv(t *testing.T, feats Features, costs ...simtime.Cycles) *env {
+	t.Helper()
+	eng := eventsim.New()
+	pool := packet.NewPool(16384)
+	reg := chain.NewRegistry()
+	m := New(eng, pool, reg, DefaultParams(feats))
+	core := cpusched.NewCore(0, eng, cpusched.NewCFSBatch(), cpusched.DefaultCoreParams())
+	var ids []int
+	var nfs []*nf.NF
+	for i, c := range costs {
+		n := nf.New(i, "nf", nf.FixedCost(c), nf.DefaultParams(), int64(i+1))
+		core.AddTask(n.Task)
+		m.AddNF(n)
+		nfs = append(nfs, n)
+		ids = append(ids, i)
+	}
+	ch := reg.MustAdd("chain", ids...)
+	m.GrowChains(reg.Len())
+	flow := packet.FlowKey{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.UDP}
+	m.Table.InstallExact(flow, ch.ID)
+	m.Start()
+	return &env{eng: eng, m: m, core: core, nfs: nfs, chain: ch, flow: flow}
+}
+
+func (e *env) inject(n int) (accepted int) {
+	for i := 0; i < n; i++ {
+		if ok, _ := e.m.Inject(e.flow, 0, 64, packet.NotECT, 0); ok {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+func TestInjectRoutesToEntryNF(t *testing.T) {
+	e := newEnv(t, FeatureDefault(), 100, 100)
+	if got := e.inject(10); got != 10 {
+		t.Fatalf("accepted %d, want 10", got)
+	}
+	// The first packet's wakeup starts a segment immediately, so one
+	// packet may already be in the NF's in-flight batch.
+	if got := e.nfs[0].Rx.Len() + e.nfs[0].InFlight(); got != 10 {
+		t.Fatalf("entry rx + in-flight = %d", got)
+	}
+	if e.nfs[0].ArrivalMeter.Total() != 10 {
+		t.Fatalf("arrivals = %d", e.nfs[0].ArrivalMeter.Total())
+	}
+}
+
+func TestInjectNoRoute(t *testing.T) {
+	e := newEnv(t, FeatureDefault(), 100)
+	bad := packet.FlowKey{SrcIP: 99}
+	ok, at := e.m.Inject(bad, 0, 64, packet.NotECT, 0)
+	if ok || at != DropNoRoute {
+		t.Fatalf("unrouted inject: ok=%v at=%v", ok, at)
+	}
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	e := newEnv(t, FeatureDefault(), 100, 100)
+	e.inject(100)
+	e.eng.RunUntil(simtime.Millisecond)
+	if got := e.m.Delivered[0].Total(); got != 100 {
+		t.Fatalf("delivered %d, want 100", got)
+	}
+	if e.m.Pool.InUse() != 0 {
+		t.Fatalf("descriptors leaked: %d in use", e.m.Pool.InUse())
+	}
+	if e.m.Latency.Count() != 100 {
+		t.Fatalf("latency samples = %d", e.m.Latency.Count())
+	}
+}
+
+func TestSinkNotifications(t *testing.T) {
+	e := newEnv(t, FeatureDefault(), 100)
+	var delivered, dropped int
+	e.m.RegisterSink(0, sinkFns{
+		onDeliver: func(*packet.Packet) { delivered++ },
+		onDrop:    func(*packet.Packet, DropPoint) { dropped++ },
+	})
+	e.inject(50)
+	e.eng.RunUntil(simtime.Millisecond)
+	if delivered != 50 {
+		t.Fatalf("delivered callbacks = %d", delivered)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped callbacks = %d", dropped)
+	}
+}
+
+type sinkFns struct {
+	onDeliver func(*packet.Packet)
+	onDrop    func(*packet.Packet, DropPoint)
+}
+
+func (s sinkFns) Delivered(_ simtime.Cycles, p *packet.Packet) { s.onDeliver(p) }
+func (s sinkFns) Dropped(_ simtime.Cycles, p *packet.Packet, at DropPoint) {
+	s.onDrop(p, at)
+}
+
+func TestDefaultModeDropsDownstreamAndCountsWaste(t *testing.T) {
+	// Slow downstream NF: in default mode the Tx thread drops at its full
+	// ring and attributes wasted work to the upstream NF.
+	e := newEnv(t, FeatureDefault(), 50, 20000)
+	stop := e.eng.Every(0, 5*simtime.Microsecond, func() { e.inject(40) })
+	e.eng.RunUntil(100 * simtime.Millisecond)
+	stop.Cancel()
+	if e.m.Wasted[0].Total() == 0 {
+		t.Fatal("no wasted-work drops recorded in default mode")
+	}
+	if e.m.QueueDrops[1].Total() == 0 {
+		t.Fatal("no queue drops recorded at the slow NF")
+	}
+	if e.m.Throttles.TotalEntryDrops() != 0 {
+		t.Fatal("default mode must not shed at entry")
+	}
+}
+
+func TestBackpressureShedsAtEntryAndStopsWaste(t *testing.T) {
+	e := newEnv(t, FeatureBackpressureOnly(), 50, 20000)
+	stop := e.eng.Every(0, 5*simtime.Microsecond, func() { e.inject(40) })
+	e.eng.RunUntil(100 * simtime.Millisecond)
+	stop.Cancel()
+	if e.m.Throttles.TotalEntryDrops() == 0 {
+		t.Fatal("backpressure never shed at entry")
+	}
+	if e.m.Wasted[0].Total() != 0 {
+		t.Fatalf("wasted %d packets despite backpressure", e.m.Wasted[0].Total())
+	}
+	// The bottleneck NF must have entered throttle at some point.
+	if e.m.BPState(1) == bp.WatchList && e.m.Throttles.TotalEntryDrops() == 0 {
+		t.Fatal("state machine never advanced")
+	}
+}
+
+func TestYieldFlagSetOnUpstreamOnly(t *testing.T) {
+	// Three-NF chain with the bottleneck in the middle: when it throttles,
+	// the upstream NF yields but the downstream one (which drains the
+	// bottleneck) must not.
+	e := newEnv(t, FeatureBackpressureOnly(), 50, 20000, 60)
+	stop := e.eng.Every(0, 5*simtime.Microsecond, func() { e.inject(40) })
+	// Run until the middle NF throttles.
+	var sawYield bool
+	check := e.eng.Every(simtime.Millisecond, simtime.Millisecond, func() {
+		if e.m.BPState(1) == bp.PacketThrottle {
+			if e.nfs[0].YieldFlag {
+				sawYield = true
+			}
+			if e.nfs[2].YieldFlag {
+				t.Error("downstream NF must never yield for an upstream bottleneck")
+			}
+		}
+	})
+	e.eng.RunUntil(100 * simtime.Millisecond)
+	stop.Cancel()
+	check.Cancel()
+	if !sawYield {
+		t.Fatal("upstream NF never yielded while bottleneck throttled")
+	}
+}
+
+func TestThrottleClearsAndResumes(t *testing.T) {
+	e := newEnv(t, FeatureBackpressureOnly(), 50, 20000)
+	stop := e.eng.Every(0, 5*simtime.Microsecond, func() { e.inject(40) })
+	e.eng.RunUntil(50 * simtime.Millisecond)
+	stop.Cancel()
+	// Stop traffic; the bottleneck drains and throttle must clear.
+	e.eng.RunUntil(2 * simtime.Second)
+	if got := e.m.BPState(1); got != bp.ClearThrottle {
+		t.Fatalf("state after drain = %v, want clear", got)
+	}
+	if e.nfs[0].YieldFlag {
+		t.Fatal("yield flag stuck after throttle cleared")
+	}
+	// All in-flight packets completed or dropped; no descriptor leak.
+	inFlight := 0
+	for _, n := range e.nfs {
+		inFlight += n.Rx.Len() + n.Tx.Len() + n.InFlight()
+	}
+	if e.m.Pool.InUse() != inFlight {
+		t.Fatalf("pool in use %d vs rings %d", e.m.Pool.InUse(), inFlight)
+	}
+}
+
+func TestECNMarkingOnPersistentQueue(t *testing.T) {
+	p := DefaultParams(FeatureNFVnice())
+	p.ECNThreshold = 10
+	eng := eventsim.New()
+	pool := packet.NewPool(16384)
+	reg := chain.NewRegistry()
+	m := New(eng, pool, reg, p)
+	core := cpusched.NewCore(0, eng, cpusched.NewCFSBatch(), cpusched.DefaultCoreParams())
+	n := nf.New(0, "slow", nf.FixedCost(50000), nf.DefaultParams(), 1)
+	core.AddTask(n.Task)
+	m.AddNF(n)
+	ch := reg.MustAdd("c", 0)
+	m.GrowChains(1)
+	flow := packet.FlowKey{SrcIP: 1, Proto: packet.TCP}
+	m.Table.InstallExact(flow, ch.ID)
+	m.Start()
+	marked := 0
+	m.RegisterSink(0, sinkFns{
+		onDeliver: func(pkt *packet.Packet) {
+			if pkt.ECN == packet.CE {
+				marked++
+			}
+		},
+		onDrop: func(*packet.Packet, DropPoint) {},
+	})
+	gen := eng.Every(0, 10*simtime.Microsecond, func() {
+		m.Inject(flow, 0, 1470, packet.ECT, 0)
+	})
+	eng.RunUntil(50 * simtime.Millisecond)
+	gen.Cancel()
+	eng.RunUntil(5 * simtime.Second)
+	if marked == 0 {
+		t.Fatal("no CE marks on a persistently deep ECT queue")
+	}
+	if m.ECNMarked(0) == 0 {
+		t.Fatal("marker counter not incremented")
+	}
+}
+
+func TestLocalBackpressureHoldsInsteadOfDropping(t *testing.T) {
+	// With backpressure on, a full downstream ring holds packets in the
+	// upstream Tx ring rather than dropping them.
+	e := newEnv(t, FeatureBackpressureOnly(), 50, 20000)
+	stop := e.eng.Every(0, 5*simtime.Microsecond, func() { e.inject(40) })
+	e.eng.RunUntil(30 * simtime.Millisecond)
+	stop.Cancel()
+	if e.m.Wasted[0].Total() != 0 {
+		t.Fatal("local backpressure dropped processed packets")
+	}
+	e.eng.RunUntil(3 * simtime.Second)
+	// Everything eventually drains out the NIC.
+	if e.m.Pool.InUse() != 0 {
+		t.Fatalf("descriptors stuck after drain: %d", e.m.Pool.InUse())
+	}
+}
+
+func TestDenseNFRegistration(t *testing.T) {
+	eng := eventsim.New()
+	m := New(eng, packet.NewPool(16), chain.NewRegistry(), DefaultParams(FeatureDefault()))
+	n := nf.New(5, "bad", nf.FixedCost(1), nf.DefaultParams(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sparse NF id did not panic")
+		}
+	}()
+	m.AddNF(n)
+}
+
+func TestDropPointString(t *testing.T) {
+	for _, d := range []DropPoint{DropPool, DropNoRoute, DropEntry, DropEntryRing, DropDownstream} {
+		if d.String() == "?" {
+			t.Fatalf("missing name for drop point %d", d)
+		}
+	}
+}
+
+func TestPoolExhaustionDropsAtNIC(t *testing.T) {
+	eng := eventsim.New()
+	pool := packet.NewPool(8) // tiny pool
+	reg := chain.NewRegistry()
+	m := New(eng, pool, reg, DefaultParams(FeatureDefault()))
+	core := cpusched.NewCore(0, eng, cpusched.NewCFSBatch(), cpusched.DefaultCoreParams())
+	n := nf.New(0, "slow", nf.FixedCost(1_000_000), nf.DefaultParams(), 1)
+	core.AddTask(n.Task)
+	m.AddNF(n)
+	reg.MustAdd("c", 0)
+	m.GrowChains(1)
+	m.Start()
+	flow := packet.FlowKey{SrcIP: 1, Proto: packet.UDP}
+	m.Table.InstallExact(flow, 0)
+	var poolDrops int
+	m.RegisterSink(0, sinkFns{
+		onDeliver: func(*packet.Packet) {},
+		onDrop: func(_ *packet.Packet, at DropPoint) {
+			if at == DropPool {
+				poolDrops++
+			}
+		},
+	})
+	for i := 0; i < 20; i++ {
+		m.Inject(flow, 0, 64, packet.NotECT, 0)
+	}
+	if m.PoolDrops.Total() == 0 || poolDrops == 0 {
+		t.Fatalf("pool exhaustion not surfaced: meter=%d sink=%d", m.PoolDrops.Total(), poolDrops)
+	}
+}
+
+func TestWakeupThreadBackstop(t *testing.T) {
+	// An NF left blocked with pending packets (e.g. its direct wake was
+	// suppressed) must be picked up by the periodic wakeup scan.
+	e := newEnv(t, FeatureDefault(), 100)
+	n := e.nfs[0]
+	// Bypass Inject's direct wake by enqueuing straight into the ring.
+	pkt := e.m.Pool.Get()
+	n.Rx.Enqueue(e.eng.Now(), pkt)
+	if n.Task.State() != cpusched.Blocked {
+		t.Fatal("setup: task should be blocked")
+	}
+	e.eng.RunUntil(e.eng.Now() + 500*simtime.Microsecond)
+	if n.ProcessedMeter.Total() != 1 {
+		t.Fatalf("wakeup thread never rescued the blocked NF (processed=%d)",
+			n.ProcessedMeter.Total())
+	}
+}
+
+func TestChainThroughputHelper(t *testing.T) {
+	e := newEnv(t, FeatureDefault(), 100)
+	e.inject(1000)
+	e.eng.RunUntil(100 * simtime.Millisecond)
+	r := e.m.ChainThroughput(0, e.eng.Now())
+	if r < 9000 || r > 11000 {
+		t.Fatalf("throughput = %v pps, want ~10000 (1000 pkts / 0.1s)", r)
+	}
+}

@@ -1,0 +1,87 @@
+package nf
+
+import (
+	"math/rand"
+
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+// CostModel yields the CPU cost of processing one packet at an NF. The
+// paper's workloads use fixed per-packet costs (e.g. 120/270/550 cycles),
+// per-packet variable costs drawn from a class set (Fig 10), per-byte costs
+// (Fig 14's I/O experiment varies packet size), and costs that change at
+// runtime (Fig 15a's dynamic adaptation).
+type CostModel interface {
+	// Cost returns the cycles needed for this packet. rng is the NF's
+	// seeded RNG for stochastic models.
+	Cost(p *packet.Packet, rng *rand.Rand) simtime.Cycles
+}
+
+// FixedCost charges the same cycles for every packet.
+type FixedCost simtime.Cycles
+
+// Cost implements CostModel.
+func (c FixedCost) Cost(*packet.Packet, *rand.Rand) simtime.Cycles {
+	return simtime.Cycles(c)
+}
+
+// ClassCost charges by the packet's CostClass, the Fig 10 workload where
+// "packets are classified as having one of 3 processing costs at each NF".
+// A packet whose class is out of range uses class 0.
+type ClassCost []simtime.Cycles
+
+// Cost implements CostModel.
+func (c ClassCost) Cost(p *packet.Packet, _ *rand.Rand) simtime.Cycles {
+	if len(c) == 0 {
+		return 0
+	}
+	if p.CostClass < 0 || p.CostClass >= len(c) {
+		return c[0]
+	}
+	return c[p.CostClass]
+}
+
+// UniformCost draws each packet's cost uniformly from [Lo, Hi].
+type UniformCost struct {
+	Lo, Hi simtime.Cycles
+}
+
+// Cost implements CostModel.
+func (c UniformCost) Cost(_ *packet.Packet, rng *rand.Rand) simtime.Cycles {
+	if c.Hi <= c.Lo {
+		return c.Lo
+	}
+	return c.Lo + simtime.Cycles(rng.Int63n(int64(c.Hi-c.Lo+1)))
+}
+
+// ByteCost charges Base plus PerByte cycles for each byte of the frame —
+// the shape of payload-touching NFs (DPI, encryption, logging).
+type ByteCost struct {
+	Base    simtime.Cycles
+	PerByte simtime.Cycles
+}
+
+// Cost implements CostModel.
+func (c ByteCost) Cost(p *packet.Packet, _ *rand.Rand) simtime.Cycles {
+	return c.Base + c.PerByte*simtime.Cycles(p.Size)
+}
+
+// DynamicCost is a fixed cost that the experiment can change at runtime
+// (Fig 15a triples NF1's cost between t=31 s and t=60 s).
+type DynamicCost struct {
+	cycles simtime.Cycles
+}
+
+// NewDynamicCost returns a mutable fixed-cost model.
+func NewDynamicCost(c simtime.Cycles) *DynamicCost { return &DynamicCost{cycles: c} }
+
+// Set changes the per-packet cost; takes effect for subsequently processed
+// packets.
+func (d *DynamicCost) Set(c simtime.Cycles) { d.cycles = c }
+
+// Current reports the active cost.
+func (d *DynamicCost) Current() simtime.Cycles { return d.cycles }
+
+// Cost implements CostModel.
+func (d *DynamicCost) Cost(*packet.Packet, *rand.Rand) simtime.Cycles { return d.cycles }

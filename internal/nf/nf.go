@@ -1,0 +1,273 @@
+// Package nf models a network function process linked against libnf: it
+// reads packets from its receive ring in batches of at most 32, charges
+// per-packet CPU cost, writes results to its transmit ring, samples its own
+// service time for the manager, optionally logs packets through the async
+// I/O library, and yields the CPU exactly when libnf would — receive ring
+// empty, transmit ring full, I/O buffers saturated, or the manager's
+// backpressure flag set.
+package nf
+
+import (
+	"math/rand"
+
+	"nfvnice/internal/cpusched"
+	"nfvnice/internal/iosim"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/ring"
+	"nfvnice/internal/simtime"
+	"nfvnice/internal/stats"
+)
+
+// Params configure libnf behaviour. Defaults mirror the paper's platform.
+type Params struct {
+	// BatchSize is the maximum packets processed between yield checks.
+	BatchSize int
+	// BatchOverhead is framework cost per batch (ring ops, flag checks).
+	BatchOverhead simtime.Cycles
+	// SampleInterval is how often libnf samples packet processing time
+	// with the cycle counter (1 ms in the paper, to avoid per-packet
+	// rdtsc pipeline flushes).
+	SampleInterval simtime.Cycles
+	// SampleWindow is the moving window over which the manager takes the
+	// median service time (100 ms).
+	SampleWindow simtime.Cycles
+	// RDTSCCost is the cycle counter read cost charged on sampled batches.
+	RDTSCCost simtime.Cycles
+	// RingSize, HighFrac and LowFrac shape the receive/transmit rings and
+	// their backpressure watermarks.
+	RingSize int
+	HighFrac float64
+	LowFrac  float64
+	// WarmupSamples are discarded before the estimator trusts service
+	// times ("we discard the first 10 samples to account for warming the
+	// cache").
+	WarmupSamples int
+}
+
+// DefaultParams returns the calibrated libnf parameters.
+func DefaultParams() Params {
+	return Params{
+		BatchSize:      32,
+		BatchOverhead:  100,
+		SampleInterval: simtime.Millisecond,
+		SampleWindow:   100 * simtime.Millisecond,
+		RDTSCCost:      50,
+		RingSize:       4096,
+		HighFrac:       0.80,
+		LowFrac:        0.60,
+		WarmupSamples:  10,
+	}
+}
+
+// NF is one network function instance.
+type NF struct {
+	ID       int
+	Name     string
+	Cost     CostModel
+	Priority float64 // NFVnice share multiplier (default 1)
+
+	Rx   *ring.Buffer
+	Tx   *ring.Buffer
+	Task *cpusched.Task
+
+	// YieldFlag is the shared-memory flag the manager sets to make the NF
+	// relinquish the CPU at its next batch boundary (backpressure).
+	YieldFlag bool
+
+	// Logger, when set, makes the NF log matching packets to storage via
+	// the async double-buffered writer. SyncLogger is the synchronous
+	// baseline; at most one should be set.
+	Logger     *iosim.Writer
+	SyncLogger *iosim.SyncWriter
+	// LogFlows restricts logging to specific FlowIDs (nil logs all).
+	LogFlows map[int]bool
+
+	// ServiceEst is the service-time estimator shared with the manager.
+	ServiceEst *stats.MedianWindow
+
+	// Meters the manager and experiments read.
+	ArrivalMeter   stats.Meter // packets enqueued to Rx
+	ProcessedMeter stats.Meter // packets processed
+	WastedDrops    stats.Meter // packets this NF processed that died downstream
+	// ProcessedByChain splits the processed count per service chain, for
+	// shared-NF accounting (the paper's Table 6).
+	ProcessedByChain map[int]uint64
+
+	params Params
+	rng    *rand.Rand
+
+	ioBlocked bool
+	txBlocked bool
+
+	batch       []*packet.Packet
+	batchCosts  []simtime.Cycles
+	sampled     int
+	pendSample  bool
+	everSampled bool
+	lastSample  simtime.Cycles
+}
+
+// New constructs an NF with its rings and scheduler task. The caller pins
+// the Task to a core and wires the manager.
+func New(id int, name string, cost CostModel, params Params, seed int64) *NF {
+	n := &NF{
+		ID:               id,
+		Name:             name,
+		Cost:             cost,
+		Priority:         1,
+		params:           params,
+		rng:              rand.New(rand.NewSource(seed)),
+		Rx:               ring.NewBuffer(params.RingSize, params.HighFrac, params.LowFrac),
+		Tx:               ring.NewBuffer(params.RingSize, params.HighFrac, params.LowFrac),
+		ServiceEst:       stats.NewMedianWindow(params.SampleWindow),
+		ProcessedByChain: make(map[int]uint64),
+		batch:            make([]*packet.Packet, 0, params.BatchSize),
+		batchCosts:       make([]simtime.Cycles, 0, params.BatchSize),
+	}
+	n.Task = cpusched.NewTask(id, name, n)
+	n.Task.Backlog = n.Rx.Len
+	return n
+}
+
+// Params returns the NF's libnf configuration.
+func (n *NF) Params() Params { return n.params }
+
+// WantsWake reports whether the NF has work it is allowed to run: packets
+// pending and no blocking condition. The manager's wakeup subsystem wakes
+// the task only when this holds.
+func (n *NF) WantsWake() bool {
+	return n.Rx.Len() > 0 && !n.YieldFlag && !n.ioBlocked && !n.txBlocked
+}
+
+// TxBlocked reports whether the NF is suspended on a full transmit ring.
+func (n *NF) TxBlocked() bool { return n.txBlocked }
+
+// SetTxBlocked is used by the manager's Tx thread when it clears (or
+// detects) transmit-ring pressure.
+func (n *NF) SetTxBlocked(v bool) { n.txBlocked = v }
+
+// IOBlocked reports whether the NF is suspended on saturated I/O buffers.
+func (n *NF) IOBlocked() bool { return n.ioBlocked }
+
+// AttachLogger wires an async writer and its unblock callback so the NF
+// resumes when a flush completes.
+func (n *NF) AttachLogger(w *iosim.Writer) {
+	n.Logger = w
+	w.Unblock = func(now simtime.Cycles) {
+		n.ioBlocked = false
+		if n.WantsWake() && n.Task.Core() != nil {
+			n.Task.Core().Wake(n.Task)
+		}
+	}
+}
+
+// Segment implements cpusched.Actor: dequeue the next batch and report its
+// CPU cost. Returning 0 blocks the task.
+func (n *NF) Segment(now simtime.Cycles) simtime.Cycles {
+	if n.YieldFlag || n.ioBlocked {
+		return 0
+	}
+	space := n.Tx.Free()
+	if space == 0 {
+		// Local backpressure: transmit ring full, suspend.
+		n.txBlocked = true
+		return 0
+	}
+	limit := n.params.BatchSize
+	if space < limit {
+		limit = space
+	}
+	n.batch = n.batch[:0]
+	n.batchCosts = n.batchCosts[:0]
+	var cost simtime.Cycles
+	for len(n.batch) < limit {
+		pkt := n.Rx.Dequeue(now)
+		if pkt == nil {
+			break
+		}
+		c := n.Cost.Cost(pkt, n.rng)
+		if n.SyncLogger != nil && n.shouldLog(pkt) {
+			// Synchronous I/O stalls the NF inline — the baseline
+			// NFVnice's async library replaces.
+			c += n.SyncLogger.StallCycles(pkt.Size)
+		}
+		n.batch = append(n.batch, pkt)
+		n.batchCosts = append(n.batchCosts, c)
+		cost += c
+	}
+	if len(n.batch) == 0 {
+		return 0
+	}
+	cost += n.params.BatchOverhead
+	if !n.everSampled || now-n.lastSample >= n.params.SampleInterval {
+		n.everSampled = true
+		// libnf wraps this batch's first handler call in rdtsc reads.
+		cost += 2 * n.params.RDTSCCost
+		n.pendSample = true
+		n.lastSample = now
+	}
+	return cost
+}
+
+func (n *NF) shouldLog(pkt *packet.Packet) bool {
+	if n.LogFlows == nil {
+		return true
+	}
+	return n.LogFlows[pkt.FlowID]
+}
+
+// Complete implements cpusched.Actor: deliver the processed batch to the
+// transmit ring and decide whether to keep the CPU.
+func (n *NF) Complete(now simtime.Cycles) bool {
+	if n.pendSample && len(n.batch) > 0 {
+		n.pendSample = false
+		n.sampled++
+		if n.sampled > n.params.WarmupSamples {
+			n.ServiceEst.Observe(now, uint64(n.batchCosts[0]))
+		}
+	}
+	for i, pkt := range n.batch {
+		pkt.Work += n.batchCosts[i]
+		pkt.Hop++
+		n.ProcessedByChain[pkt.ChainID]++
+		if n.Logger != nil && n.shouldLog(pkt) {
+			if !n.Logger.Log(pkt.Size) {
+				n.ioBlocked = true
+			}
+		}
+		if !n.Tx.Enqueue(now, pkt) {
+			// Cannot happen: Segment bounded the batch by Tx space and
+			// nothing else enqueues to our Tx ring.
+			panic("nf: transmit ring overflow")
+		}
+	}
+	n.ProcessedMeter.Add(uint64(len(n.batch)))
+	n.batch = n.batch[:0]
+	n.batchCosts = n.batchCosts[:0]
+
+	if n.Tx.Free() == 0 {
+		// Local backpressure: suspend until the Tx thread drains us.
+		n.txBlocked = true
+		return false
+	}
+	if n.YieldFlag || n.ioBlocked {
+		return false
+	}
+	return n.Rx.Len() > 0
+}
+
+// InFlight reports descriptors held in the batch currently being processed
+// (between Segment and Complete).
+func (n *NF) InFlight() int { return len(n.batch) }
+
+// EstimatedServiceTime reports the median sampled per-packet cost over the
+// moving window, or 0 when the estimator has no data yet.
+func (n *NF) EstimatedServiceTime(now simtime.Cycles) simtime.Cycles {
+	return simtime.Cycles(n.ServiceEst.Median(now))
+}
+
+// EstimatedServiceTimeMean is the mean-based variant for the estimator
+// ablation.
+func (n *NF) EstimatedServiceTimeMean(now simtime.Cycles) simtime.Cycles {
+	return simtime.Cycles(n.ServiceEst.Mean(now))
+}

@@ -1,0 +1,342 @@
+package nf
+
+import (
+	"math/rand"
+	"testing"
+
+	"nfvnice/internal/cpusched"
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/iosim"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+func testNF(cost CostModel) *NF {
+	return New(1, "nf", cost, DefaultParams(), 42)
+}
+
+func fill(n *NF, pool *packet.Pool, count int) {
+	for i := 0; i < count; i++ {
+		pkt := pool.Get()
+		pkt.Size = 64
+		n.Rx.Enqueue(0, pkt)
+	}
+}
+
+func TestSegmentBatching(t *testing.T) {
+	n := testNF(FixedCost(250))
+	pool := packet.NewPool(256)
+	fill(n, pool, 100)
+	cost := n.Segment(0)
+	// First segment carries the rdtsc sampling overhead.
+	want := simtime.Cycles(32*250) + n.params.BatchOverhead + 2*n.params.RDTSCCost
+	if cost != want {
+		t.Fatalf("batch cost = %d, want %d", cost, want)
+	}
+	if more := n.Complete(0); !more {
+		t.Fatal("68 packets remain; NF should keep the CPU")
+	}
+	if n.Tx.Len() != 32 {
+		t.Fatalf("tx ring = %d, want 32", n.Tx.Len())
+	}
+}
+
+func TestSegmentEmptyRxBlocks(t *testing.T) {
+	n := testNF(FixedCost(250))
+	if n.Segment(0) != 0 {
+		t.Fatal("empty rx should report no work")
+	}
+}
+
+func TestCompleteBlocksWhenDrained(t *testing.T) {
+	n := testNF(FixedCost(100))
+	pool := packet.NewPool(64)
+	fill(n, pool, 5)
+	n.Segment(0)
+	if n.Complete(0) {
+		t.Fatal("drained NF should yield")
+	}
+}
+
+func TestYieldFlagStopsProcessing(t *testing.T) {
+	n := testNF(FixedCost(100))
+	pool := packet.NewPool(64)
+	fill(n, pool, 40)
+	n.YieldFlag = true
+	if n.Segment(0) != 0 {
+		t.Fatal("yield flag must stop new batches")
+	}
+	n.YieldFlag = false
+	if n.Segment(0) == 0 {
+		t.Fatal("cleared flag should allow work")
+	}
+	n.YieldFlag = true
+	if n.Complete(0) {
+		t.Fatal("flag set mid-batch: NF must yield at the boundary")
+	}
+}
+
+func TestYieldFlagBlocksWake(t *testing.T) {
+	n := testNF(FixedCost(100))
+	pool := packet.NewPool(64)
+	fill(n, pool, 10)
+	n.YieldFlag = true
+	if n.WantsWake() {
+		t.Fatal("throttled NF must not be woken")
+	}
+	n.YieldFlag = false
+	if !n.WantsWake() {
+		t.Fatal("NF with packets should want wake")
+	}
+}
+
+func TestTxFullTriggersLocalBackpressure(t *testing.T) {
+	p := DefaultParams()
+	p.RingSize = 64
+	n := New(1, "nf", FixedCost(100), p, 1)
+	pool := packet.NewPool(256)
+	for i := 0; i < 128; i++ {
+		pkt := pool.Get()
+		if !n.Rx.Enqueue(0, pkt) {
+			pkt.Release()
+		}
+	}
+	// Process until the 64-slot Tx ring fills (2 batches of 32).
+	for i := 0; i < 2; i++ {
+		if n.Segment(0) == 0 {
+			t.Fatalf("segment %d refused work", i)
+		}
+		n.Complete(0)
+	}
+	if !n.TxBlocked() {
+		t.Fatal("full tx ring must set local backpressure")
+	}
+	if n.Segment(0) != 0 {
+		t.Fatal("tx-blocked NF must not take another batch")
+	}
+	// Manager drains tx and clears the flag; with fresh rx packets the NF
+	// resumes.
+	for n.Tx.Len() > 0 {
+		n.Tx.Dequeue(0).Release()
+	}
+	n.SetTxBlocked(false)
+	fill(n, pool, 4)
+	if n.Segment(0) == 0 {
+		t.Fatal("NF should resume after tx drain")
+	}
+}
+
+func TestSegmentLimitedByTxSpace(t *testing.T) {
+	p := DefaultParams()
+	p.RingSize = 64
+	n := New(1, "nf", FixedCost(100), p, 1)
+	pool := packet.NewPool(256)
+	fill(n, pool, 60)
+	// Leave only 10 slots free in Tx.
+	for i := 0; i < 54; i++ {
+		n.Tx.Enqueue(0, pool.Get())
+	}
+	n.Segment(0)
+	if got := len(n.batch); got != 10 {
+		t.Fatalf("batch limited to %d, want 10 (tx space)", got)
+	}
+	n.Complete(0)
+}
+
+func TestServiceTimeEstimation(t *testing.T) {
+	n := testNF(FixedCost(550))
+	pool := packet.NewPool(4096)
+	now := simtime.Cycles(0)
+	// Run enough sampled batches to pass warmup (10) and populate the
+	// 100 ms window; samples are 1 ms apart.
+	for i := 0; i < 40; i++ {
+		fill(n, pool, 32)
+		c := n.Segment(now)
+		if c == 0 {
+			t.Fatal("no work")
+		}
+		n.Complete(now)
+		n.Tx.DrainAndRelease(now)
+		now += n.params.SampleInterval
+	}
+	got := n.EstimatedServiceTime(now)
+	if got != 550 {
+		t.Fatalf("estimated service time = %d, want 550", got)
+	}
+}
+
+func TestServiceTimeMedianRobustToVariance(t *testing.T) {
+	// With per-packet class costs, the median should land on one of the
+	// class values, not an average distorted by outliers.
+	n := testNF(ClassCost{120, 270, 550})
+	pool := packet.NewPool(4096)
+	rng := rand.New(rand.NewSource(5))
+	now := simtime.Cycles(0)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 32; j++ {
+			pkt := pool.Get()
+			pkt.CostClass = rng.Intn(3)
+			n.Rx.Enqueue(now, pkt)
+		}
+		if n.Segment(now) == 0 {
+			t.Fatal("no work")
+		}
+		n.Complete(now)
+		n.Tx.DrainAndRelease(now)
+		now += n.params.SampleInterval
+	}
+	got := uint64(n.EstimatedServiceTime(now))
+	if got != 120 && got != 270 && got != 550 {
+		t.Fatalf("median = %d, want one of the class costs", got)
+	}
+}
+
+func TestAsyncLoggerBlocksNF(t *testing.T) {
+	eng := eventsim.New()
+	disk := iosim.NewDisk(eng)
+	disk.Bandwidth = 1000 // glacial
+	disk.Latency = simtime.Second
+	w := iosim.NewWriter(eng, disk)
+	w.BufBytes = 64 // tiny: one packet fills a buffer
+
+	n := testNF(FixedCost(100))
+	n.AttachLogger(w)
+	pool := packet.NewPool(256)
+	fill(n, pool, 96)
+	for i := 0; i < 3 && !n.IOBlocked(); i++ {
+		if n.Segment(eng.Now()) == 0 {
+			break
+		}
+		n.Complete(eng.Now())
+		n.Tx.DrainAndRelease(eng.Now())
+	}
+	if !n.IOBlocked() {
+		t.Fatal("saturated writer must block the NF")
+	}
+	if n.Segment(eng.Now()) != 0 {
+		t.Fatal("io-blocked NF must not process")
+	}
+	// Let the disk finish a flush; the unblock callback clears the state.
+	eng.Run()
+	if n.IOBlocked() {
+		t.Fatal("flush completion should unblock the NF")
+	}
+}
+
+func TestSyncLoggerInflatesCost(t *testing.T) {
+	eng := eventsim.New()
+	disk := iosim.NewDisk(eng)
+	n := testNF(FixedCost(100))
+	n.SyncLogger = iosim.NewSyncWriter(disk)
+	pool := packet.NewPool(64)
+	fill(n, pool, 32)
+	cost := n.Segment(0)
+	if cost < 32*n.SyncLogger.SyscallCost {
+		t.Fatalf("sync logging cost %v should include per-packet syscall stalls", cost)
+	}
+	n.Complete(0)
+}
+
+func TestLogFlowsSelective(t *testing.T) {
+	eng := eventsim.New()
+	disk := iosim.NewDisk(eng)
+	w := iosim.NewWriter(eng, disk)
+	n := testNF(FixedCost(100))
+	n.AttachLogger(w)
+	n.LogFlows = map[int]bool{7: true}
+	pool := packet.NewPool(64)
+	for i := 0; i < 10; i++ {
+		pkt := pool.Get()
+		pkt.Size = 100
+		pkt.FlowID = i % 2 // flows 0 and 1, neither is 7
+		n.Rx.Enqueue(0, pkt)
+	}
+	n.Segment(0)
+	n.Complete(0)
+	if w.LoggedBytes != 0 {
+		t.Fatalf("logged %d bytes for non-matching flows", w.LoggedBytes)
+	}
+	// Now a matching flow.
+	pkt := pool.Get()
+	pkt.Size = 100
+	pkt.FlowID = 7
+	n.Rx.Enqueue(0, pkt)
+	n.Segment(0)
+	n.Complete(0)
+	if w.LoggedBytes != 100 {
+		t.Fatalf("logged %d bytes, want 100", w.LoggedBytes)
+	}
+}
+
+func TestHopAndWorkAdvance(t *testing.T) {
+	n := testNF(FixedCost(250))
+	pool := packet.NewPool(8)
+	pkt := pool.Get()
+	n.Rx.Enqueue(0, pkt)
+	n.Segment(0)
+	n.Complete(0)
+	out := n.Tx.Dequeue(0)
+	if out.Hop != 1 {
+		t.Fatalf("hop = %d, want 1", out.Hop)
+	}
+	if out.Work != 250 {
+		t.Fatalf("work = %v, want 250", out.Work)
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if FixedCost(120).Cost(nil, rng) != 120 {
+		t.Fatal("fixed")
+	}
+	cc := ClassCost{10, 20, 30}
+	if cc.Cost(&packet.Packet{CostClass: 2}, rng) != 30 {
+		t.Fatal("class")
+	}
+	if cc.Cost(&packet.Packet{CostClass: 9}, rng) != 10 {
+		t.Fatal("class out of range should fall back to class 0")
+	}
+	if (ClassCost{}).Cost(&packet.Packet{}, rng) != 0 {
+		t.Fatal("empty class cost")
+	}
+	u := UniformCost{Lo: 100, Hi: 200}
+	for i := 0; i < 100; i++ {
+		c := u.Cost(nil, rng)
+		if c < 100 || c > 200 {
+			t.Fatalf("uniform out of range: %d", c)
+		}
+	}
+	if (UniformCost{Lo: 50, Hi: 50}).Cost(nil, rng) != 50 {
+		t.Fatal("degenerate uniform")
+	}
+	b := ByteCost{Base: 100, PerByte: 2}
+	if b.Cost(&packet.Packet{Size: 64}, rng) != 228 {
+		t.Fatal("byte cost")
+	}
+	d := NewDynamicCost(300)
+	if d.Cost(nil, rng) != 300 || d.Current() != 300 {
+		t.Fatal("dynamic initial")
+	}
+	d.Set(900)
+	if d.Cost(nil, rng) != 900 {
+		t.Fatal("dynamic update")
+	}
+}
+
+func TestTaskIntegration(t *testing.T) {
+	// The NF as a cpusched actor on a real core: packets in, packets out.
+	eng := eventsim.New()
+	core := cpusched.NewCore(0, eng, cpusched.NewCFS(), cpusched.DefaultCoreParams())
+	n := testNF(FixedCost(260)) // 10 Mpps capacity at 2.6GHz
+	core.AddTask(n.Task)
+	pool := packet.NewPool(4096)
+	fill(n, pool, 1000)
+	core.Wake(n.Task)
+	eng.RunUntil(simtime.Millisecond)
+	if got := n.ProcessedMeter.Total(); got != 1000 {
+		t.Fatalf("processed %d packets, want 1000", got)
+	}
+	if n.Task.State() != cpusched.Blocked {
+		t.Fatal("NF should block after draining its queue")
+	}
+}

@@ -1,0 +1,123 @@
+package nfs
+
+import (
+	"nfvnice/internal/proto"
+)
+
+// DPI is a deep packet inspection NF: an Aho-Corasick multi-pattern matcher
+// scanning every payload byte. It is the canonical "High" cost NF — per
+// packet cost scales with payload length, the heterogeneity §2.1 measures.
+type DPI struct {
+	ac *ahoCorasick
+	// DropOnMatch makes matching packets get dropped (IPS mode) instead
+	// of just counted (IDS mode).
+	DropOnMatch bool
+
+	// Scanned, Matches and Dropped count activity; PerPattern counts hits
+	// by pattern index.
+	Scanned    uint64
+	Matches    uint64
+	Dropped    uint64
+	PerPattern []uint64
+}
+
+// NewDPI builds the matcher over the given byte patterns.
+func NewDPI(patterns [][]byte, dropOnMatch bool) *DPI {
+	return &DPI{
+		ac:          buildAhoCorasick(patterns),
+		DropOnMatch: dropOnMatch,
+		PerPattern:  make([]uint64, len(patterns)),
+	}
+}
+
+// Name implements Processor.
+func (d *DPI) Name() string { return "dpi" }
+
+// Process implements Processor: scan the application payload.
+func (d *DPI) Process(frame []byte) Verdict {
+	f, err := proto.Decode(frame)
+	if err != nil {
+		return Drop
+	}
+	d.Scanned++
+	matched := false
+	d.ac.scan(f.Payload, func(pattern int) {
+		matched = true
+		d.Matches++
+		d.PerPattern[pattern]++
+	})
+	if matched && d.DropOnMatch {
+		d.Dropped++
+		return Drop
+	}
+	return Accept
+}
+
+// ahoCorasick is a classic Aho-Corasick automaton over bytes.
+type ahoCorasick struct {
+	next [][256]int32 // goto function; -1 = undefined before fallback fill
+	fail []int32
+	out  [][]int32 // pattern indices terminating at each state
+}
+
+func buildAhoCorasick(patterns [][]byte) *ahoCorasick {
+	ac := &ahoCorasick{}
+	newState := func() int32 {
+		var row [256]int32
+		for i := range row {
+			row[i] = -1
+		}
+		ac.next = append(ac.next, row)
+		ac.fail = append(ac.fail, 0)
+		ac.out = append(ac.out, nil)
+		return int32(len(ac.next) - 1)
+	}
+	newState() // root = 0
+	// Build the trie.
+	for pi, p := range patterns {
+		s := int32(0)
+		for _, c := range p {
+			if ac.next[s][c] == -1 {
+				ac.next[s][c] = newState()
+			}
+			s = ac.next[s][c]
+		}
+		ac.out[s] = append(ac.out[s], int32(pi))
+	}
+	// BFS to set failure links and complete the goto function.
+	queue := make([]int32, 0, len(ac.next))
+	for c := 0; c < 256; c++ {
+		if ac.next[0][c] == -1 {
+			ac.next[0][c] = 0
+		} else {
+			ac.fail[ac.next[0][c]] = 0
+			queue = append(queue, ac.next[0][c])
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for c := 0; c < 256; c++ {
+			t := ac.next[s][c]
+			if t == -1 {
+				ac.next[s][c] = ac.next[ac.fail[s]][c]
+				continue
+			}
+			ac.fail[t] = ac.next[ac.fail[s]][c]
+			ac.out[t] = append(ac.out[t], ac.out[ac.fail[t]]...)
+			queue = append(queue, t)
+		}
+	}
+	return ac
+}
+
+// scan walks the payload, invoking emit for every pattern occurrence.
+func (ac *ahoCorasick) scan(payload []byte, emit func(pattern int)) {
+	s := int32(0)
+	for _, c := range payload {
+		s = ac.next[s][c]
+		for _, pi := range ac.out[s] {
+			emit(int(pi))
+		}
+	}
+}

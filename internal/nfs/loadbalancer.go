@@ -1,0 +1,110 @@
+package nfs
+
+import (
+	"encoding/binary"
+
+	"nfvnice/internal/proto"
+)
+
+// LoadBalancer is an L4 load balancer: flows are hashed consistently onto a
+// backend set and the destination address is rewritten in place (checksum-
+// incremental), so a flow always lands on the same backend even as other
+// backends come and go — a rendezvous ("highest random weight") hash.
+type LoadBalancer struct {
+	// VIP is the virtual address the balancer answers for; only traffic
+	// to it is rewritten.
+	VIP      proto.IPv4Addr
+	backends []proto.IPv4Addr
+
+	// Balanced, PassedThrough count outcomes; PerBackend counts flows by
+	// backend index (first packet of each flow).
+	Balanced      uint64
+	PassedThrough uint64
+	PerBackend    []uint64
+
+	flows map[natKey]int
+}
+
+// NewLoadBalancer returns a balancer for vip over backends.
+func NewLoadBalancer(vip proto.IPv4Addr, backends []proto.IPv4Addr) *LoadBalancer {
+	return &LoadBalancer{
+		VIP:        vip,
+		backends:   append([]proto.IPv4Addr(nil), backends...),
+		PerBackend: make([]uint64, len(backends)),
+		flows:      make(map[natKey]int),
+	}
+}
+
+// Name implements Processor.
+func (lb *LoadBalancer) Name() string { return "loadbalancer" }
+
+// rendezvous picks the backend with the highest hash(flow, backend) score.
+func (lb *LoadBalancer) rendezvous(k natKey) int {
+	best, bestScore := 0, uint64(0)
+	for i, b := range lb.backends {
+		h := fnvMix(uint64(k.src)<<32|uint64(k.srcPort)<<16|uint64(k.proto), uint64(b))
+		if h >= bestScore {
+			best, bestScore = i, h
+		}
+	}
+	return best
+}
+
+func fnvMix(a, b uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= a >> (8 * i) & 0xff
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= b >> (8 * i) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// Process implements Processor.
+func (lb *LoadBalancer) Process(frame []byte) Verdict {
+	if len(lb.backends) == 0 {
+		return Drop
+	}
+	f, err := proto.Decode(frame)
+	if err != nil || !f.HasIP || f.IP.Dst != lb.VIP || (!f.HasUDP && !f.HasTCP) {
+		lb.PassedThrough++
+		return Accept
+	}
+	var sp, dp uint16
+	if f.HasUDP {
+		sp, dp = f.UDP.SrcPort, f.UDP.DstPort
+	} else {
+		sp, dp = f.TCP.SrcPort, f.TCP.DstPort
+	}
+	k := natKey{src: f.IP.Src, dst: f.IP.Dst, srcPort: sp, dstPort: dp, proto: f.IP.Protocol}
+	idx, ok := lb.flows[k]
+	if !ok {
+		idx = lb.rendezvous(k)
+		lb.flows[k] = idx
+		lb.PerBackend[idx]++
+	}
+	backend := lb.backends[idx]
+
+	ipb := frame[proto.EthernetHeaderLen:]
+	hlen := int(f.IP.IHL) * 4
+	l4 := ipb[hlen:]
+	oldAddr := binary.BigEndian.Uint32(ipb[16:20])
+	binary.BigEndian.PutUint32(ipb[16:20], uint32(backend))
+	cs := binary.BigEndian.Uint16(ipb[10:12])
+	binary.BigEndian.PutUint16(ipb[10:12], csumUpdate32(cs, oldAddr, uint32(backend)))
+	if off := transportCsumOffset(f.IP.Protocol); off >= 0 {
+		tc := binary.BigEndian.Uint16(l4[off : off+2])
+		if f.IP.Protocol != proto.IPProtoUDP || tc != 0 {
+			binary.BigEndian.PutUint16(l4[off:off+2], csumUpdate32(tc, oldAddr, uint32(backend)))
+		}
+	}
+	lb.Balanced++
+	return Accept
+}
+
+// ActiveFlows reports tracked flows.
+func (lb *LoadBalancer) ActiveFlows() int { return len(lb.flows) }

@@ -1,0 +1,88 @@
+package nfs
+
+import (
+	"sort"
+
+	"nfvnice/internal/proto"
+)
+
+// FlowStat is a monitor counter for one 5-tuple.
+type FlowStat struct {
+	Src, Dst         proto.IPv4Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+	Packets, Bytes   uint64
+}
+
+type flowKey struct {
+	src, dst         proto.IPv4Addr
+	srcPort, dstPort uint16
+	proto            uint8
+}
+
+// Monitor is a passive per-flow packet/byte counter — the paper's "basic
+// monitor NF". Its per-packet cost is a flow-table hash update, naturally
+// cheap, matching the "Low" class.
+type Monitor struct {
+	flows map[flowKey]*FlowStat
+
+	// NonIP counts frames the monitor could not classify.
+	NonIP uint64
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{flows: make(map[flowKey]*FlowStat)}
+}
+
+// Name implements Processor.
+func (m *Monitor) Name() string { return "monitor" }
+
+// Process implements Processor.
+func (m *Monitor) Process(frame []byte) Verdict {
+	f, err := proto.Decode(frame)
+	if err != nil || !f.HasIP {
+		m.NonIP++
+		return Accept // monitors never drop
+	}
+	k := flowKey{src: f.IP.Src, dst: f.IP.Dst, proto: f.IP.Protocol}
+	switch {
+	case f.HasUDP:
+		k.srcPort, k.dstPort = f.UDP.SrcPort, f.UDP.DstPort
+	case f.HasTCP:
+		k.srcPort, k.dstPort = f.TCP.SrcPort, f.TCP.DstPort
+	}
+	st := m.flows[k]
+	if st == nil {
+		st = &FlowStat{Src: k.src, Dst: k.dst, SrcPort: k.srcPort, DstPort: k.dstPort, Proto: k.proto}
+		m.flows[k] = st
+	}
+	st.Packets++
+	st.Bytes += uint64(len(frame))
+	return Accept
+}
+
+// Flows reports the number of tracked flows.
+func (m *Monitor) Flows() int { return len(m.flows) }
+
+// Top returns the n busiest flows by bytes, descending (deterministic ties
+// by tuple order).
+func (m *Monitor) Top(n int) []FlowStat {
+	out := make([]FlowStat, 0, len(m.flows))
+	for _, st := range m.flows {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].SrcPort < out[j].SrcPort
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

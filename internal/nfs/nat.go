@@ -1,0 +1,203 @@
+package nfs
+
+import (
+	"encoding/binary"
+
+	"nfvnice/internal/proto"
+)
+
+// natKey identifies an internal connection.
+type natKey struct {
+	src, dst         proto.IPv4Addr
+	srcPort, dstPort uint16
+	proto            uint8
+}
+
+// natBinding is one translation entry.
+type natBinding struct {
+	key     natKey
+	natPort uint16
+}
+
+// NAT is a source NAT (masquerade): outbound packets from internal
+// addresses are rewritten to carry the NAT's external address and an
+// allocated port; inbound packets to an allocated port are rewritten back.
+// All IP and transport checksums are updated incrementally per RFC 1624 —
+// the expensive little detail that makes NAT a "Medium" cost NF.
+type NAT struct {
+	// External is the public address owned by the NAT.
+	External proto.IPv4Addr
+	// Internal reports whether an address is on the inside network.
+	Internal func(proto.IPv4Addr) bool
+
+	nextPort uint16
+	outbound map[natKey]uint16
+	inbound  map[uint16]natBinding
+
+	// Translated, Untranslatable and PortExhausted count outcomes.
+	Translated     uint64
+	Untranslatable uint64
+	PortExhausted  uint64
+}
+
+// NewNAT returns a NAT owning the external address; internal classifies
+// inside addresses (nil means "everything not equal to External").
+func NewNAT(external proto.IPv4Addr, internal func(proto.IPv4Addr) bool) *NAT {
+	if internal == nil {
+		internal = func(a proto.IPv4Addr) bool { return a != external }
+	}
+	return &NAT{
+		External: external,
+		Internal: internal,
+		nextPort: 20000,
+		outbound: make(map[natKey]uint16),
+		inbound:  make(map[uint16]natBinding),
+	}
+}
+
+// Name implements Processor.
+func (n *NAT) Name() string { return "nat" }
+
+// Bindings reports active translations.
+func (n *NAT) Bindings() int { return len(n.outbound) }
+
+// csumUpdate16 folds a 16-bit field change into an internet checksum per
+// RFC 1624: HC' = ~(~HC + ~m + m').
+func csumUpdate16(hc, old, new uint16) uint16 {
+	sum := uint32(^hc) + uint32(^old) + uint32(new)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// csumUpdate32 folds a 32-bit field change (e.g. an IPv4 address) into a
+// checksum as two 16-bit updates.
+func csumUpdate32(hc uint16, old, new uint32) uint16 {
+	hc = csumUpdate16(hc, uint16(old>>16), uint16(new>>16))
+	return csumUpdate16(hc, uint16(old), uint16(new))
+}
+
+// Process implements Processor.
+func (n *NAT) Process(frame []byte) Verdict {
+	if len(frame) < proto.EthernetHeaderLen+proto.IPv4MinHeaderLen {
+		return Drop
+	}
+	ipb := frame[proto.EthernetHeaderLen:]
+	f, err := proto.Decode(frame)
+	if err != nil || !f.HasIP || (!f.HasUDP && !f.HasTCP) {
+		n.Untranslatable++
+		return Accept // pass non-translatable traffic untouched
+	}
+	hlen := int(f.IP.IHL) * 4
+	l4 := ipb[hlen:]
+
+	var srcPort, dstPort uint16
+	if f.HasUDP {
+		srcPort, dstPort = f.UDP.SrcPort, f.UDP.DstPort
+	} else {
+		srcPort, dstPort = f.TCP.SrcPort, f.TCP.DstPort
+	}
+
+	switch {
+	case n.Internal(f.IP.Src):
+		// Outbound: allocate (or reuse) a port, rewrite source.
+		k := natKey{src: f.IP.Src, dst: f.IP.Dst, srcPort: srcPort, dstPort: dstPort, proto: f.IP.Protocol}
+		port, ok := n.outbound[k]
+		if !ok {
+			port, ok = n.allocPort()
+			if !ok {
+				n.PortExhausted++
+				return Drop
+			}
+			n.outbound[k] = port
+			n.inbound[port] = natBinding{key: k, natPort: port}
+		}
+		n.rewrite(ipb, l4, f.IP.Protocol, true, n.External, port)
+		n.Translated++
+		return Accept
+	case f.IP.Dst == n.External:
+		// Inbound: look up the binding by destination port.
+		b, ok := n.inbound[dstPort]
+		if !ok {
+			return Drop // unsolicited
+		}
+		n.rewriteDst(ipb, l4, f.IP.Protocol, b.key.src, b.key.srcPort)
+		n.Translated++
+		return Accept
+	default:
+		n.Untranslatable++
+		return Accept
+	}
+}
+
+func (n *NAT) allocPort() (uint16, bool) {
+	for tries := 0; tries < 45000; tries++ {
+		p := n.nextPort
+		n.nextPort++
+		if n.nextPort == 0 {
+			n.nextPort = 20000
+		}
+		if p < 20000 {
+			continue
+		}
+		if _, used := n.inbound[p]; !used {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// rewrite replaces the source address/port in place with incremental
+// checksum updates. l4 points at the transport header.
+func (n *NAT) rewrite(ipb, l4 []byte, protocol uint8, _ bool, newAddr proto.IPv4Addr, newPort uint16) {
+	oldAddr := binary.BigEndian.Uint32(ipb[12:16])
+	binary.BigEndian.PutUint32(ipb[12:16], uint32(newAddr))
+	// IP header checksum covers the address.
+	ipCsum := binary.BigEndian.Uint16(ipb[10:12])
+	ipCsum = csumUpdate32(ipCsum, oldAddr, uint32(newAddr))
+	binary.BigEndian.PutUint16(ipb[10:12], ipCsum)
+	// Transport checksum covers the pseudo header (address) and port.
+	oldPort := binary.BigEndian.Uint16(l4[0:2])
+	binary.BigEndian.PutUint16(l4[0:2], newPort)
+	csOff := transportCsumOffset(protocol)
+	if csOff >= 0 {
+		tc := binary.BigEndian.Uint16(l4[csOff : csOff+2])
+		if protocol != proto.IPProtoUDP || tc != 0 { // UDP checksum 0 = disabled
+			tc = csumUpdate32(tc, oldAddr, uint32(newAddr))
+			tc = csumUpdate16(tc, oldPort, newPort)
+			binary.BigEndian.PutUint16(l4[csOff:csOff+2], tc)
+		}
+	}
+}
+
+// rewriteDst replaces the destination address/port (inbound direction).
+func (n *NAT) rewriteDst(ipb, l4 []byte, protocol uint8, newAddr proto.IPv4Addr, newPort uint16) {
+	oldAddr := binary.BigEndian.Uint32(ipb[16:20])
+	binary.BigEndian.PutUint32(ipb[16:20], uint32(newAddr))
+	ipCsum := binary.BigEndian.Uint16(ipb[10:12])
+	ipCsum = csumUpdate32(ipCsum, oldAddr, uint32(newAddr))
+	binary.BigEndian.PutUint16(ipb[10:12], ipCsum)
+	oldPort := binary.BigEndian.Uint16(l4[2:4])
+	binary.BigEndian.PutUint16(l4[2:4], newPort)
+	csOff := transportCsumOffset(protocol)
+	if csOff >= 0 {
+		tc := binary.BigEndian.Uint16(l4[csOff : csOff+2])
+		if protocol != proto.IPProtoUDP || tc != 0 {
+			tc = csumUpdate32(tc, oldAddr, uint32(newAddr))
+			tc = csumUpdate16(tc, oldPort, newPort)
+			binary.BigEndian.PutUint16(l4[csOff:csOff+2], tc)
+		}
+	}
+}
+
+func transportCsumOffset(protocol uint8) int {
+	switch protocol {
+	case proto.IPProtoUDP:
+		return 6
+	case proto.IPProtoTCP:
+		return 16
+	default:
+		return -1
+	}
+}

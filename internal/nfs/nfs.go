@@ -1,0 +1,59 @@
+// Package nfs implements the network functions the paper's introduction
+// motivates — bridge, monitor, firewall, NAT, router, DPI, load balancer —
+// as real packet processors over internal/proto frames. They run in the
+// concurrent dataplane (each satisfies Processor; Adapt turns one into a
+// dataplane.Handler) and double as realistic cost generators: their cycle
+// costs vary with packet contents exactly the way §2.1 describes.
+package nfs
+
+import (
+	"fmt"
+
+	"nfvnice/internal/dataplane"
+)
+
+// Verdict is an NF's decision about a packet.
+type Verdict int
+
+// Verdicts.
+const (
+	Accept Verdict = iota
+	Drop
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Accept:
+		return "accept"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Processor is a network function operating on a raw Ethernet frame. The
+// frame may be mutated in place (NAT, router TTL, ECN marking).
+type Processor interface {
+	// Name identifies the NF in stats.
+	Name() string
+	// Process handles one frame and returns the verdict.
+	Process(frame []byte) Verdict
+}
+
+// Adapt wraps a Processor as a dataplane Handler: the frame travels in
+// Packet.Userdata as []byte; dropped packets have Userdata set to nil so
+// downstream stages skip them (the dataplane delivers the descriptor
+// regardless, mirroring how a real NF chain still forwards the descriptor
+// slot).
+func Adapt(p Processor) dataplane.Handler {
+	return func(pkt *dataplane.Packet) {
+		frame, ok := pkt.Userdata.([]byte)
+		if !ok || frame == nil {
+			return
+		}
+		if p.Process(frame) == Drop {
+			pkt.Userdata = nil
+		}
+	}
+}

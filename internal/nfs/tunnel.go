@@ -1,0 +1,88 @@
+package nfs
+
+import (
+	"encoding/binary"
+
+	"nfvnice/internal/proto"
+)
+
+// VXLAN constants (RFC 7348).
+const (
+	vxlanPort      = 4789
+	vxlanHeaderLen = 8
+	vxlanFlagVNI   = 0x08 // "I" bit: VNI present
+)
+
+// VXLANEncap wraps each frame in an outer Ethernet/IPv4/UDP/VXLAN header —
+// the tunnel half of a WAN-optimizer or overlay gateway. Per-packet cost is
+// dominated by the copy and the fresh outer checksums, a realistic
+// "Medium/High" NF.
+type VXLANEncap struct {
+	// VNI is the 24-bit VXLAN network identifier.
+	VNI uint32
+	// OuterSrc/OuterDst address the tunnel endpoints.
+	OuterSrc, OuterDst proto.IPv4Addr
+	OuterSrcMAC        proto.MAC
+	OuterDstMAC        proto.MAC
+
+	// Encapsulated counts processed frames; LastFrame holds the most
+	// recent encapsulated frame (the NF's "output port" in tests).
+	Encapsulated uint64
+	LastFrame    []byte
+}
+
+// Name implements Processor.
+func (v *VXLANEncap) Name() string { return "vxlan-encap" }
+
+// Process implements Processor: builds the outer frame in LastFrame. The
+// inner frame bytes are not modified.
+func (v *VXLANEncap) Process(frame []byte) Verdict {
+	// Outer UDP payload = VXLAN header + inner frame.
+	payload := make([]byte, vxlanHeaderLen+len(frame))
+	payload[0] = vxlanFlagVNI
+	binary.BigEndian.PutUint32(payload[4:8], v.VNI<<8)
+	copy(payload[vxlanHeaderLen:], frame)
+	// Source port derived from the inner flow hash for ECMP entropy, as
+	// real VTEPs do.
+	srcPort := uint16(0xc000 | (fnvMix(uint64(len(frame)), uint64(frame[len(frame)-1])) & 0x3fff))
+	v.LastFrame = proto.BuildUDP(v.OuterSrcMAC, v.OuterDstMAC, v.OuterSrc, v.OuterDst, srcPort, vxlanPort, payload)
+	v.Encapsulated++
+	return Accept
+}
+
+// VXLANDecap strips the outer headers, recovering the inner frame in place
+// of the outer one (via LastFrame).
+type VXLANDecap struct {
+	// VNI filters which tunnel this endpoint terminates (0 = any).
+	VNI uint32
+
+	// Decapsulated and Rejected count outcomes; LastFrame holds the most
+	// recent inner frame.
+	Decapsulated uint64
+	Rejected     uint64
+	LastFrame    []byte
+}
+
+// Name implements Processor.
+func (v *VXLANDecap) Name() string { return "vxlan-decap" }
+
+// Process implements Processor.
+func (v *VXLANDecap) Process(frame []byte) Verdict {
+	f, err := proto.Decode(frame)
+	if err != nil || !f.HasUDP || f.UDP.DstPort != vxlanPort {
+		v.Rejected++
+		return Drop
+	}
+	if len(f.Payload) < vxlanHeaderLen || f.Payload[0]&vxlanFlagVNI == 0 {
+		v.Rejected++
+		return Drop
+	}
+	vni := binary.BigEndian.Uint32(f.Payload[4:8]) >> 8
+	if v.VNI != 0 && vni != v.VNI {
+		v.Rejected++
+		return Drop
+	}
+	v.LastFrame = f.Payload[vxlanHeaderLen:]
+	v.Decapsulated++
+	return Accept
+}

@@ -1,0 +1,121 @@
+package nfs
+
+import (
+	"bytes"
+	"testing"
+
+	"nfvnice/internal/proto"
+)
+
+func TestVXLANRoundTrip(t *testing.T) {
+	inner := udpFrame(insideA, outside, 1234, 80, "inner payload")
+	enc := &VXLANEncap{
+		VNI:         42,
+		OuterSrc:    proto.Addr4(172, 16, 0, 1),
+		OuterDst:    proto.Addr4(172, 16, 0, 2),
+		OuterSrcMAC: macA,
+		OuterDstMAC: macB,
+	}
+	if enc.Process(inner) != Accept {
+		t.Fatal("encap dropped")
+	}
+	outer := enc.LastFrame
+	// Outer frame is well-formed UDP to 4789 with valid checksums.
+	checksumsValid(t, outer)
+	fo, err := proto.Decode(outer)
+	if err != nil || !fo.HasUDP || fo.UDP.DstPort != 4789 {
+		t.Fatalf("outer frame wrong: %+v err=%v", fo.UDP, err)
+	}
+
+	dec := &VXLANDecap{VNI: 42}
+	if dec.Process(outer) != Accept {
+		t.Fatal("decap dropped matching VNI")
+	}
+	if !bytes.Equal(dec.LastFrame, inner) {
+		t.Fatal("inner frame corrupted through the tunnel")
+	}
+	if enc.Encapsulated != 1 || dec.Decapsulated != 1 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestVXLANDecapFiltersVNI(t *testing.T) {
+	inner := udpFrame(insideA, outside, 1, 2, "x")
+	enc := &VXLANEncap{VNI: 7, OuterSrc: proto.Addr4(1, 1, 1, 1), OuterDst: proto.Addr4(2, 2, 2, 2), OuterSrcMAC: macA, OuterDstMAC: macB}
+	enc.Process(inner)
+	dec := &VXLANDecap{VNI: 99}
+	if dec.Process(enc.LastFrame) != Drop {
+		t.Fatal("foreign VNI accepted")
+	}
+	if dec.Rejected != 1 {
+		t.Fatal("rejection not counted")
+	}
+	// VNI 0 terminates any tunnel.
+	decAny := &VXLANDecap{}
+	if decAny.Process(enc.LastFrame) != Accept {
+		t.Fatal("wildcard VNI rejected")
+	}
+}
+
+func TestVXLANDecapRejectsNonVXLAN(t *testing.T) {
+	dec := &VXLANDecap{}
+	if dec.Process(udpFrame(insideA, outside, 1, 53, "dns")) != Drop {
+		t.Fatal("non-VXLAN UDP accepted")
+	}
+	if dec.Process([]byte{1, 2, 3}) != Drop {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRateLimiterAggregate(t *testing.T) {
+	// 1000 B/s, 1500 B burst: the first full-size packet conforms, then
+	// the bucket refills a packet per ~1.5 s.
+	rl := NewRateLimiter(1000, 1500, false)
+	fr := udpFrame(insideA, outside, 1, 2, string(make([]byte, 1458))) // 1500B frame
+	rl.Tick(0)
+	if rl.Process(fr) != Accept {
+		t.Fatal("first packet should conform (full bucket)")
+	}
+	if rl.Process(fr) != Drop {
+		t.Fatal("second immediate packet should be policed")
+	}
+	rl.Tick(1.5)
+	if rl.Process(fr) != Accept {
+		t.Fatal("refilled bucket should conform")
+	}
+	if rl.Conformed != 2 || rl.Policed != 1 {
+		t.Fatalf("counters: %d/%d", rl.Conformed, rl.Policed)
+	}
+}
+
+func TestRateLimiterLongRunRate(t *testing.T) {
+	// Over 10 simulated seconds at 10 kB/s, ~100 frames of 1000 B conform
+	// regardless of a 10x offered rate.
+	rl := NewRateLimiter(10_000, 2000, false)
+	fr := udpFrame(insideA, outside, 1, 2, string(make([]byte, 958))) // 1000B
+	for i := 0; i < 1000; i++ {
+		rl.Tick(float64(i) * 0.01)
+		rl.Process(fr)
+	}
+	got := rl.Conformed
+	if got < 95 || got > 110 {
+		t.Fatalf("conformed %d frames, want ~100 (token rate)", got)
+	}
+}
+
+func TestRateLimiterPerFlowIsolation(t *testing.T) {
+	rl := NewRateLimiter(1000, 1500, true)
+	f1 := udpFrame(insideA, outside, 1000, 80, string(make([]byte, 1458)))
+	f2 := udpFrame(insideA, outside, 2000, 80, string(make([]byte, 1458)))
+	rl.Tick(0)
+	if rl.Process(f1) != Accept {
+		t.Fatal("flow1 first packet policed")
+	}
+	if rl.Process(f1) != Drop {
+		t.Fatal("flow1 burst not policed")
+	}
+	// A different flow has its own bucket.
+	if rl.Process(f2) != Accept {
+		t.Fatal("flow2 penalized for flow1's burst")
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nfvnice/internal/simtime"
+)
+
+func TestRunSpanAndWrite(t *testing.T) {
+	tr := New()
+	tr.RunSpan(0, "nf1", 2600, 5200) // 1µs..2µs
+	tr.RunSpan(1, "nf2", 0, 2600)
+	tr.Instant("bp-throttle", 5200, map[string]any{"nf": "nf1"})
+	tr.Counter("shares:nf1", 5200, 4096)
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 4 {
+		t.Fatalf("decoded %d events", len(evs))
+	}
+	// Sorted by timestamp: nf2's span (ts=0) first.
+	if evs[0]["name"] != "nf2" {
+		t.Fatalf("first event %v, want nf2 (sorted)", evs[0]["name"])
+	}
+	// Span duration in microseconds.
+	for _, e := range evs {
+		if e["name"] == "nf1" && e["ph"] == "X" {
+			if e["dur"].(float64) != 1.0 {
+				t.Fatalf("nf1 dur = %v µs, want 1", e["dur"])
+			}
+			if e["ts"].(float64) != 1.0 {
+				t.Fatalf("nf1 ts = %v µs, want 1", e["ts"])
+			}
+		}
+	}
+}
+
+func TestZeroLengthSpanSkipped(t *testing.T) {
+	tr := New()
+	tr.RunSpan(0, "x", 100, 100)
+	tr.RunSpan(0, "x", 100, 50)
+	if tr.Len() != 0 {
+		t.Fatal("degenerate spans recorded")
+	}
+}
+
+func TestCapBoundsMemory(t *testing.T) {
+	tr := New()
+	tr.Cap = 10
+	for i := 0; i < 100; i++ {
+		tr.Counter("c", simtime.Cycles(i), float64(i))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want capped 10", tr.Len())
+	}
+	if tr.Dropped != 90 {
+		t.Fatalf("Dropped = %d", tr.Dropped)
+	}
+}
+
+func TestEmptyTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package pcap reads and writes the classic libpcap capture format
+// (tcpdump/Wireshark compatible), so traffic flowing through the dataplane
+// or synthesized by internal/proto can be captured and replayed. Only
+// LINKTYPE_ETHERNET and microsecond timestamps are supported — the variant
+// every tool writes by default.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// File format constants.
+const (
+	magicMicros  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeEthernet is LINKTYPE_ETHERNET (DLT_EN10MB).
+	LinkTypeEthernet = 1
+	fileHeaderLen    = 24
+	recordHeaderLen  = 16
+)
+
+// Common errors.
+var (
+	ErrBadMagic  = errors.New("pcap: bad magic (not a microsecond little-endian pcap)")
+	ErrTruncated = errors.New("pcap: truncated record")
+)
+
+// Packet is one captured record.
+type Packet struct {
+	Time time.Time
+	// Data is the captured bytes; Orig is the original wire length
+	// (>= len(Data) when the capture was truncated by a snap length).
+	Data []byte
+	Orig int
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	started bool
+
+	// Packets counts records written.
+	Packets uint64
+}
+
+// NewWriter returns a writer with the given snap length (0 = 65535).
+func NewWriter(w io.Writer, snapLen int) *Writer {
+	if snapLen <= 0 {
+		snapLen = 65535
+	}
+	return &Writer{w: w, snapLen: uint32(snapLen)}
+}
+
+func (w *Writer) writeHeader() error {
+	var h [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(h[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:8], versionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(h[16:20], w.snapLen)
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeEthernet)
+	_, err := w.w.Write(h[:])
+	return err
+}
+
+// WritePacket appends one record, truncating to the snap length.
+func (w *Writer) WritePacket(t time.Time, frame []byte) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	capLen := len(frame)
+	if capLen > int(w.snapLen) {
+		capLen = int(w.snapLen)
+	}
+	var h [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(t.Unix()))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(t.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(len(frame)))
+	if _, err := w.w.Write(h[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(frame[:capLen]); err != nil {
+		return err
+	}
+	w.Packets++
+	return nil
+}
+
+// Flush writes the file header even if no packets were captured (an empty
+// but valid pcap).
+func (w *Writer) Flush() error {
+	if !w.started {
+		w.started = true
+		return w.writeHeader()
+	}
+	return nil
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r       io.Reader
+	snapLen uint32
+	started bool
+}
+
+// NewReader returns a reader over r; the header is validated on first Next.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// SnapLen reports the stream's snap length (valid after the first Next).
+func (r *Reader) SnapLen() int { return int(r.snapLen) }
+
+func (r *Reader) readHeader() error {
+	var h [fileHeaderLen]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(h[0:4]) != magicMicros {
+		return ErrBadMagic
+	}
+	if lt := binary.LittleEndian.Uint32(h[20:24]); lt != LinkTypeEthernet {
+		return fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	r.snapLen = binary.LittleEndian.Uint32(h[16:20])
+	return nil
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (Packet, error) {
+	if !r.started {
+		if err := r.readHeader(); err != nil {
+			return Packet{}, err
+		}
+		r.started = true
+	}
+	var h [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, ErrTruncated
+	}
+	sec := binary.LittleEndian.Uint32(h[0:4])
+	usec := binary.LittleEndian.Uint32(h[4:8])
+	capLen := binary.LittleEndian.Uint32(h[8:12])
+	origLen := binary.LittleEndian.Uint32(h[12:16])
+	if r.snapLen != 0 && capLen > r.snapLen {
+		return Packet{}, fmt.Errorf("pcap: record capLen %d exceeds snaplen %d", capLen, r.snapLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, ErrTruncated
+	}
+	return Packet{
+		Time: time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data: data,
+		Orig: int(origLen),
+	}, nil
+}
+
+// ReadAll drains the stream into memory.
+func ReadAll(r io.Reader) ([]Packet, error) {
+	pr := NewReader(r)
+	var out []Packet
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

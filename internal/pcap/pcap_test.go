@@ -1,0 +1,168 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nfvnice/internal/proto"
+)
+
+func frame(payload string) []byte {
+	return proto.BuildUDP(
+		proto.MAC{2, 0, 0, 0, 0, 1}, proto.MAC{2, 0, 0, 0, 0, 2},
+		proto.Addr4(10, 0, 0, 1), proto.Addr4(10, 0, 0, 2),
+		1234, 80, []byte(payload))
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	t0 := time.Unix(1700000000, 123456000).UTC()
+	frames := [][]byte{frame("one"), frame("two"), frame("three")}
+	for i, f := range frames {
+		if err := w.WritePacket(t0.Add(time.Duration(i)*time.Millisecond), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets != 3 {
+		t.Fatalf("Packets = %d", w.Packets)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p.Data, frames[i]) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+		if p.Orig != len(frames[i]) {
+			t.Fatalf("record %d orig = %d", i, p.Orig)
+		}
+		want := t0.Add(time.Duration(i) * time.Millisecond)
+		if !p.Time.Equal(want) {
+			t.Fatalf("record %d time %v, want %v", i, p.Time, want)
+		}
+	}
+}
+
+func TestGoldenHeader(t *testing.T) {
+	// The file header must match the canonical little-endian microsecond
+	// pcap layout byte for byte.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 65535)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h := buf.Bytes()
+	if len(h) != 24 {
+		t.Fatalf("header length %d", len(h))
+	}
+	if binary.LittleEndian.Uint32(h[0:4]) != 0xa1b2c3d4 {
+		t.Fatal("magic wrong")
+	}
+	if h[4] != 2 || h[6] != 4 {
+		t.Fatal("version wrong")
+	}
+	if binary.LittleEndian.Uint32(h[16:20]) != 65535 {
+		t.Fatal("snaplen wrong")
+	}
+	if binary.LittleEndian.Uint32(h[20:24]) != 1 {
+		t.Fatal("linktype wrong")
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 60)
+	big := frame("a very long payload that exceeds the snap length for sure......")
+	w.WritePacket(time.Unix(0, 0), big)
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Data) != 60 {
+		t.Fatalf("capLen = %d, want 60", len(got[0].Data))
+	}
+	if got[0].Orig != len(big) {
+		t.Fatalf("orig = %d, want %d", got[0].Orig, len(big))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, 24)
+	if _, err := ReadAll(bytes.NewReader(data)); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	w.WritePacket(time.Unix(0, 0), frame("x"))
+	cut := buf.Bytes()[:buf.Len()-3]
+	_, err := ReadAll(bytes.NewReader(cut))
+	if err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	w.Flush()
+	got, err := ReadAll(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty pcap: %v, %d records", err, len(got))
+	}
+}
+
+func TestReaderEOFOnEmptyInput(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(nil)).Next()
+	if err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		for i, p := range payloads {
+			if len(p) > 1400 {
+				p = p[:1400]
+			}
+			fr := frame(string(p))
+			if err := w.WritePacket(time.Unix(int64(i), 0), fr); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		return len(got) == len(payloads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodableByProto(t *testing.T) {
+	// Frames surviving the pcap round trip must still decode.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	w.WritePacket(time.Unix(1, 0), frame("hello"))
+	got, _ := ReadAll(&buf)
+	f, err := proto.Decode(got[0].Data)
+	if err != nil || !f.HasUDP || string(f.Payload) != "hello" {
+		t.Fatalf("decode after round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	macA = MAC{0x02, 0, 0, 0, 0, 0xaa}
+	macB = MAC{0x02, 0, 0, 0, 0, 0xbb}
+	ipA  = Addr4(10, 0, 0, 1)
+	ipB  = Addr4(192, 168, 1, 2)
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// The classic example from RFC 1071 §3: words 0x0001,0xf203,0xf4f5,
+	// 0xf6f7 sum to 0xddf2 before inversion.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %04x, want %04x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd final byte is padded with zero on the right.
+	even := Checksum([]byte{0x12, 0x34, 0xab, 0x00})
+	odd := Checksum([]byte{0x12, 0x34, 0xab})
+	if even != odd {
+		t.Fatalf("odd-length padding wrong: %04x vs %04x", odd, even)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := []byte("hello nfv world")
+	b := BuildUDP(macA, macB, ipA, ipB, 1234, 53, payload)
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Eth.Src != macA || f.Eth.Dst != macB || f.Eth.EtherType != EtherTypeIPv4 {
+		t.Fatalf("ethernet: %+v", f.Eth)
+	}
+	if !f.HasIP || f.IP.Src != ipA || f.IP.Dst != ipB || f.IP.Protocol != IPProtoUDP {
+		t.Fatalf("ip: %+v", f.IP)
+	}
+	if !f.HasUDP || f.UDP.SrcPort != 1234 || f.UDP.DstPort != 53 {
+		t.Fatalf("udp: %+v", f.UDP)
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("payload = %q", f.Payload)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	b := BuildTCP(macA, macB, ipA, ipB, 5000, 80, 12345, 67890, TCPSyn|TCPAck, []byte("GET /"))
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasTCP || f.TCP.SrcPort != 5000 || f.TCP.DstPort != 80 {
+		t.Fatalf("tcp: %+v", f.TCP)
+	}
+	if f.TCP.Seq != 12345 || f.TCP.Ack != 67890 {
+		t.Fatal("seq/ack wrong")
+	}
+	if f.TCP.Flags != TCPSyn|TCPAck {
+		t.Fatalf("flags = %02x", f.TCP.Flags)
+	}
+	if string(f.Payload) != "GET /" {
+		t.Fatalf("payload = %q", f.Payload)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	b := BuildUDP(macA, macB, ipA, ipB, 1, 2, nil)
+	if !VerifyIPv4Checksum(b[EthernetHeaderLen:]) {
+		t.Fatal("built frame has invalid IP checksum")
+	}
+	// Corrupt a header byte: checksum must fail.
+	b[EthernetHeaderLen+8] ^= 0xff // TTL
+	if VerifyIPv4Checksum(b[EthernetHeaderLen:]) {
+		t.Fatal("corrupted header passed checksum")
+	}
+}
+
+func TestTransportChecksumValid(t *testing.T) {
+	b := BuildUDP(macA, macB, ipA, ipB, 9, 10, []byte{1, 2, 3})
+	seg := b[EthernetHeaderLen+IPv4MinHeaderLen:]
+	// Checksum over segment including its checksum field must be 0
+	// (i.e., valid).
+	if PseudoChecksum(ipA, ipB, IPProtoUDP, seg) != 0 {
+		t.Fatal("UDP checksum invalid")
+	}
+	bt := BuildTCP(macA, macB, ipA, ipB, 9, 10, 1, 2, TCPAck, []byte{9, 9})
+	segT := bt[EthernetHeaderLen+IPv4MinHeaderLen:]
+	if PseudoChecksum(ipA, ipB, IPProtoTCP, segT) != 0 {
+		t.Fatal("TCP checksum invalid")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	b := BuildUDP(macA, macB, ipA, ipB, 1, 2, []byte("data"))
+	for _, n := range []int{0, 5, 13, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4MinHeaderLen + 2} {
+		if _, err := Decode(b[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestDecodeNonIPv4(t *testing.T) {
+	b := make([]byte, 64)
+	e := Ethernet{Dst: macB, Src: macA, EtherType: EtherTypeARP}
+	e.Put(b)
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasIP || f.HasUDP || f.HasTCP {
+		t.Fatal("ARP frame decoded as IP")
+	}
+}
+
+func TestDecodeBadIPVersion(t *testing.T) {
+	b := BuildUDP(macA, macB, ipA, ipB, 1, 2, nil)
+	b[EthernetHeaderLen] = 6 << 4 // claim IPv6
+	if _, err := Decode(b); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestECNManipulation(t *testing.T) {
+	var ip IPv4
+	ip.SetECN(2) // ECT(0)
+	if ip.ECN() != 2 {
+		t.Fatalf("ECN = %d", ip.ECN())
+	}
+	ip.TOS |= 0xfc // DSCP bits
+	ip.SetECN(3)   // CE
+	if ip.ECN() != 3 || ip.TOS>>2 != 0x3f {
+		t.Fatal("SetECN must not clobber DSCP")
+	}
+}
+
+func TestIPv4LengthBounds(t *testing.T) {
+	// A frame whose IP total length exceeds the buffer must clamp, not
+	// panic.
+	b := BuildUDP(macA, macB, ipA, ipB, 1, 2, []byte("abc"))
+	ipb := b[EthernetHeaderLen:]
+	binary.BigEndian.PutUint16(ipb[2:4], 60000)
+	// Fix checksum so only the length is wrong.
+	ipb[10], ipb[11] = 0, 0
+	cs := Checksum(ipb[:20])
+	binary.BigEndian.PutUint16(ipb[10:12], cs)
+	if _, err := Decode(b); err != nil {
+		t.Fatalf("oversized length should clamp: %v", err)
+	}
+}
+
+func TestAddrStringers(t *testing.T) {
+	if Addr4(10, 1, 2, 3).String() != "10.1.2.3" {
+		t.Fatal("IPv4Addr.String wrong")
+	}
+	if macA.String() != "02:00:00:00:00:aa" {
+		t.Fatalf("MAC.String = %s", macA)
+	}
+}
+
+func TestQuickUDPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		b := BuildUDP(macA, macB, ipA, ipB, sp, dp, payload)
+		fr, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return fr.HasUDP && fr.UDP.SrcPort == sp && fr.UDP.DstPort == dp &&
+			bytes.Equal(fr.Payload, payload) &&
+			VerifyIPv4Checksum(b[EthernetHeaderLen:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Fuzz-lite: random bytes must never panic the decoder.
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecodeUDPFrame(b *testing.B) {
+	frame := BuildUDP(macA, macB, ipA, ipB, 1234, 53, make([]byte, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum1500(b *testing.B) {
+	buf := make([]byte, 1500)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Checksum(buf)
+	}
+}

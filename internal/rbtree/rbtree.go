@@ -1,0 +1,332 @@
+// Package rbtree implements a generic red-black tree with parent pointers
+// and stable node handles, mirroring the kernel's rbtree that backs the CFS
+// runqueue timeline. Duplicate keys are permitted (they order to the right,
+// i.e. FIFO among equals), which is exactly the behaviour CFS relies on for
+// tasks with equal virtual runtimes.
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Node is a handle to an element stored in the tree. Holders may keep the
+// handle and later delete the element in O(log n) without a lookup, as CFS
+// does when a task is dequeued.
+type Node[T any] struct {
+	Item                T
+	left, right, parent *Node[T]
+	color               color
+}
+
+// Tree is an ordered collection. The zero Tree is not usable; construct with
+// New.
+type Tree[T any] struct {
+	root *Node[T]
+	nil_ *Node[T] // shared sentinel, always black
+	less func(a, b T) bool
+	size int
+}
+
+// New returns an empty tree ordered by less.
+func New[T any](less func(a, b T) bool) *Tree[T] {
+	s := &Node[T]{color: black}
+	s.left, s.right, s.parent = s, s, s
+	return &Tree[T]{root: s, nil_: s, less: less}
+}
+
+// Len reports the number of elements.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds item and returns its node handle.
+func (t *Tree[T]) Insert(item T) *Node[T] {
+	z := &Node[T]{Item: item, left: t.nil_, right: t.nil_, parent: t.nil_}
+	y := t.nil_
+	x := t.root
+	for x != t.nil_ {
+		y = x
+		if t.less(z.Item, x.Item) {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	z.parent = y
+	switch {
+	case y == t.nil_:
+		t.root = z
+	case t.less(z.Item, y.Item):
+		y.left = z
+	default:
+		y.right = z
+	}
+	z.color = red
+	t.insertFixup(z)
+	t.size++
+	return z
+}
+
+// Min returns the node with the smallest item, or nil when empty. This is
+// the "leftmost" pointer CFS uses to pick the next task; here it is an
+// O(log n) walk, which is fine at simulator scale.
+func (t *Tree[T]) Min() *Node[T] {
+	if t.root == t.nil_ {
+		return nil
+	}
+	n := t.root
+	for n.left != t.nil_ {
+		n = n.left
+	}
+	return n
+}
+
+// Max returns the node with the largest item, or nil when empty.
+func (t *Tree[T]) Max() *Node[T] {
+	if t.root == t.nil_ {
+		return nil
+	}
+	n := t.root
+	for n.right != t.nil_ {
+		n = n.right
+	}
+	return n
+}
+
+// Delete removes the node from the tree. The node must currently be in the
+// tree; deleting a foreign or already-deleted node corrupts it (same
+// contract as the kernel's rb_erase).
+func (t *Tree[T]) Delete(z *Node[T]) {
+	y := z
+	yOrig := y.color
+	var x *Node[T]
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = z.right
+		for y.left != t.nil_ {
+			y = y.left
+		}
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOrig == black {
+		t.deleteFixup(x)
+	}
+	t.size--
+	// Poison the removed node so reuse bugs surface quickly.
+	z.left, z.right, z.parent = nil, nil, nil
+}
+
+// Ascend calls fn on every item in ascending order; fn returning false stops
+// the walk.
+func (t *Tree[T]) Ascend(fn func(item T) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[T]) ascend(n *Node[T], fn func(item T) bool) bool {
+	if n == t.nil_ {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.Item) {
+		return false
+	}
+	return t.ascend(n.right, fn)
+}
+
+func (t *Tree[T]) transplant(u, v *Node[T]) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[T]) leftRotate(x *Node[T]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[T]) rightRotate(x *Node[T]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[T]) insertFixup(z *Node[T]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.leftRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rightRotate(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rightRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.leftRotate(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[T]) deleteFixup(x *Node[T]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.leftRotate(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rightRotate(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.leftRotate(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rightRotate(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.leftRotate(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rightRotate(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}
+
+// checkInvariants verifies red-black properties; used by tests.
+func (t *Tree[T]) checkInvariants() (blackHeight int, ok bool) {
+	if t.root.color != black {
+		return 0, false
+	}
+	return t.check(t.root)
+}
+
+func (t *Tree[T]) check(n *Node[T]) (int, bool) {
+	if n == t.nil_ {
+		return 1, true
+	}
+	if n.color == red && (n.left.color == red || n.right.color == red) {
+		return 0, false
+	}
+	lh, lok := t.check(n.left)
+	rh, rok := t.check(n.right)
+	if !lok || !rok || lh != rh {
+		return 0, false
+	}
+	if n.left != t.nil_ && t.less(n.Item, n.left.Item) {
+		return 0, false
+	}
+	if n.right != t.nil_ && t.less(n.right.Item, n.Item) {
+		return 0, false
+	}
+	h := lh
+	if n.color == black {
+		h++
+	}
+	return h, true
+}

@@ -1,0 +1,194 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] { return New(func(a, b int) bool { return a < b }) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("Min/Max on empty tree should be nil")
+	}
+}
+
+func TestInsertAndMin(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{5, 3, 8, 1, 9, 7} {
+		tr.Insert(v)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Min().Item; got != 1 {
+		t.Fatalf("Min = %d, want 1", got)
+	}
+	if got := tr.Max().Item; got != 9 {
+		t.Fatalf("Max = %d, want 9", got)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := intTree()
+	rng := rand.New(rand.NewSource(1))
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = rng.Intn(10000)
+		tr.Insert(want[i])
+	}
+	sort.Ints(want)
+	var got []int
+	tr.Ascend(func(v int) bool { got = append(got, v); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	n := 0
+	tr.Ascend(func(v int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestDeleteByHandle(t *testing.T) {
+	tr := intTree()
+	nodes := make(map[int]*Node[int])
+	for i := 0; i < 100; i++ {
+		nodes[i] = tr.Insert(i)
+	}
+	// Delete evens.
+	for i := 0; i < 100; i += 2 {
+		tr.Delete(nodes[i])
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", tr.Len())
+	}
+	if got := tr.Min().Item; got != 1 {
+		t.Fatalf("Min = %d, want 1", got)
+	}
+	if _, ok := tr.checkInvariants(); !ok {
+		t.Fatal("red-black invariants violated after deletes")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	tr := intTree()
+	a := tr.Insert(7)
+	b := tr.Insert(7)
+	c := tr.Insert(7)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// FIFO among equals: first inserted is leftmost.
+	if tr.Min() != a {
+		t.Fatal("first duplicate should be leftmost")
+	}
+	tr.Delete(a)
+	if tr.Min() != b {
+		t.Fatal("second duplicate should become leftmost")
+	}
+	tr.Delete(b)
+	tr.Delete(c)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestRandomOps(t *testing.T) {
+	// Interleave inserts and deletes, verifying invariants and content
+	// against a reference slice.
+	tr := intTree()
+	rng := rand.New(rand.NewSource(99))
+	type entry struct {
+		v    int
+		node *Node[int]
+	}
+	var live []entry
+	for op := 0; op < 5000; op++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			v := rng.Intn(1000)
+			live = append(live, entry{v, tr.Insert(v)})
+		} else {
+			i := rng.Intn(len(live))
+			tr.Delete(live[i].node)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%500 == 0 {
+			if _, ok := tr.checkInvariants(); !ok {
+				t.Fatalf("invariants violated at op %d", op)
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	want := make([]int, len(live))
+	for i, e := range live {
+		want[i] = e.v
+	}
+	sort.Ints(want)
+	var got []int
+	tr.Ascend(func(v int) bool { got = append(got, v); return true })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("content mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickInvariants(t *testing.T) {
+	f := func(vals []int16) bool {
+		tr := intTree()
+		var nodes []*Node[int]
+		for _, v := range vals {
+			nodes = append(nodes, tr.Insert(int(v)))
+		}
+		if _, ok := tr.checkInvariants(); !ok {
+			return false
+		}
+		// Delete every other node.
+		for i := 0; i < len(nodes); i += 2 {
+			tr.Delete(nodes[i])
+		}
+		_, ok := tr.checkInvariants()
+		return ok && tr.Len() == len(vals)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertDeleteMin(b *testing.B) {
+	// The CFS hot path: insert a task, find min, delete it.
+	tr := intTree()
+	rng := rand.New(rand.NewSource(7))
+	// Pre-populate with a plausible runqueue depth.
+	for i := 0; i < 8; i++ {
+		tr.Insert(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := tr.Insert(rng.Intn(1 << 20))
+		_ = tr.Min()
+		tr.Delete(n)
+	}
+}

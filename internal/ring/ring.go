@@ -1,0 +1,174 @@
+// Package ring provides the descriptor queues that connect the NF manager
+// and network functions. Buffer is the simulator's bounded FIFO with the
+// HIGH/LOW watermark accounting NFVnice's backpressure is built on; SPSC (in
+// spsc.go) is a lock-free single-producer single-consumer ring used by the
+// concurrent goroutine dataplane, mirroring DPDK's rte_ring.
+package ring
+
+import (
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+// Buffer is a bounded FIFO of packet descriptors with watermark state.
+// It is single-threaded, as the whole discrete-event simulation is.
+type Buffer struct {
+	buf  []*packet.Packet
+	head int // next dequeue position
+	tail int // next enqueue position
+	n    int
+
+	highWater int
+	lowWater  int
+
+	// aboveSince is the time the occupancy last crossed up through the
+	// high watermark, used for the backpressure "queuing time above
+	// threshold" condition. Zero when below.
+	aboveSince simtime.Cycles
+	above      bool
+
+	// Enqueued, Dequeued and Rejected count ring operations.
+	Enqueued uint64
+	Dequeued uint64
+	Rejected uint64
+}
+
+// NewBuffer returns a ring holding up to capacity descriptors with
+// watermarks expressed as fractions of capacity (e.g. 0.80 and 0.60).
+func NewBuffer(capacity int, highFrac, lowFrac float64) *Buffer {
+	if capacity <= 0 {
+		panic("ring: capacity must be positive")
+	}
+	if highFrac <= 0 || highFrac > 1 || lowFrac < 0 || lowFrac > highFrac {
+		panic("ring: watermarks must satisfy 0 <= low <= high <= 1")
+	}
+	return &Buffer{
+		buf:       make([]*packet.Packet, capacity),
+		highWater: int(float64(capacity) * highFrac),
+		lowWater:  int(float64(capacity) * lowFrac),
+	}
+}
+
+// Len reports current occupancy.
+func (r *Buffer) Len() int { return r.n }
+
+// Cap reports capacity.
+func (r *Buffer) Cap() int { return len(r.buf) }
+
+// Free reports remaining slots.
+func (r *Buffer) Free() int { return len(r.buf) - r.n }
+
+// HighWater and LowWater report the watermark thresholds in descriptors.
+func (r *Buffer) HighWater() int { return r.highWater }
+func (r *Buffer) LowWater() int  { return r.lowWater }
+
+// AboveHigh reports whether occupancy is at or above the high watermark.
+func (r *Buffer) AboveHigh() bool { return r.n >= r.highWater }
+
+// BelowLow reports whether occupancy is below the low watermark.
+func (r *Buffer) BelowLow() bool { return r.n < r.lowWater }
+
+// TimeAboveHigh reports how long occupancy has continuously been at or above
+// the high watermark as of now; zero when below.
+func (r *Buffer) TimeAboveHigh(now simtime.Cycles) simtime.Cycles {
+	if !r.above {
+		return 0
+	}
+	return now - r.aboveSince
+}
+
+// Enqueue appends pkt, returning false (and counting a rejection) when full.
+// now drives watermark crossing timestamps.
+func (r *Buffer) Enqueue(now simtime.Cycles, pkt *packet.Packet) bool {
+	if r.n == len(r.buf) {
+		r.Rejected++
+		return false
+	}
+	r.buf[r.tail] = pkt
+	r.tail++
+	if r.tail == len(r.buf) {
+		r.tail = 0
+	}
+	r.n++
+	r.Enqueued++
+	if !r.above && r.n >= r.highWater {
+		r.above = true
+		r.aboveSince = now
+	}
+	return true
+}
+
+// Dequeue removes and returns the oldest descriptor, or nil when empty.
+func (r *Buffer) Dequeue(now simtime.Cycles) *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	pkt := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	r.Dequeued++
+	if r.above && r.n < r.highWater {
+		r.above = false
+	}
+	return pkt
+}
+
+// DequeueBatch removes up to max descriptors into dst and reports the count.
+func (r *Buffer) DequeueBatch(now simtime.Cycles, dst []*packet.Packet, max int) int {
+	if max > len(dst) {
+		max = len(dst)
+	}
+	n := 0
+	for n < max {
+		pkt := r.Dequeue(now)
+		if pkt == nil {
+			break
+		}
+		dst[n] = pkt
+		n++
+	}
+	return n
+}
+
+// Peek returns the oldest descriptor without removing it, or nil when empty.
+func (r *Buffer) Peek() *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// Scan calls fn over queued descriptors from oldest to newest without
+// dequeuing. The manager uses this to classify the service chains present in
+// an overloaded queue (cross-chain backpressure).
+func (r *Buffer) Scan(fn func(*packet.Packet) bool) {
+	i := r.head
+	for k := 0; k < r.n; k++ {
+		if !fn(r.buf[i]) {
+			return
+		}
+		i++
+		if i == len(r.buf) {
+			i = 0
+		}
+	}
+}
+
+// DrainAndRelease empties the ring, releasing every descriptor back to its
+// pool, and reports how many were dropped. Used at teardown and when a chain
+// is torn down mid-run.
+func (r *Buffer) DrainAndRelease(now simtime.Cycles) int {
+	n := 0
+	for {
+		pkt := r.Dequeue(now)
+		if pkt == nil {
+			return n
+		}
+		pkt.Release()
+		n++
+	}
+}

@@ -1,0 +1,216 @@
+package ring
+
+import (
+	"testing"
+
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+func newTestBuffer(capacity int) (*Buffer, *packet.Pool) {
+	return NewBuffer(capacity, 0.80, 0.60), packet.NewPool(capacity * 2)
+}
+
+func TestBufferFIFO(t *testing.T) {
+	r, pool := newTestBuffer(8)
+	var pkts []*packet.Packet
+	for i := 0; i < 5; i++ {
+		pkt := pool.Get()
+		pkt.Hop = i
+		pkts = append(pkts, pkt)
+		if !r.Enqueue(0, pkt) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i := 0; i < 5; i++ {
+		pkt := r.Dequeue(0)
+		if pkt != pkts[i] {
+			t.Fatalf("dequeue %d: wrong packet (hop %d)", i, pkt.Hop)
+		}
+	}
+	if r.Dequeue(0) != nil {
+		t.Fatal("dequeue on empty should be nil")
+	}
+}
+
+func TestBufferRejectsWhenFull(t *testing.T) {
+	r, pool := newTestBuffer(4)
+	for i := 0; i < 4; i++ {
+		if !r.Enqueue(0, pool.Get()) {
+			t.Fatalf("enqueue %d failed below capacity", i)
+		}
+	}
+	pkt := pool.Get()
+	if r.Enqueue(0, pkt) {
+		t.Fatal("enqueue beyond capacity succeeded")
+	}
+	if r.Rejected != 1 {
+		t.Fatalf("Rejected = %d", r.Rejected)
+	}
+	pkt.Release()
+}
+
+func TestBufferWrapAround(t *testing.T) {
+	r, pool := newTestBuffer(4)
+	// Cycle through the ring several times its capacity.
+	for i := 0; i < 20; i++ {
+		pkt := pool.Get()
+		pkt.Hop = i
+		if !r.Enqueue(0, pkt) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+		got := r.Dequeue(0)
+		if got.Hop != i {
+			t.Fatalf("iteration %d: got hop %d", i, got.Hop)
+		}
+		got.Release()
+	}
+	if r.Enqueued != 20 || r.Dequeued != 20 {
+		t.Fatalf("counters: enq=%d deq=%d", r.Enqueued, r.Dequeued)
+	}
+}
+
+func TestWatermarks(t *testing.T) {
+	r := NewBuffer(10, 0.80, 0.60)
+	pool := packet.NewPool(16)
+	if r.HighWater() != 8 || r.LowWater() != 6 {
+		t.Fatalf("watermarks = %d/%d, want 8/6", r.HighWater(), r.LowWater())
+	}
+	for i := 0; i < 7; i++ {
+		r.Enqueue(100, pool.Get())
+	}
+	if r.AboveHigh() {
+		t.Fatal("7 < 8 should not be above high")
+	}
+	if r.BelowLow() {
+		t.Fatal("7 >= 6 should not be below low")
+	}
+	r.Enqueue(200, pool.Get()) // now 8 = high watermark
+	if !r.AboveHigh() {
+		t.Fatal("8 >= 8 should be above high")
+	}
+	if got := r.TimeAboveHigh(500); got != 300 {
+		t.Fatalf("TimeAboveHigh = %d, want 300", got)
+	}
+	// Dropping below high resets the above-timer.
+	r.Dequeue(600).Release()
+	if r.TimeAboveHigh(700) != 0 {
+		t.Fatal("TimeAboveHigh should reset below high watermark")
+	}
+	// Crossing up again restarts the clock.
+	r.Enqueue(800, pool.Get())
+	if got := r.TimeAboveHigh(900); got != 100 {
+		t.Fatalf("TimeAboveHigh after recross = %d, want 100", got)
+	}
+	for r.Len() > 5 {
+		r.Dequeue(1000).Release()
+	}
+	if !r.BelowLow() {
+		t.Fatal("5 < 6 should be below low")
+	}
+}
+
+func TestWatermarkValidation(t *testing.T) {
+	for _, c := range []struct{ high, low float64 }{
+		{0, 0}, {1.5, 0.5}, {0.5, 0.8}, {0.8, -0.1},
+	} {
+		func() {
+			defer func() { recover() }()
+			NewBuffer(10, c.high, c.low)
+			t.Errorf("NewBuffer(10, %v, %v) did not panic", c.high, c.low)
+		}()
+	}
+}
+
+func TestDequeueBatch(t *testing.T) {
+	r, pool := newTestBuffer(64)
+	for i := 0; i < 10; i++ {
+		r.Enqueue(0, pool.Get())
+	}
+	dst := make([]*packet.Packet, 32)
+	if n := r.DequeueBatch(0, dst, 32); n != 10 {
+		t.Fatalf("batch = %d, want 10", n)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining batch", r.Len())
+	}
+	// max smaller than dst.
+	for i := 0; i < 10; i++ {
+		r.Enqueue(0, pool.Get())
+	}
+	if n := r.DequeueBatch(0, dst, 4); n != 4 {
+		t.Fatalf("bounded batch = %d, want 4", n)
+	}
+}
+
+func TestScan(t *testing.T) {
+	r, pool := newTestBuffer(8)
+	for i := 0; i < 5; i++ {
+		pkt := pool.Get()
+		pkt.ChainID = i
+		r.Enqueue(0, pkt)
+	}
+	var seen []int
+	r.Scan(func(p *packet.Packet) bool {
+		seen = append(seen, p.ChainID)
+		return true
+	})
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("scan order wrong: %v", seen)
+		}
+	}
+	// Early stop.
+	n := 0
+	r.Scan(func(p *packet.Packet) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDrainAndRelease(t *testing.T) {
+	r, pool := newTestBuffer(8)
+	for i := 0; i < 6; i++ {
+		r.Enqueue(0, pool.Get())
+	}
+	before := pool.Available()
+	if n := r.DrainAndRelease(0); n != 6 {
+		t.Fatalf("drained %d, want 6", n)
+	}
+	if pool.Available() != before+6 {
+		t.Fatal("descriptors not returned to pool")
+	}
+	if r.Peek() != nil {
+		t.Fatal("ring not empty after drain")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	r, pool := newTestBuffer(4)
+	if r.Peek() != nil {
+		t.Fatal("peek on empty should be nil")
+	}
+	pkt := pool.Get()
+	r.Enqueue(0, pkt)
+	if r.Peek() != pkt {
+		t.Fatal("peek returned wrong packet")
+	}
+	if r.Len() != 1 {
+		t.Fatal("peek must not dequeue")
+	}
+}
+
+func BenchmarkBufferEnqueueDequeue(b *testing.B) {
+	r := NewBuffer(4096, 0.8, 0.6)
+	pool := packet.NewPool(4096)
+	pkt := pool.Get()
+	var now simtime.Cycles
+	for i := 0; i < b.N; i++ {
+		now++
+		r.Enqueue(now, pkt)
+		r.Dequeue(now)
+	}
+}

@@ -1,0 +1,110 @@
+package ring
+
+import (
+	"sync/atomic"
+)
+
+// SPSC is a bounded lock-free single-producer single-consumer queue, the Go
+// analogue of DPDK's rte_ring in SP/SC mode. It carries interface-free
+// generic items to avoid allocation on the hot path. Capacity is rounded up
+// to a power of two so index wrapping is a mask.
+//
+// Memory ordering: head (consumer position) is written only by the consumer
+// and read by the producer; tail (producer position) the reverse. Both are
+// accessed with atomic Load/Store, which in Go guarantees the necessary
+// happens-before edges for the slot contents.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    [64]byte // keep producer and consumer indices on separate cache lines
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+}
+
+// NewSPSC returns a ring with capacity rounded up to the next power of two
+// (minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, size), mask: uint64(size - 1)}
+}
+
+// Cap reports usable capacity (one slot is sacrificed to distinguish full
+// from empty).
+func (r *SPSC[T]) Cap() int { return len(r.buf) - 1 }
+
+// Len reports an instantaneous (racy but consistent) occupancy estimate.
+func (r *SPSC[T]) Len() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	return int(t - h)
+}
+
+// Enqueue adds v; it reports false when the ring is full. Must be called
+// from a single producer goroutine.
+func (r *SPSC[T]) Enqueue(v T) bool {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t-h >= uint64(len(r.buf)-1) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// EnqueueBatch adds up to len(vs) items and reports how many were accepted.
+func (r *SPSC[T]) EnqueueBatch(vs []T) int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	space := uint64(len(r.buf)-1) - (t - h)
+	n := uint64(len(vs))
+	if n > space {
+		n = space
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(t+i)&r.mask] = vs[i]
+	}
+	r.tail.Store(t + n)
+	return int(n)
+}
+
+// Dequeue removes the oldest item. Must be called from a single consumer
+// goroutine.
+func (r *SPSC[T]) Dequeue() (v T, ok bool) {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if h == t {
+		return v, false
+	}
+	v = r.buf[h&r.mask]
+	var zero T
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// DequeueBatch removes up to len(dst) items into dst, reporting the count.
+func (r *SPSC[T]) DequeueBatch(dst []T) int {
+	h := r.head.Load()
+	t := r.tail.Load()
+	n := t - h
+	if n > uint64(len(dst)) {
+		n = uint64(len(dst))
+	}
+	var zero T
+	for i := uint64(0); i < n; i++ {
+		dst[i] = r.buf[(h+i)&r.mask]
+		r.buf[(h+i)&r.mask] = zero
+	}
+	r.head.Store(h + n)
+	return int(n)
+}

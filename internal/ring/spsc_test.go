@@ -1,0 +1,171 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSPSCBasic(t *testing.T) {
+	r := NewSPSC[int](8)
+	if r.Cap() != 7 {
+		t.Fatalf("Cap = %d, want 7 (one slot sacrificed)", r.Cap())
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := 0; i < 7; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.Enqueue(99) {
+		t.Fatal("enqueue on full succeeded")
+	}
+	for i := 0; i < 7; i++ {
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	if got := NewSPSC[int](5).Cap(); got != 7 {
+		t.Fatalf("cap(5) rounds to %d, want 7", got)
+	}
+	if got := NewSPSC[int](0).Cap(); got != 1 {
+		t.Fatalf("cap(0) = %d, want 1", got)
+	}
+}
+
+func TestSPSCBatch(t *testing.T) {
+	r := NewSPSC[int](16)
+	in := []int{1, 2, 3, 4, 5}
+	if n := r.EnqueueBatch(in); n != 5 {
+		t.Fatalf("EnqueueBatch = %d", n)
+	}
+	out := make([]int, 3)
+	if n := r.DequeueBatch(out); n != 3 {
+		t.Fatalf("DequeueBatch = %d", n)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestSPSCBatchPartial(t *testing.T) {
+	r := NewSPSC[int](4) // usable 3
+	in := []int{1, 2, 3, 4, 5}
+	if n := r.EnqueueBatch(in); n != 3 {
+		t.Fatalf("EnqueueBatch into cap-3 = %d, want 3", n)
+	}
+}
+
+func TestSPSCConcurrent(t *testing.T) {
+	// One producer, one consumer, a million items: every item must arrive
+	// exactly once, in order.
+	const total = 1 << 16
+	r := NewSPSC[uint64](1024)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.Enqueue(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var bad bool
+	go func() {
+		defer wg.Done()
+		next := uint64(0)
+		for next < total {
+			v, ok := r.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != next {
+				bad = true
+				return
+			}
+			next++
+		}
+	}()
+	wg.Wait()
+	if bad {
+		t.Fatal("items reordered or lost")
+	}
+}
+
+func TestSPSCConcurrentBatch(t *testing.T) {
+	const total = 1 << 15
+	r := NewSPSC[int](512)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]int, 64)
+		sent := 0
+		for sent < total {
+			n := 0
+			for n < len(buf) && sent+n < total {
+				buf[n] = sent + n
+				n++
+			}
+			acc := r.EnqueueBatch(buf[:n])
+			sent += acc
+			if acc == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	got := make([]int, 0, total)
+	buf := make([]int, 64)
+	for len(got) < total {
+		n := r.DequeueBatch(buf)
+		got = append(got, buf[:n]...)
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func BenchmarkSPSCPingPong(b *testing.B) {
+	r := NewSPSC[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n := 0
+		for n < b.N {
+			if _, ok := r.Dequeue(); ok {
+				n++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for i := 0; i < b.N; {
+		if r.Enqueue(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}

@@ -1,0 +1,97 @@
+// Package simtime defines the simulated clock used throughout the NFVnice
+// simulator. Time is measured in CPU cycles of a fixed-frequency core,
+// matching how the paper reports NF costs (cycles per packet). All
+// conversions between cycles, wall durations, and packet rates live here so
+// that the rest of the simulator never touches floating point time.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cycles is a point in simulated time, or a duration, measured in CPU clock
+// cycles. The simulated platform clocks every core at Frequency, mirroring
+// the paper's Xeon E5-2697 v3 @ 2.60 GHz testbed.
+type Cycles uint64
+
+// Frequency is the simulated core clock in cycles per second (2.6 GHz).
+const Frequency = 2_600_000_000
+
+// Common durations expressed in cycles.
+const (
+	Microsecond Cycles = Frequency / 1_000_000 // 2600 cycles
+	Millisecond Cycles = Frequency / 1_000
+	Second      Cycles = Frequency
+)
+
+// FromDuration converts a wall-clock duration to cycles, rounding down.
+func FromDuration(d time.Duration) Cycles {
+	if d <= 0 {
+		return 0
+	}
+	// Split to avoid overflow for large durations: d.Seconds() loses
+	// precision, so work in integer nanoseconds.
+	ns := uint64(d.Nanoseconds())
+	sec := ns / 1e9
+	rem := ns % 1e9
+	return Cycles(sec*Frequency + rem*Frequency/1e9)
+}
+
+// Duration converts cycles to a wall-clock duration, rounding down.
+func (c Cycles) Duration() time.Duration {
+	sec := uint64(c) / Frequency
+	rem := uint64(c) % Frequency
+	return time.Duration(sec)*time.Second + time.Duration(rem*1e9/Frequency)
+}
+
+// Seconds reports the cycle count as (fractional) seconds.
+func (c Cycles) Seconds() float64 { return float64(c) / Frequency }
+
+// String formats the time with an adaptive unit, e.g. "1.500ms".
+func (c Cycles) String() string {
+	switch {
+	case c >= Second:
+		return fmt.Sprintf("%.3fs", c.Seconds())
+	case c >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(c)/float64(Millisecond))
+	case c >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(c)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dcyc", uint64(c))
+	}
+}
+
+// Rate is an event rate in events per second (e.g. packets per second).
+type Rate float64
+
+// Interval returns the cycle gap between events at rate r. A zero or
+// negative rate returns 0, which callers must treat as "no events".
+func (r Rate) Interval() Cycles {
+	if r <= 0 {
+		return 0
+	}
+	return Cycles(Frequency / float64(r))
+}
+
+// Mpps formats the rate in millions of packets per second.
+func (r Rate) Mpps() float64 { return float64(r) / 1e6 }
+
+// PerSecond converts a count observed over an elapsed number of cycles into
+// an events-per-second rate. Zero elapsed time reports zero.
+func PerSecond(count uint64, elapsed Cycles) Rate {
+	if elapsed == 0 {
+		return 0
+	}
+	return Rate(float64(count) / elapsed.Seconds())
+}
+
+// LineRate10G returns the packets-per-second line rate of a 10 Gbps link for
+// a given Ethernet frame size in bytes (FCS included, as in MoonGen's "64
+// byte packets"). It adds the 20 bytes of preamble, SFD, and inter-frame
+// gap, so 64-byte frames yield the canonical 14.88 Mpps.
+func LineRate10G(frameBytes int) Rate {
+	const linkBits = 10_000_000_000
+	wire := (frameBytes + 20) * 8 // preamble(7)+SFD(1)+IFG(12)
+	return Rate(linkBits / float64(wire))
+}

@@ -1,0 +1,128 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstants(t *testing.T) {
+	if Microsecond != 2600 {
+		t.Fatalf("Microsecond = %d cycles, want 2600 (2.6 GHz)", Microsecond)
+	}
+	if Millisecond != 2_600_000 {
+		t.Fatalf("Millisecond = %d cycles, want 2.6M", Millisecond)
+	}
+	if Second != Frequency {
+		t.Fatalf("Second = %d, want %d", Second, Frequency)
+	}
+}
+
+func TestFromDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want Cycles
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Second, Second},
+		{time.Millisecond, Millisecond},
+		{time.Microsecond, Microsecond},
+		{10 * time.Second, 10 * Second},
+		{1500 * time.Millisecond, Second + Second/2},
+	}
+	for _, c := range cases {
+		if got := FromDuration(c.d); got != c.want {
+			t.Errorf("FromDuration(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	// Round-tripping through Duration must be exact at microsecond
+	// granularity for durations up to an hour.
+	f := func(us uint32) bool {
+		d := time.Duration(us%3_600_000_000) * time.Microsecond
+		c := FromDuration(d)
+		return c.Duration() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := (Second / 2).Seconds(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half second = %v", got)
+	}
+}
+
+func TestRateInterval(t *testing.T) {
+	// 1 Mpps at 2.6 GHz means one packet every 2600 cycles.
+	if got := Rate(1e6).Interval(); got != 2600 {
+		t.Fatalf("1Mpps interval = %d, want 2600", got)
+	}
+	if got := Rate(0).Interval(); got != 0 {
+		t.Fatalf("zero rate interval = %d, want 0", got)
+	}
+	if got := Rate(-5).Interval(); got != 0 {
+		t.Fatalf("negative rate interval = %d, want 0", got)
+	}
+}
+
+func TestPerSecond(t *testing.T) {
+	if got := PerSecond(1_000_000, Second); got != 1e6 {
+		t.Fatalf("PerSecond = %v, want 1e6", got)
+	}
+	if got := PerSecond(500, Second/2); got != 1000 {
+		t.Fatalf("PerSecond = %v, want 1000", got)
+	}
+	if got := PerSecond(42, 0); got != 0 {
+		t.Fatalf("PerSecond with zero elapsed = %v, want 0", got)
+	}
+}
+
+func TestLineRate10G(t *testing.T) {
+	// 64-byte frames on 10GbE: the canonical 14.88 Mpps.
+	got := LineRate10G(64)
+	if math.Abs(got.Mpps()-14.88) > 0.01 {
+		t.Fatalf("64B line rate = %.3f Mpps, want 14.88", got.Mpps())
+	}
+	// 1024-byte frames: 10e9 / ((1024+24)*8) ≈ 1.19 Mpps.
+	got = LineRate10G(1024)
+	if math.Abs(got.Mpps()-1.197) > 0.01 {
+		t.Fatalf("1024B line rate = %.3f Mpps, want ~1.19", got.Mpps())
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		c    Cycles
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{3 * Millisecond, "3.000ms"},
+		{5 * Microsecond, "5.000µs"},
+		{100, "100cyc"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", uint64(c.c), got, c.want)
+		}
+	}
+}
+
+func TestPropertyIntervalInvertsRate(t *testing.T) {
+	// For rates that divide the clock evenly, Interval must be the exact
+	// reciprocal in cycles.
+	f := func(k uint8) bool {
+		divisors := []Cycles{1, 2, 4, 5, 10, 100, 1000, 2600}
+		d := divisors[int(k)%len(divisors)]
+		r := Rate(float64(Frequency) / float64(d))
+		return r.Interval() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nfvnice/internal/simtime"
+)
+
+// TestHistogramQuantileMonotone: quantiles must be non-decreasing in q.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramCountSumConsistent: count and mean track inputs exactly.
+func TestHistogramCountSumConsistent(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		var sum uint64
+		for _, v := range vals {
+			h.Observe(uint64(v))
+			sum += uint64(v)
+		}
+		if h.Count() != uint64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return h.Mean() == 0
+		}
+		return h.Mean() == float64(sum)/float64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMedianWindowMatchesSort: the window median equals the sorted-slice
+// median of the in-window samples.
+func TestMedianWindowMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		span := simtime.Cycles(1000)
+		m := NewMedianWindow(span)
+		type s struct {
+			at simtime.Cycles
+			v  uint64
+		}
+		var all []s
+		now := simtime.Cycles(0)
+		for i := 0; i < 200; i++ {
+			now += simtime.Cycles(rng.Intn(50))
+			v := uint64(rng.Intn(10000))
+			m.Observe(now, v)
+			all = append(all, s{now, v})
+
+			// Reference: samples with now-at <= span.
+			var ref []uint64
+			for _, x := range all {
+				if now-x.at <= span {
+					ref = append(ref, x.v)
+				}
+			}
+			sort.Slice(ref, func(a, b int) bool { return ref[a] < ref[b] })
+			want := ref[len(ref)/2]
+			if got := m.Median(now); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEWMABounded: the average always stays within the observed range.
+func TestEWMABounded(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		e := NewEWMA(0.3)
+		lo, hi := float64(vals[0]), float64(vals[0])
+		for _, v := range vals {
+			fv := float64(v)
+			if fv < lo {
+				lo = fv
+			}
+			if fv > hi {
+				hi = fv
+			}
+			e.Observe(fv)
+			if e.Value() < lo-1e-9 || e.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

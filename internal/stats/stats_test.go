@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nfvnice/internal/simtime"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []uint64{100, 200, 300, 400} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 250 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 100 || h.Max() != 400 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Log buckets: the quantile estimate must be within 2x of truth.
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := uint64(rng.Intn(5000) + 50)
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		est := float64(h.Quantile(q))
+		// exact quantile
+		sorted := append([]uint64(nil), vals...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		exact := float64(sorted[int(q*float64(len(sorted)-1))])
+		if est < exact/2 || est > exact*2 {
+			t.Errorf("q=%v: est %v vs exact %v out of 2x band", q, est, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(1000)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("negative q should clamp to 0")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 should clamp to 1")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestMedianWindow(t *testing.T) {
+	m := NewMedianWindow(100 * simtime.Microsecond)
+	now := simtime.Cycles(0)
+	for i, v := range []uint64{10, 20, 30, 40, 50} {
+		m.Observe(now+simtime.Cycles(i)*simtime.Microsecond, v)
+	}
+	if got := m.Median(4 * simtime.Microsecond); got != 30 {
+		t.Fatalf("median = %d, want 30", got)
+	}
+	// Advance far enough that early samples age out (span 100µs): at
+	// t=103µs samples at 0,1,2µs are out, leaving {40,50}. The estimator
+	// uses the upper median for even counts.
+	if got := m.Median(103 * simtime.Microsecond); got != 50 {
+		t.Fatalf("median after eviction = %d, want 50 (upper median of 40,50)", got)
+	}
+}
+
+func TestMedianWindowEmpty(t *testing.T) {
+	m := NewMedianWindow(simtime.Millisecond)
+	if m.Median(0) != 0 || m.Mean(0) != 0 {
+		t.Fatal("empty window should report 0")
+	}
+}
+
+func TestMedianWindowMean(t *testing.T) {
+	m := NewMedianWindow(simtime.Second)
+	m.Observe(0, 10)
+	m.Observe(1, 30)
+	if got := m.Mean(2); got != 20 {
+		t.Fatalf("mean = %v, want 20", got)
+	}
+}
+
+func TestMedianRobustToOutliers(t *testing.T) {
+	// The paper chooses the median specifically because context switches
+	// mid-measurement produce huge outliers.
+	m := NewMedianWindow(simtime.Second)
+	for i := 0; i < 99; i++ {
+		m.Observe(simtime.Cycles(i), 250)
+	}
+	m.Observe(99, 1_000_000) // a context switch hit this sample
+	if got := m.Median(100); got != 250 {
+		t.Fatalf("median = %d, want 250 despite outlier", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatal("initial value should be 0")
+	}
+	e.Observe(100)
+	if e.Value() != 100 {
+		t.Fatalf("first sample should initialize: %v", e.Value())
+	}
+	e.Observe(0)
+	if e.Value() != 50 {
+		t.Fatalf("value = %v, want 50", e.Value())
+	}
+	e.Observe(0)
+	if e.Value() != 25 {
+		t.Fatalf("value = %v, want 25", e.Value())
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{1, 1, 1, 1}); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("equal allocations: %v, want 1", got)
+	}
+	// One user hogging everything among n: index = 1/n.
+	if got := Jain([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single hog: %v, want 0.25", got)
+	}
+	if got := Jain(nil); got != 1 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 1 {
+		t.Fatalf("all zero: %v", got)
+	}
+}
+
+func TestJainProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		j := Jain(xs)
+		// Bounded in [1/n, 1] (within float tolerance).
+		return j <= 1+1e-9 && j >= 1/float64(len(xs))-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainScaleInvariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	if math.Abs(Jain(xs)-Jain(ys)) > 1e-12 {
+		t.Fatal("Jain index must be scale invariant")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Add(500)
+	m.Inc()
+	if m.Total() != 501 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	r := m.Snapshot(simtime.Second)
+	if math.Abs(float64(r)-501) > 1e-9 {
+		t.Fatalf("rate = %v, want 501/s", r)
+	}
+	// Second window: 100 events in half a second = 200/s.
+	m.Add(100)
+	r = m.Snapshot(simtime.Second + simtime.Second/2)
+	if math.Abs(float64(r)-200) > 1e-9 {
+		t.Fatalf("rate = %v, want 200/s", r)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 {
+		t.Fatal("empty Last should be 0")
+	}
+	s.Record(10, 1.0)
+	s.Record(20, 3.0)
+	s.Record(30, 5.0)
+	if s.Last() != 5.0 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+	if got := s.MeanOver(10, 20); got != 2.0 {
+		t.Fatalf("MeanOver = %v, want 2", got)
+	}
+	if got := s.MeanOver(100, 200); got != 0 {
+		t.Fatalf("MeanOver empty range = %v", got)
+	}
+	lo, hi, ok := s.MinMaxOver(10, 30)
+	if !ok || lo != 1.0 || hi != 5.0 {
+		t.Fatalf("MinMaxOver = %v,%v,%v", lo, hi, ok)
+	}
+	if _, _, ok := s.MinMaxOver(40, 50); ok {
+		t.Fatal("MinMaxOver out of range should report !ok")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i%4096 + 64))
+	}
+}
+
+func BenchmarkMedianWindow(b *testing.B) {
+	m := NewMedianWindow(100 * simtime.Millisecond)
+	now := simtime.Cycles(0)
+	for i := 0; i < b.N; i++ {
+		now += simtime.Millisecond
+		m.Observe(now, uint64(i%1000))
+		if i%10 == 0 {
+			m.Median(now)
+		}
+	}
+}

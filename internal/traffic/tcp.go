@@ -1,0 +1,256 @@
+package traffic
+
+import (
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/mgr"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+	"nfvnice/internal/stats"
+)
+
+// TCPParams tune the Reno model.
+type TCPParams struct {
+	// BaseRTT is the network round trip excluding platform queueing.
+	BaseRTT simtime.Cycles
+	// InitCwnd and MaxCwnd bound the congestion window (packets).
+	InitCwnd, MaxCwnd float64
+	// RTO is the retransmission timeout (Linux floor is 200 ms; we use a
+	// laboratory-scale 10 ms so the simulated minutes stay affordable —
+	// it only makes the default baseline *less* catastrophic, i.e. the
+	// comparison conservative).
+	RTO simtime.Cycles
+}
+
+// DefaultTCPParams returns parameters for a back-to-back 10G testbed.
+func DefaultTCPParams() TCPParams {
+	return TCPParams{
+		BaseRTT:  200 * simtime.Microsecond,
+		InitCwnd: 10,
+		MaxCwnd:  4096,
+		RTO:      10 * simtime.Millisecond,
+	}
+}
+
+// TCPFlow is an iperf3-style bulk TCP sender with Reno congestion control:
+// slow start, AIMD congestion avoidance, fast-recovery-style halving on
+// loss, ECN-Echo response (RFC 3168), and an RTO fallback to a window of
+// one. It observes its packets' fate through the manager's Sink interface.
+type TCPFlow struct {
+	eng    *eventsim.Engine
+	m      *mgr.Manager
+	params TCPParams
+
+	Flow Flow
+
+	cwnd     float64
+	ssthresh float64
+	inflight int
+
+	lastProgress simtime.Cycles
+	lastCut      simtime.Cycles // last multiplicative decrease (once per RTT)
+	injecting    bool
+	retryPending bool
+
+	// DeliveredBytes counts acknowledged payload; GoodputSeries records
+	// per-sample Mbps when the experiment samples it.
+	DeliveredBytes stats.Meter
+	Sent           stats.Meter
+	Losses         stats.Meter
+	ECNEchoes      stats.Meter
+	Timeouts       stats.Meter
+
+	started bool
+	stopped bool
+}
+
+// NewTCPFlow returns a bulk sender for the given flow.
+func NewTCPFlow(eng *eventsim.Engine, m *mgr.Manager, flow Flow, params TCPParams) *TCPFlow {
+	t := &TCPFlow{
+		eng:      eng,
+		m:        m,
+		params:   params,
+		Flow:     flow,
+		cwnd:     params.InitCwnd,
+		ssthresh: params.MaxCwnd,
+	}
+	m.RegisterSink(flow.ID, t)
+	return t
+}
+
+// Start begins transmission and arms the RTO scan.
+func (t *TCPFlow) Start() {
+	t.started = true
+	t.lastProgress = t.eng.Now()
+	t.trySend()
+	t.eng.Every(t.eng.Now()+t.params.RTO, t.params.RTO/2, t.rtoScan)
+}
+
+// Stop halts the sender.
+func (t *TCPFlow) Stop() { t.stopped = true }
+
+// Cwnd reports the current congestion window (packets), for metrics.
+func (t *TCPFlow) Cwnd() float64 { return t.cwnd }
+
+func (t *TCPFlow) trySend() {
+	if !t.started || t.stopped {
+		return
+	}
+	for float64(t.inflight) < t.cwnd {
+		t.inflight++
+		t.Sent.Inc()
+		t.injecting = true
+		ok, _ := t.m.Inject(t.Flow.Key, t.Flow.ID, t.Flow.Size, packet.ECT, 0)
+		t.injecting = false
+		if !ok {
+			// The synchronous Dropped callback already undid inflight and
+			// cut the window; pace the next attempt instead of spinning.
+			t.scheduleRetry()
+			return
+		}
+	}
+}
+
+// Delivered implements mgr.Sink: the packet exited the chain; the ACK
+// returns after the network round trip. Injection into the platform is
+// instantaneous in the simulation, so the whole BaseRTT is charged on the
+// ACK path — end-to-end RTT is then BaseRTT plus platform queueing, as on
+// the testbed.
+func (t *TCPFlow) Delivered(now simtime.Cycles, pkt *packet.Packet) {
+	ce := pkt.ECN == packet.CE
+	size := pkt.Size
+	t.eng.After(t.params.BaseRTT, func() { t.onAck(size, ce) })
+}
+
+func (t *TCPFlow) onAck(size int, ce bool) {
+	if t.stopped {
+		return
+	}
+	now := t.eng.Now()
+	if t.inflight > 0 {
+		t.inflight--
+	}
+	t.lastProgress = now
+	t.DeliveredBytes.Add(uint64(size))
+	if ce {
+		t.ECNEchoes.Inc()
+		t.cutWindow(now)
+	} else if t.cwnd < t.ssthresh {
+		t.cwnd++ // slow start
+	} else {
+		t.cwnd += 1 / t.cwnd // congestion avoidance
+	}
+	if t.cwnd > t.params.MaxCwnd {
+		t.cwnd = t.params.MaxCwnd
+	}
+	t.trySend()
+}
+
+// Dropped implements mgr.Sink: congestion loss anywhere in the platform.
+//
+// Synchronous rejections (the sender's own Inject bounced at the entry) are
+// known immediately: undo the window slot and back off, coalescing retries
+// so persistent rejection costs one timer, not one timer per attempt.
+// Asynchronous drops (the packet died somewhere downstream) model triple-
+// duplicate-ACK detection an RTT later; their handler population is bounded
+// by the packets genuinely inside the platform.
+func (t *TCPFlow) Dropped(now simtime.Cycles, pkt *packet.Packet, at mgr.DropPoint) {
+	t.Losses.Inc()
+	if t.injecting {
+		if t.inflight > 0 {
+			t.inflight--
+		}
+		t.cutWindow(now)
+		return
+	}
+	// Loss detection takes about an RTT (triple duplicate ACK).
+	t.eng.After(t.params.BaseRTT, func() {
+		if t.stopped {
+			return
+		}
+		if t.inflight > 0 {
+			t.inflight--
+		}
+		t.cutWindow(t.eng.Now())
+		// Fast recovery retransmits once per window, not once per lost
+		// segment: a blast of N losses must not seed N self-sustaining
+		// retransmit loops. ACK-clocked sends stay in onAck.
+		t.scheduleRetry()
+	})
+}
+
+// scheduleRetry arms a single paced re-send after persistent synchronous
+// rejection; concurrent failures coalesce into one timer.
+func (t *TCPFlow) scheduleRetry() {
+	if t.retryPending {
+		return
+	}
+	t.retryPending = true
+	t.eng.After(t.params.BaseRTT, func() {
+		t.retryPending = false
+		t.trySend()
+	})
+}
+
+// cutWindow halves cwnd at most once per RTT (Reno's per-window reaction).
+func (t *TCPFlow) cutWindow(now simtime.Cycles) {
+	if now-t.lastCut < t.params.BaseRTT {
+		return
+	}
+	t.lastCut = now
+	t.cwnd /= 2
+	if t.cwnd < 1 {
+		t.cwnd = 1
+	}
+	t.ssthresh = t.cwnd
+}
+
+// rtoScan fires the retransmission timeout when no ACK progress happened
+// for a full RTO: window collapses to one and slow start restarts.
+func (t *TCPFlow) rtoScan() {
+	if t.stopped {
+		return
+	}
+	now := t.eng.Now()
+	if now-t.lastProgress < t.params.RTO {
+		return
+	}
+	t.Timeouts.Inc()
+	t.lastProgress = now
+	t.ssthresh = t.cwnd / 2
+	if t.ssthresh < 2 {
+		t.ssthresh = 2
+	}
+	t.cwnd = 1
+	// inflight is NOT reset: every injected packet eventually produces a
+	// Delivered or Dropped callback in this platform, so the window
+	// drains by itself. Zeroing it would model a retransmission storm
+	// whose duplicates get counted as goodput.
+	t.trySend()
+}
+
+// GoodputMbps converts a delivered-bytes snapshot into megabits per second.
+func GoodputMbps(delivered *stats.Meter, now simtime.Cycles) float64 {
+	return float64(delivered.Snapshot(now)) * 8 / 1e6
+}
+
+// UDPSink counts a UDP flow's delivered packets/bytes for per-flow
+// throughput reporting (iperf3 server side).
+type UDPSink struct {
+	DeliveredPkts  stats.Meter
+	DeliveredBytes stats.Meter
+	DroppedPkts    stats.Meter
+}
+
+// Delivered implements mgr.Sink.
+func (u *UDPSink) Delivered(now simtime.Cycles, pkt *packet.Packet) {
+	u.DeliveredPkts.Inc()
+	u.DeliveredBytes.Add(uint64(pkt.Size))
+}
+
+// Dropped implements mgr.Sink.
+func (u *UDPSink) Dropped(now simtime.Cycles, pkt *packet.Packet, at mgr.DropPoint) {
+	u.DroppedPkts.Inc()
+}
+
+// Inflight reports the sender's current outstanding-packet estimate.
+func (t *TCPFlow) Inflight() int { return t.inflight }

@@ -1,0 +1,224 @@
+// Package traffic provides the workload generators the paper's testbed
+// tools supply: MoonGen/Pktgen-style constant-bit-rate UDP at line rate
+// (64-byte packets, multiple flows), Poisson arrivals, and an iperf3-style
+// TCP flow with Reno congestion control and ECN response for the
+// performance-isolation experiment.
+package traffic
+
+import (
+	"math/rand"
+
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/mgr"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+	"nfvnice/internal/stats"
+)
+
+// Flow describes one generated flow.
+type Flow struct {
+	ID   int
+	Key  packet.FlowKey
+	Size int // frame bytes
+}
+
+// FlowN builds a distinct UDP flow key for flow id i.
+func FlowN(i int, size int) Flow {
+	return Flow{
+		ID:   i,
+		Key:  packet.FlowKey{SrcIP: 0x0a000000 + uint32(i+1), DstIP: 0x0b000001, SrcPort: uint16(1000 + i), DstPort: 9, Proto: packet.UDP},
+		Size: size,
+	}
+}
+
+// TCPFlowN builds a distinct TCP flow key.
+func TCPFlowN(i int, size int) Flow {
+	return Flow{
+		ID:   i,
+		Key:  packet.FlowKey{SrcIP: 0x0a000000 + uint32(i+1), DstIP: 0x0b000001, SrcPort: uint16(5000 + i), DstPort: 5201, Proto: packet.TCP},
+		Size: size,
+	}
+}
+
+// NIC aggregates all constant-rate generators behind one injection tick
+// that interleaves due packets across flows round-robin, the way frames of
+// concurrent flows arrive interleaved on a real link. Without this, whole
+// bursts of one flow would win every free ring slot under overload.
+type NIC struct {
+	eng      *eventsim.Engine
+	interval simtime.Cycles
+	gens     []*CBR
+	started  bool
+}
+
+// NewNIC returns a NIC ticking every 10 µs (≤ ~150-packet aggregate bursts
+// at 10G line rate).
+func NewNIC(eng *eventsim.Engine) *NIC {
+	return &NIC{eng: eng, interval: 10 * simtime.Microsecond}
+}
+
+// Start arms the injection tick (idempotent).
+func (n *NIC) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.eng.Every(n.eng.Now(), n.interval, n.tick)
+}
+
+func (n *NIC) tick() {
+	now := n.eng.Now()
+	remaining := 0
+	for _, g := range n.gens {
+		remaining += g.due(now)
+	}
+	// Round-robin one packet per flow until all credits are spent.
+	for remaining > 0 {
+		for _, g := range n.gens {
+			if g.pending > 0 {
+				g.emit()
+				remaining--
+			}
+		}
+	}
+}
+
+// CBR is a constant-rate UDP generator attached to a NIC. Credit accounting
+// is integer-exact: the long-run rate matches the configured rate regardless
+// of the NIC tick.
+type CBR struct {
+	m *mgr.Manager
+
+	Flow Flow
+	// CostClass, when non-nil, assigns each packet's cost class (Fig 10's
+	// per-packet variable costs); deterministic from the seeded RNG.
+	CostClass func(rng *rand.Rand) int
+
+	nic     *NIC
+	rate    simtime.Rate
+	sent    uint64
+	pending int
+	startAt simtime.Cycles
+	rng     *rand.Rand
+	stopped bool
+
+	// Offered and Accepted count injection attempts and successes.
+	Offered  stats.Meter
+	Accepted stats.Meter
+}
+
+// NewCBR returns a generator injecting flow packets at rate through the NIC.
+func NewCBR(nic *NIC, m *mgr.Manager, flow Flow, rate simtime.Rate, seed int64) *CBR {
+	g := &CBR{
+		nic:  nic,
+		m:    m,
+		Flow: flow,
+		rate: rate,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	nic.gens = append(nic.gens, g)
+	return g
+}
+
+// Start begins injection at the engine's current time.
+func (g *CBR) Start() {
+	g.startAt = g.nic.eng.Now()
+	g.sent = 0
+	g.nic.Start()
+}
+
+// Stop halts injection.
+func (g *CBR) Stop() { g.stopped = true }
+
+// Restart resumes injection after Stop, restarting credit accounting so no
+// burst of "missed" packets is emitted.
+func (g *CBR) Restart() {
+	g.stopped = false
+	g.startAt = g.nic.eng.Now()
+	g.sent = 0
+}
+
+// SetRate changes the offered rate; credit accounting restarts so the new
+// rate applies cleanly from now.
+func (g *CBR) SetRate(r simtime.Rate) {
+	g.rate = r
+	g.startAt = g.nic.eng.Now()
+	g.sent = 0
+}
+
+// due computes how many packets this generator owes as of now and stages
+// them for interleaved emission.
+func (g *CBR) due(now simtime.Cycles) int {
+	if g.stopped || g.rate <= 0 {
+		g.pending = 0
+		return 0
+	}
+	target := uint64(float64(now-g.startAt) / float64(simtime.Second) * float64(g.rate))
+	g.pending = int(target - g.sent)
+	return g.pending
+}
+
+func (g *CBR) emit() {
+	g.pending--
+	g.sent++
+	g.Offered.Inc()
+	class := 0
+	if g.CostClass != nil {
+		class = g.CostClass(g.rng)
+	}
+	if ok, _ := g.m.Inject(g.Flow.Key, g.Flow.ID, g.Flow.Size, packet.NotECT, class); ok {
+		g.Accepted.Inc()
+	}
+}
+
+// Poisson is a Poisson-arrival UDP generator (exponential gaps), used to
+// check NFVnice's robustness beyond CBR workloads.
+type Poisson struct {
+	eng *eventsim.Engine
+	m   *mgr.Manager
+
+	Flow Flow
+	rng  *rand.Rand
+	mean simtime.Cycles
+
+	Offered  stats.Meter
+	Accepted stats.Meter
+	stopped  bool
+}
+
+// NewPoisson returns a Poisson generator with the given mean rate.
+func NewPoisson(eng *eventsim.Engine, m *mgr.Manager, flow Flow, rate simtime.Rate, seed int64) *Poisson {
+	if rate <= 0 {
+		panic("traffic: poisson rate must be positive")
+	}
+	return &Poisson{
+		eng:  eng,
+		m:    m,
+		Flow: flow,
+		rng:  rand.New(rand.NewSource(seed)),
+		mean: rate.Interval(),
+	}
+}
+
+// Start begins arrivals.
+func (p *Poisson) Start() { p.schedule() }
+
+// Stop halts arrivals.
+func (p *Poisson) Stop() { p.stopped = true }
+
+func (p *Poisson) schedule() {
+	gap := simtime.Cycles(p.rng.ExpFloat64() * float64(p.mean))
+	if gap == 0 {
+		gap = 1
+	}
+	p.eng.After(gap, func() {
+		if p.stopped {
+			return
+		}
+		p.Offered.Inc()
+		if ok, _ := p.m.Inject(p.Flow.Key, p.Flow.ID, p.Flow.Size, packet.NotECT, 0); ok {
+			p.Accepted.Inc()
+		}
+		p.schedule()
+	})
+}

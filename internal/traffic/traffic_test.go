@@ -1,0 +1,251 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"nfvnice/internal/chain"
+	"nfvnice/internal/cpusched"
+	"nfvnice/internal/eventsim"
+	"nfvnice/internal/mgr"
+	"nfvnice/internal/nf"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/simtime"
+)
+
+// testPlatform wires a single fast NF so generators have something to hit.
+func testPlatform(t *testing.T, feats mgr.Features) (*eventsim.Engine, *mgr.Manager, *NIC) {
+	t.Helper()
+	eng := eventsim.New()
+	pool := packet.NewPool(65536)
+	reg := chain.NewRegistry()
+	m := mgr.New(eng, pool, reg, mgr.DefaultParams(feats))
+	core := cpusched.NewCore(0, eng, cpusched.NewCFSBatch(), cpusched.DefaultCoreParams())
+	n := nf.New(0, "fwd", nf.FixedCost(100), nf.DefaultParams(), 1)
+	core.AddTask(n.Task)
+	m.AddNF(n)
+	reg.MustAdd("c", 0)
+	m.GrowChains(1)
+	m.Start()
+	return eng, m, NewNIC(eng)
+}
+
+func mapFlow(m *mgr.Manager, f Flow) {
+	m.Table.InstallExact(f.Key, 0)
+}
+
+func TestCBRRateIsExact(t *testing.T) {
+	eng, m, nic := testPlatform(t, mgr.FeatureDefault())
+	f := FlowN(0, 64)
+	mapFlow(m, f)
+	g := NewCBR(nic, m, f, 1_000_000, 1)
+	g.Start()
+	eng.RunUntil(simtime.Second)
+	// 1 Mpps for 1 s: within one NIC tick's worth of packets.
+	if got := g.Offered.Total(); math.Abs(float64(got)-1e6) > 20 {
+		t.Fatalf("offered = %d, want ~1e6", got)
+	}
+}
+
+func TestCBRStopRestart(t *testing.T) {
+	eng, m, nic := testPlatform(t, mgr.FeatureDefault())
+	f := FlowN(0, 64)
+	mapFlow(m, f)
+	g := NewCBR(nic, m, f, 1_000_000, 1)
+	g.Start()
+	eng.RunUntil(100 * simtime.Millisecond)
+	atStop := g.Offered.Total()
+	g.Stop()
+	eng.RunUntil(200 * simtime.Millisecond)
+	if g.Offered.Total() != atStop {
+		t.Fatal("generator emitted while stopped")
+	}
+	g.Restart()
+	eng.RunUntil(300 * simtime.Millisecond)
+	delta := g.Offered.Total() - atStop
+	// ~100ms at 1Mpps = ~100k packets; no catch-up burst for the stopped
+	// interval.
+	if delta < 95_000 || delta > 105_000 {
+		t.Fatalf("post-restart emitted %d, want ~100k (no catch-up burst)", delta)
+	}
+}
+
+func TestCBRSetRate(t *testing.T) {
+	eng, m, nic := testPlatform(t, mgr.FeatureDefault())
+	f := FlowN(0, 64)
+	mapFlow(m, f)
+	g := NewCBR(nic, m, f, 1_000_000, 1)
+	g.Start()
+	eng.RunUntil(100 * simtime.Millisecond)
+	base := g.Offered.Total()
+	g.SetRate(2_000_000)
+	eng.RunUntil(200 * simtime.Millisecond)
+	delta := g.Offered.Total() - base
+	if delta < 190_000 || delta > 210_000 {
+		t.Fatalf("after rate change emitted %d in 100ms, want ~200k", delta)
+	}
+}
+
+func TestNICInterleavesFlows(t *testing.T) {
+	// Two flows into one overloaded NF: accepted packets must split
+	// roughly evenly (round-robin interleave), not first-flow-wins.
+	eng := eventsim.New()
+	pool := packet.NewPool(65536)
+	reg := chain.NewRegistry()
+	m := mgr.New(eng, pool, reg, mgr.DefaultParams(mgr.FeatureDefault()))
+	core := cpusched.NewCore(0, eng, cpusched.NewCFSBatch(), cpusched.DefaultCoreParams())
+	n := nf.New(0, "slow", nf.FixedCost(2000), nf.DefaultParams(), 1)
+	core.AddTask(n.Task)
+	m.AddNF(n)
+	reg.MustAdd("c", 0)
+	m.GrowChains(1)
+	m.Start()
+	nic := NewNIC(eng)
+	f1, f2 := FlowN(0, 64), FlowN(1, 64)
+	m.Table.InstallExact(f1.Key, 0)
+	m.Table.InstallExact(f2.Key, 0)
+	g1 := NewCBR(nic, m, f1, 5e6, 1)
+	g2 := NewCBR(nic, m, f2, 5e6, 2)
+	g1.Start()
+	g2.Start()
+	eng.RunUntil(200 * simtime.Millisecond)
+	a1, a2 := float64(g1.Accepted.Total()), float64(g2.Accepted.Total())
+	if a1 == 0 || a2 == 0 {
+		t.Fatalf("starved flow: %v %v", a1, a2)
+	}
+	if r := a1 / a2; r < 0.9 || r > 1.1 {
+		t.Fatalf("accepted ratio = %.3f, want ~1 (interleaved)", r)
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	eng, m, _ := testPlatform(t, mgr.FeatureDefault())
+	f := FlowN(0, 64)
+	mapFlow(m, f)
+	p := NewPoisson(eng, m, f, 500_000, 7)
+	p.Start()
+	eng.RunUntil(simtime.Second)
+	got := float64(p.Offered.Total())
+	if got < 480_000 || got > 520_000 {
+		t.Fatalf("poisson emitted %v in 1s, want ~500k", got)
+	}
+	p.Stop()
+	at := p.Offered.Total()
+	eng.RunUntil(2 * simtime.Second)
+	if p.Offered.Total() != at {
+		t.Fatal("poisson emitted after Stop")
+	}
+}
+
+func TestTCPSlowStartAndCap(t *testing.T) {
+	eng, m, _ := testPlatform(t, mgr.FeatureDefault())
+	f := TCPFlowN(0, 1470)
+	mapFlow(m, f)
+	params := DefaultTCPParams()
+	params.MaxCwnd = 32
+	tcp := NewTCPFlow(eng, m, f, params)
+	tcp.Start()
+	eng.RunUntil(simtime.Second)
+	if tcp.Cwnd() != 32 {
+		t.Fatalf("uncongested cwnd = %v, want cap 32", tcp.Cwnd())
+	}
+	if tcp.DeliveredBytes.Total() == 0 {
+		t.Fatal("no bytes delivered")
+	}
+	if tcp.Losses.Total() != 0 {
+		t.Fatalf("losses on an uncongested path: %d", tcp.Losses.Total())
+	}
+	// Throughput ≈ cwnd * size / RTT.
+	wantBps := 32.0 * 1470 * 8 / params.BaseRTT.Seconds()
+	gotBps := float64(tcp.DeliveredBytes.Total()) * 8
+	if gotBps < wantBps*0.7 || gotBps > wantBps*1.2 {
+		t.Fatalf("goodput %.0f bps, want ~%.0f", gotBps, wantBps)
+	}
+}
+
+func TestTCPBacksOffUnderLoss(t *testing.T) {
+	// A slow NF (far below the TCP demand) forces queue drops; the flow
+	// must shrink cwnd rather than blast away.
+	eng := eventsim.New()
+	pool := packet.NewPool(8192)
+	reg := chain.NewRegistry()
+	m := mgr.New(eng, pool, reg, mgr.DefaultParams(mgr.FeatureDefault()))
+	core := cpusched.NewCore(0, eng, cpusched.NewCFSBatch(), cpusched.DefaultCoreParams())
+	p := nf.DefaultParams()
+	p.RingSize = 128
+	n := nf.New(0, "slow", nf.FixedCost(200_000), p, 1)
+	core.AddTask(n.Task)
+	m.AddNF(n)
+	reg.MustAdd("c", 0)
+	m.GrowChains(1)
+	m.Start()
+	f := TCPFlowN(0, 1470)
+	m.Table.InstallExact(f.Key, 0)
+	tcp := NewTCPFlow(eng, m, f, DefaultTCPParams())
+	tcp.Start()
+	eng.RunUntil(2 * simtime.Second)
+	if tcp.Losses.Total() == 0 {
+		t.Fatal("expected losses at the slow NF")
+	}
+	// Equilibrium cwnd tracks the bottleneck buffer (128 descriptors)
+	// plus a small BDP margin — bufferbloat, not runaway growth.
+	if tcp.Cwnd() > 300 {
+		t.Fatalf("cwnd = %v, runaway growth despite persistent loss", tcp.Cwnd())
+	}
+	// Goodput is pinned to the slow NF's capacity (~13 kpps), not the
+	// sender's ambition.
+	pps := float64(tcp.DeliveredBytes.Total()) / 1470 / 2
+	if pps > 16_000 {
+		t.Fatalf("delivered %.0f pps through a 13 kpps bottleneck", pps)
+	}
+}
+
+func TestTCPECNResponse(t *testing.T) {
+	// ECN marks must reduce cwnd without packet loss.
+	eng := eventsim.New()
+	pool := packet.NewPool(65536)
+	reg := chain.NewRegistry()
+	params := mgr.DefaultParams(mgr.FeatureNFVnice())
+	params.ECNThreshold = 4
+	m := mgr.New(eng, pool, reg, params)
+	core := cpusched.NewCore(0, eng, cpusched.NewCFSBatch(), cpusched.DefaultCoreParams())
+	n := nf.New(0, "mid", nf.FixedCost(9000), nf.DefaultParams(), 1)
+	core.AddTask(n.Task)
+	m.AddNF(n)
+	reg.MustAdd("c", 0)
+	m.GrowChains(1)
+	m.Start()
+	f := TCPFlowN(0, 1470)
+	m.Table.InstallExact(f.Key, 0)
+	tcp := NewTCPFlow(eng, m, f, DefaultTCPParams())
+	tcp.Start()
+	eng.RunUntil(simtime.Second)
+	if tcp.ECNEchoes.Total() == 0 {
+		t.Fatal("no ECN echoes despite standing queue")
+	}
+	if tcp.Cwnd() >= DefaultTCPParams().MaxCwnd {
+		t.Fatal("cwnd did not respond to CE marks")
+	}
+}
+
+func TestUDPSink(t *testing.T) {
+	var s UDPSink
+	pkt := &packet.Packet{Size: 100}
+	s.Delivered(0, pkt)
+	s.Delivered(0, pkt)
+	s.Dropped(0, pkt, mgr.DropEntry)
+	if s.DeliveredPkts.Total() != 2 || s.DeliveredBytes.Total() != 200 || s.DroppedPkts.Total() != 1 {
+		t.Fatal("UDP sink counters wrong")
+	}
+}
+
+func TestFlowConstructors(t *testing.T) {
+	a, b := FlowN(1, 64), FlowN(2, 64)
+	if a.Key == b.Key {
+		t.Fatal("distinct flow indexes must produce distinct keys")
+	}
+	tc := TCPFlowN(1, 1470)
+	if tc.Key.Proto != packet.TCP || a.Key.Proto != packet.UDP {
+		t.Fatal("protocol assignment wrong")
+	}
+}

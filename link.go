@@ -1,0 +1,83 @@
+package nfvnice
+
+import (
+	"nfvnice/internal/mgr"
+	"nfvnice/internal/packet"
+)
+
+// Link bridges two platforms sharing one engine: packets exiting a flow's
+// chain on host A are re-injected into host B after a propagation delay,
+// preserving the ECN codepoint — the cross-host service chains of §3.3,
+// where in-network ECN marking is the only congestion signal that can reach
+// a remote sender. Create with ConnectHosts.
+type Link struct {
+	a, b  *Platform
+	delay Cycles
+	flow  Flow
+
+	// Forwarded and DroppedAtB count cross-host packet fates.
+	Forwarded  uint64
+	DroppedAtB uint64
+
+	// Downstream, when set, receives end-to-end delivery/drop events from
+	// host B (e.g. a TCP sender's congestion feedback).
+	Downstream Sink
+}
+
+// ConnectHosts routes the flow across two platforms: its chain on host A
+// feeds its chain on host B over a link with the given one-way delay. Both
+// platforms must share the same engine (NewPlatformOn) and have the flow
+// mapped to a chain locally.
+func ConnectHosts(a, b *Platform, flow Flow, delay Cycles) *Link {
+	if a.Eng != b.Eng {
+		panic("nfvnice: ConnectHosts requires platforms sharing an engine")
+	}
+	l := &Link{a: a, b: b, delay: delay, flow: flow}
+	a.RegisterSink(flow.ID, (*linkSinkA)(l))
+	b.RegisterSink(flow.ID, (*linkSinkB)(l))
+	return l
+}
+
+// linkSinkA observes host A's chain exits and forwards across the wire.
+type linkSinkA Link
+
+// Delivered implements Sink for host A: ship the packet to host B.
+func (l *linkSinkA) Delivered(now Cycles, pkt *Packet) {
+	key, id, size, ecn := pkt.Flow, pkt.FlowID, pkt.Size, pkt.ECN
+	link := (*Link)(l)
+	link.a.Eng.After(link.delay, func() {
+		if ok, _ := link.b.Mgr.Inject(key, id, size, ecn, 0); ok {
+			link.Forwarded++
+		} else {
+			link.DroppedAtB++
+			if link.Downstream != nil {
+				tmp := packet.Packet{Flow: key, FlowID: id, Size: size, ECN: ecn}
+				link.Downstream.Dropped(link.b.Eng.Now(), &tmp, mgr.DropEntryRing)
+			}
+		}
+	})
+}
+
+// Dropped implements Sink for host A: local drops feed straight back.
+func (l *linkSinkA) Dropped(now Cycles, pkt *Packet, at DropPoint) {
+	if l.Downstream != nil {
+		l.Downstream.Dropped(now, pkt, at)
+	}
+}
+
+// linkSinkB observes host B's chain exits: end-to-end delivery.
+type linkSinkB Link
+
+// Delivered implements Sink for host B.
+func (l *linkSinkB) Delivered(now Cycles, pkt *Packet) {
+	if l.Downstream != nil {
+		l.Downstream.Delivered(now, pkt)
+	}
+}
+
+// Dropped implements Sink for host B.
+func (l *linkSinkB) Dropped(now Cycles, pkt *Packet, at DropPoint) {
+	if l.Downstream != nil {
+		l.Downstream.Dropped(now, pkt, at)
+	}
+}

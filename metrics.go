@@ -1,0 +1,181 @@
+package nfvnice
+
+import (
+	"nfvnice/internal/simtime"
+)
+
+// NFMetrics is a snapshot of one NF's counters, in the units the paper
+// reports.
+type NFMetrics struct {
+	Name string
+	// ProcessedPps is the NF's service rate over the measured window.
+	ProcessedPps Rate
+	// WastedDropsPps is the rate of packets this NF processed that were
+	// later dropped downstream (Table 3's wasted work).
+	WastedDropsPps Rate
+	// EntryDropsPps is the rate of packets dropped unprocessed at this
+	// NF's receive ring when it is a chain entry.
+	EntryDropsPps Rate
+	// RuntimeMs is cumulative CPU runtime in milliseconds.
+	RuntimeMs float64
+	// AvgSchedDelayMs is the mean runnable-to-running latency.
+	AvgSchedDelayMs float64
+	// VoluntaryCswch and InvoluntaryCswch are context switches per second
+	// over the platform lifetime.
+	VoluntaryCswch, InvoluntaryCswch float64
+	// CPUShare is the fraction of its core's cycles this NF consumed over
+	// the measured window.
+	CPUShare float64
+	// ServiceTimeCycles is the controller's current median service-time
+	// estimate.
+	ServiceTimeCycles Cycles
+}
+
+// Snapshot captures per-NF totals so a later call can compute windowed
+// rates.
+type Snapshot struct {
+	at        Cycles
+	processed []uint64
+	wasted    []uint64
+	entry     []uint64
+	qdrops    []uint64
+	runtime   []Cycles
+	busy      []Cycles
+	sw        []Cycles
+	delivered []uint64
+	dbytes    []uint64
+}
+
+// TakeSnapshot records current counters; pass it to MetricsSince after the
+// measurement window.
+func (p *Platform) TakeSnapshot() *Snapshot {
+	s := &Snapshot{at: p.Eng.Now()}
+	for _, n := range p.nfs {
+		s.processed = append(s.processed, n.ProcessedMeter.Total())
+		s.wasted = append(s.wasted, p.Mgr.Wasted[n.ID].Total())
+		s.entry = append(s.entry, p.Mgr.EntryRingDrops[n.ID].Total())
+		s.qdrops = append(s.qdrops, p.Mgr.QueueDrops[n.ID].Total())
+		s.runtime = append(s.runtime, n.Task.Stats.Runtime)
+	}
+	for _, c := range p.cores {
+		s.busy = append(s.busy, c.BusyCycles)
+		s.sw = append(s.sw, c.SwitchCycles)
+	}
+	for i := range p.Mgr.Delivered {
+		s.delivered = append(s.delivered, p.Mgr.Delivered[i].Total())
+		s.dbytes = append(s.dbytes, p.Mgr.DeliveredBytes[i].Total())
+	}
+	return s
+}
+
+// NFMetricsSince reports each NF's windowed metrics since the snapshot.
+func (p *Platform) NFMetricsSince(s *Snapshot) []NFMetrics {
+	now := p.Eng.Now()
+	elapsed := now - s.at
+	out := make([]NFMetrics, len(p.nfs))
+	lifetime := now
+	for i, n := range p.nfs {
+		st := n.Task.Stats
+		m := NFMetrics{
+			Name:              n.Name,
+			ProcessedPps:      simtime.PerSecond(n.ProcessedMeter.Total()-s.processed[i], elapsed),
+			WastedDropsPps:    simtime.PerSecond(p.Mgr.Wasted[n.ID].Total()-s.wasted[i], elapsed),
+			EntryDropsPps:     simtime.PerSecond(p.Mgr.EntryRingDrops[n.ID].Total()-s.entry[i], elapsed),
+			RuntimeMs:         float64(st.Runtime) / float64(simtime.Millisecond),
+			AvgSchedDelayMs:   float64(st.AvgSchedDelay()) / float64(simtime.Millisecond),
+			ServiceTimeCycles: n.EstimatedServiceTime(now),
+		}
+		if lifetime > 0 {
+			m.VoluntaryCswch = float64(st.VoluntarySwitches) / lifetime.Seconds()
+			m.InvoluntaryCswch = float64(st.InvolSwitches) / lifetime.Seconds()
+		}
+		if elapsed > 0 {
+			m.CPUShare = float64(st.Runtime-s.runtime[i]) / float64(elapsed)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// CoreMetrics is a per-core utilization snapshot.
+type CoreMetrics struct {
+	// Utilization is busy+switch cycles over the window.
+	Utilization float64
+	// SwitchOverhead is the fraction of the window burned in context
+	// switches.
+	SwitchOverhead float64
+}
+
+// CoreMetricsSince reports windowed core utilization since the snapshot.
+func (p *Platform) CoreMetricsSince(s *Snapshot) []CoreMetrics {
+	elapsed := p.Eng.Now() - s.at
+	out := make([]CoreMetrics, len(p.cores))
+	for i, c := range p.cores {
+		if elapsed == 0 {
+			continue
+		}
+		busy := c.BusyCycles - s.busy[i]
+		sw := c.SwitchCycles - s.sw[i]
+		out[i] = CoreMetrics{
+			Utilization:    float64(busy+sw) / float64(elapsed),
+			SwitchOverhead: float64(sw) / float64(elapsed),
+		}
+	}
+	return out
+}
+
+// QueueDropSince reports the rate of packets dropped at an NF's receive
+// queue (ring full) over the window — Table 5's per-NF drop rate.
+func (p *Platform) QueueDropSince(s *Snapshot, nfID int) Rate {
+	elapsed := p.Eng.Now() - s.at
+	return simtime.PerSecond(p.Mgr.QueueDrops[nfID].Total()-s.qdrops[nfID], elapsed)
+}
+
+// ChainDeliveredSince reports a chain's delivered packet rate over the
+// window since the snapshot.
+func (p *Platform) ChainDeliveredSince(s *Snapshot, chainID int) Rate {
+	elapsed := p.Eng.Now() - s.at
+	return simtime.PerSecond(p.Mgr.Delivered[chainID].Total()-s.delivered[chainID], elapsed)
+}
+
+// ChainDeliveredMbpsSince reports a chain's delivered bandwidth in Mbps.
+func (p *Platform) ChainDeliveredMbpsSince(s *Snapshot, chainID int) float64 {
+	elapsed := p.Eng.Now() - s.at
+	bytes := p.Mgr.DeliveredBytes[chainID].Total() - s.dbytes[chainID]
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / elapsed.Seconds() / 1e6
+}
+
+// TotalDeliveredSince sums delivered packet rates across all chains.
+func (p *Platform) TotalDeliveredSince(s *Snapshot) Rate {
+	var total Rate
+	for i := range p.Mgr.Delivered {
+		total += p.ChainDeliveredSince(s, i)
+	}
+	return total
+}
+
+// TotalWastedSince sums wasted-work drop rates across all NFs.
+func (p *Platform) TotalWastedSince(s *Snapshot) Rate {
+	elapsed := p.Eng.Now() - s.at
+	var tot uint64
+	var base uint64
+	for i := range p.nfs {
+		tot += p.Mgr.Wasted[i].Total()
+		base += s.wasted[i]
+	}
+	return simtime.PerSecond(tot-base, elapsed)
+}
+
+// EntryThrottleDrops reports total backpressure sheds at chain entries.
+func (p *Platform) EntryThrottleDrops() uint64 {
+	return p.Mgr.Throttles.TotalEntryDrops()
+}
+
+// LatencyQuantile reports the q-th quantile of end-to-end latency of
+// delivered packets (lifetime), in microseconds.
+func (p *Platform) LatencyQuantile(q float64) float64 {
+	return float64(p.Mgr.Latency.Quantile(q)) / float64(simtime.Microsecond)
+}

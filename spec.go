@@ -1,0 +1,215 @@
+package nfvnice
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spec is a declarative platform description — the analogue of OpenNetVM's
+// "simple configuration files" (§3.1) through which service chains are
+// configured at startup, and the surface an SDN controller would program.
+// Decode one from JSON with LoadSpec and instantiate it with Build.
+type Spec struct {
+	// Scheduler is NORMAL, BATCH, RR1 or RR100 (default NORMAL).
+	Scheduler string `json:"scheduler"`
+	// Mode is default, cgroups, backpressure or nfvnice (default nfvnice).
+	Mode string `json:"mode"`
+	// Cores is the number of NF cores.
+	Cores int `json:"cores"`
+	// Seed makes the run reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+
+	NFs    []NFSpec    `json:"nfs"`
+	Chains []ChainSpec `json:"chains"`
+	Flows  []FlowSpec  `json:"flows"`
+}
+
+// NFSpec declares one network function.
+type NFSpec struct {
+	Name string `json:"name"`
+	// Core is the index of the core the NF is pinned to.
+	Core int `json:"core"`
+	// Cost is the per-packet cost in CPU cycles. CostModel selects the
+	// shape: "fixed" (default), "uniform" (Cost..Cost2), or "perbyte"
+	// (Cost base + Cost2 per byte).
+	Cost      int    `json:"cost"`
+	Cost2     int    `json:"cost2,omitempty"`
+	CostModel string `json:"costModel,omitempty"`
+	// Priority is the NFVnice differentiated-service multiplier.
+	Priority float64 `json:"priority,omitempty"`
+}
+
+// ChainSpec declares a service chain by NF names.
+type ChainSpec struct {
+	Name string   `json:"name"`
+	NFs  []string `json:"nfs"`
+}
+
+// FlowSpec declares one offered flow.
+type FlowSpec struct {
+	// Chain is the chain name the flow traverses.
+	Chain string `json:"chain"`
+	// RatePps is the offered constant rate; Size the frame bytes
+	// (default 64). Set LineRate true to offer 10G line rate for Size.
+	RatePps  float64 `json:"ratePps,omitempty"`
+	LineRate bool    `json:"lineRate,omitempty"`
+	Size     int     `json:"size,omitempty"`
+}
+
+// LoadSpec decodes a Spec from JSON.
+func LoadSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadSpecFile decodes a Spec from a file.
+func LoadSpecFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSpec(f)
+}
+
+func (s *Spec) scheduler() (SchedPolicy, error) {
+	switch s.Scheduler {
+	case "", "NORMAL", "normal":
+		return SchedNormal, nil
+	case "BATCH", "batch":
+		return SchedBatch, nil
+	case "RR1", "rr1", "rr1ms":
+		return SchedRR1ms, nil
+	case "RR100", "rr100", "rr100ms":
+		return SchedRR100ms, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown scheduler %q", s.Scheduler)
+	}
+}
+
+func (s *Spec) mode() (Mode, error) {
+	switch s.Mode {
+	case "", "nfvnice":
+		return ModeNFVnice, nil
+	case "default":
+		return ModeDefault, nil
+	case "cgroups":
+		return ModeCgroupsOnly, nil
+	case "backpressure", "bkpr":
+		return ModeBackpressureOnly, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown mode %q", s.Mode)
+	}
+}
+
+// Build validates the spec and assembles a ready-to-run Platform. It
+// returns the platform plus the chain ids in spec order.
+func (s *Spec) Build() (*Platform, []int, error) {
+	sched, err := s.scheduler()
+	if err != nil {
+		return nil, nil, err
+	}
+	mode, err := s.mode()
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Cores <= 0 {
+		return nil, nil, fmt.Errorf("spec: cores must be positive")
+	}
+	if len(s.NFs) == 0 {
+		return nil, nil, fmt.Errorf("spec: no NFs")
+	}
+	cfg := DefaultConfig(sched, mode)
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	p := NewPlatform(cfg)
+	for i := 0; i < s.Cores; i++ {
+		p.AddCore()
+	}
+	nfByName := make(map[string]int, len(s.NFs))
+	for _, n := range s.NFs {
+		if n.Name == "" {
+			return nil, nil, fmt.Errorf("spec: NF without a name")
+		}
+		if _, dup := nfByName[n.Name]; dup {
+			return nil, nil, fmt.Errorf("spec: duplicate NF name %q", n.Name)
+		}
+		if n.Core < 0 || n.Core >= s.Cores {
+			return nil, nil, fmt.Errorf("spec: NF %q on core %d of %d", n.Name, n.Core, s.Cores)
+		}
+		if n.Cost <= 0 {
+			return nil, nil, fmt.Errorf("spec: NF %q needs a positive cost", n.Name)
+		}
+		var model CostModel
+		switch n.CostModel {
+		case "", "fixed":
+			model = FixedCost(Cycles(n.Cost))
+		case "uniform":
+			if n.Cost2 < n.Cost {
+				return nil, nil, fmt.Errorf("spec: NF %q uniform cost2 < cost", n.Name)
+			}
+			model = UniformCost(Cycles(n.Cost), Cycles(n.Cost2))
+		case "perbyte":
+			model = ByteCost(Cycles(n.Cost), Cycles(n.Cost2))
+		default:
+			return nil, nil, fmt.Errorf("spec: NF %q unknown cost model %q", n.Name, n.CostModel)
+		}
+		id := p.AddNF(n.Name, model, n.Core)
+		nfByName[n.Name] = id
+		if n.Priority > 0 {
+			p.SetPriority(id, n.Priority)
+		}
+	}
+	chainByName := make(map[string]int, len(s.Chains))
+	chainIDs := make([]int, 0, len(s.Chains))
+	for _, c := range s.Chains {
+		if len(c.NFs) == 0 {
+			return nil, nil, fmt.Errorf("spec: chain %q has no NFs", c.Name)
+		}
+		ids := make([]int, 0, len(c.NFs))
+		for _, name := range c.NFs {
+			id, ok := nfByName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("spec: chain %q references unknown NF %q", c.Name, name)
+			}
+			ids = append(ids, id)
+		}
+		chID := p.AddChain(c.Name, ids...)
+		if c.Name != "" {
+			if _, dup := chainByName[c.Name]; dup {
+				return nil, nil, fmt.Errorf("spec: duplicate chain name %q", c.Name)
+			}
+			chainByName[c.Name] = chID
+		}
+		chainIDs = append(chainIDs, chID)
+	}
+	for i, fl := range s.Flows {
+		chID, ok := chainByName[fl.Chain]
+		if !ok {
+			return nil, nil, fmt.Errorf("spec: flow %d references unknown chain %q", i, fl.Chain)
+		}
+		size := fl.Size
+		if size == 0 {
+			size = 64
+		}
+		rate := Rate(fl.RatePps)
+		if fl.LineRate {
+			rate = LineRate10G(size)
+		}
+		if rate <= 0 {
+			return nil, nil, fmt.Errorf("spec: flow %d needs ratePps or lineRate", i)
+		}
+		f := UDPFlow(i, size)
+		p.MapFlow(f, chID)
+		p.AddCBR(f, rate)
+	}
+	return p, chainIDs, nil
+}
