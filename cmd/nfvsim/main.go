@@ -12,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"nfvnice"
 	"nfvnice/internal/exp"
 	"nfvnice/internal/obs"
+	"nfvnice/internal/telemetry"
 )
 
 func usage() {
@@ -30,10 +33,18 @@ Usage:
                               report per-chain throughput (100ms warm, 300ms
                               measured)
 
-Flags:
+Flags (run/all):
   -quick   short windows (smoke test quality)
   -csv     emit CSV instead of aligned tables
   -chart   render ASCII bar charts instead of tables
+
+Flags (spec):
+  -trace <file>     stream a Chrome/Perfetto trace JSON
+  -record <file>    write the metric registry as a CSV time series
+  -recordms <ms>    recorder sample period in simulated ms (default 10)
+  -events <file>    write the structured event log as JSON
+  -listen <addr>    after the run, serve /metrics, /snapshot, /events and
+                    pprof until interrupted
 `)
 	os.Exit(2)
 }
@@ -75,58 +86,121 @@ func main() {
 			usage()
 		}
 		sfs := flag.NewFlagSet("spec", flag.ExitOnError)
-		traceOut := sfs.String("trace", "", "write a Chrome/Perfetto trace JSON to this file")
+		opts := specOpts{}
+		sfs.StringVar(&opts.traceOut, "trace", "", "stream a Chrome/Perfetto trace JSON to this file")
+		sfs.StringVar(&opts.listen, "listen", "", "after the run, serve /metrics, /snapshot, /events and pprof on this address (e.g. :9090) until interrupted")
+		sfs.StringVar(&opts.recordOut, "record", "", "write a CSV time series of the metric registry to this file")
+		sfs.Float64Var(&opts.recordMs, "recordms", 10, "recorder sample period in simulated milliseconds")
+		sfs.StringVar(&opts.eventsOut, "events", "", "write the structured event log as JSON to this file")
 		sfs.Parse(os.Args[3:])
-		runSpec(os.Args[2], *traceOut)
+		runSpec(os.Args[2], opts)
 	default:
 		usage()
 	}
 }
 
-func runSpec(path, traceOut string) {
+type specOpts struct {
+	traceOut  string
+	listen    string
+	recordOut string
+	recordMs  float64
+	eventsOut string
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nfvsim:", err)
+	os.Exit(1)
+}
+
+func runSpec(path string, opts specOpts) {
 	s, err := nfvnice.LoadSpecFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nfvsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	p, chains, err := s.Build()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nfvsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	var trace *obs.Trace
-	if traceOut != "" {
-		trace = p.EnableTracing()
+	tel := p.EnableTelemetry()
+	var trace *obs.ChromeWriter
+	if opts.traceOut != "" {
+		f, err := os.Create(opts.traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		trace = obs.NewChromeWriter(f)
+		tel.AttachTrace(trace)
 	}
-	p.Run(nfvnice.Milliseconds(100))
-	snap := p.TakeSnapshot()
-	p.Run(nfvnice.Milliseconds(400))
+	var rec *telemetry.Recorder
+	if opts.recordOut != "" {
+		if opts.recordMs <= 0 {
+			fmt.Fprintln(os.Stderr, "nfvsim: -recordms must be positive")
+			os.Exit(2)
+		}
+		rec = tel.StartRecorder(nfvnice.Milliseconds(opts.recordMs), 0)
+	}
+
+	w := p.RunWindow(nfvnice.Milliseconds(100), nfvnice.Milliseconds(300))
+
 	fmt.Printf("%-16s %12s\n", "chain", "Mpps")
 	for i, ch := range chains {
 		name := s.Chains[i].Name
 		if name == "" {
 			name = fmt.Sprintf("chain%d", ch)
 		}
-		fmt.Printf("%-16s %12.3f\n", name, float64(p.ChainDeliveredSince(snap, ch))/1e6)
+		fmt.Printf("%-16s %12.3f\n", name, float64(w.ChainRate(ch))/1e6)
 	}
-	fmt.Printf("%-16s %12.3f\n", "wasted", float64(p.TotalWastedSince(snap))/1e6)
-	m := p.NFMetricsSince(snap)
-	for _, nm := range m {
+	fmt.Printf("%-16s %12.3f\n", "wasted", float64(w.TotalWasted())/1e6)
+	for _, nm := range w.NFMetrics() {
 		fmt.Printf("nf %-12s svc %8.3f Mpps  cpu-share %5.1f%%  svc-time %d cyc\n",
 			nm.Name, float64(nm.ProcessedPps)/1e6, nm.CPUShare*100, nm.ServiceTimeCycles)
 	}
+
 	if trace != nil {
-		f, err := os.Create(traceOut)
+		if err := trace.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[trace: %d events -> %s]\n", trace.Len(), opts.traceOut)
+	}
+	if rec != nil {
+		f, err := os.Create(opts.recordOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "nfvsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		defer f.Close()
-		if err := trace.WriteChrome(f); err != nil {
-			fmt.Fprintln(os.Stderr, "nfvsim:", err)
-			os.Exit(1)
+		if err := rec.WriteCSV(f); err != nil {
+			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "[trace: %d events -> %s]\n", trace.Len(), traceOut)
+		f.Close()
+		fmt.Fprintf(os.Stderr, "[recorder: %d samples -> %s]\n", rec.Len(), opts.recordOut)
+		if n := rec.Overwritten(); n > 0 {
+			fmt.Fprintf(os.Stderr, "[recorder: %d oldest samples overwritten by the bounded ring]\n", n)
+		}
+	}
+	if opts.eventsOut != "" {
+		f, err := os.Create(opts.eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.Events.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "[events: %d -> %s]\n", tel.Events.Len(), opts.eventsOut)
+	}
+	if n := tel.Events.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "[events: %d oldest entries overwritten by the bounded ring]\n", n)
+	}
+	if opts.listen != "" {
+		srv, err := telemetry.StartServer(opts.listen, tel.Registry, tel.Events)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[serving final metrics at http://%s/metrics (also /snapshot, /events, /debug/pprof) — Ctrl-C to exit]\n", srv.Addr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
 	}
 }
 

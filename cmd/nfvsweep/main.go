@@ -66,14 +66,12 @@ func main() {
 		p.MapFlow(f, ch)
 		p.AddCBR(f, nfvnice.LineRate10G(64))
 
-		p.Run(nfvnice.Milliseconds(*warmMs))
-		snap := p.TakeSnapshot()
-		p.Run(nfvnice.Milliseconds(*warmMs + *measMs))
+		w := p.RunWindow(nfvnice.Milliseconds(*warmMs), nfvnice.Milliseconds(*measMs))
 
 		fmt.Printf("%-6.2f %-6.2f %12.3f %12.3f %10.1f\n",
 			high, low,
-			float64(p.ChainDeliveredSince(snap, ch))/1e6,
-			float64(p.TotalWastedSince(snap))/1e6,
+			float64(w.ChainRate(ch))/1e6,
+			float64(w.TotalWasted())/1e6,
 			p.LatencyQuantile(0.5))
 	}
 }

@@ -7,15 +7,20 @@
 // Run:
 //
 //	go run ./examples/dataplane_live
+//	go run ./examples/dataplane_live -listen :9090   # scrape /metrics live
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"os/signal"
 	"time"
 
 	"nfvnice/internal/dataplane"
+	"nfvnice/internal/telemetry"
 )
 
 // work simulates payload processing by hashing a buffer n times.
@@ -31,6 +36,9 @@ func work(n int) dataplane.Handler {
 }
 
 func main() {
+	listen := flag.String("listen", "", "serve /metrics, /snapshot, /events and pprof on this address (e.g. :9090) and keep the pipeline running until interrupted")
+	flag.Parse()
+
 	e := dataplane.New(dataplane.DefaultConfig())
 
 	light := e.AddStage("light-fw", 1024, work(5))
@@ -41,7 +49,27 @@ func main() {
 	e.MapFlow(0, chLight)
 	e.MapFlow(1, chHeavy)
 
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	// Telemetry: every stage counter/gauge is an atomic the scraper reads
+	// while the pipeline runs.
+	reg := telemetry.NewRegistry()
+	events := telemetry.NewEventLog(0)
+	e.RegisterMetrics(reg)
+	e.SetEventLog(events)
+
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if *listen != "" {
+		srv, err := telemetry.StartServer(*listen, reg, events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dataplane_live:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /snapshot, /events, /debug/pprof) — Ctrl-C to exit\n", srv.Addr)
+		ctx, cancel = signal.NotifyContext(context.Background(), os.Interrupt)
+	} else {
+		ctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+	}
 	defer cancel()
 	go e.Run(ctx)
 
@@ -51,7 +79,7 @@ func main() {
 		}
 	}()
 
-	// Offer equal load to both chains for 2 seconds.
+	// Offer equal load to both chains until the context ends.
 	go func() {
 		for ctx.Err() == nil {
 			e.Inject(&dataplane.Packet{FlowID: 0, Size: 64})
@@ -61,17 +89,26 @@ func main() {
 	}()
 
 	fmt.Println("live dataplane: equal arrivals, 10x cost ratio, auto weights")
-	fmt.Printf("%6s  %-10s %10s %8s %12s\n", "t(ms)", "stage", "processed", "weight", "est cost")
+	fmt.Printf("%6s  %-10s %10s %8s %12s %10s %8s\n", "t(ms)", "stage", "processed", "weight", "est cost", "drops", "wasted")
 	start := time.Now()
-	for t := 0; t < 4; t++ {
-		time.Sleep(500 * time.Millisecond)
-		for _, s := range e.Stats() {
-			fmt.Printf("%6d  %-10s %10d %8d %12v\n",
-				time.Since(start).Milliseconds(), s.Name, s.Processed, s.Weight, s.EstCost.Round(time.Nanosecond))
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	printed := 0
+	for (*listen != "" || printed < 4) && ctx.Err() == nil {
+		select {
+		case <-ctx.Done():
+		case <-tick.C:
+			for _, s := range e.Stats() {
+				fmt.Printf("%6d  %-10s %10d %8d %12v %10d %8d\n",
+					time.Since(start).Milliseconds(), s.Name, s.Processed, s.Weight,
+					s.EstCost.Round(time.Nanosecond), s.QueueDrops, s.Wasted)
+			}
+			printed++
 		}
 	}
-	fmt.Printf("\ndelivered=%d entryDrops=%d ringDrops=%d throttleEvents=%d\n",
-		e.Delivered.Load(), e.EntryDrops.Load(), e.RingDrops.Load(), e.ThrottleEvents.Load())
+	fmt.Printf("\ndelivered=%d entryDrops=%d ringDrops=%d throttleEvents=%d events=%d(dropped %d)\n",
+		e.Delivered.Load(), e.EntryDrops.Load(), e.RingDrops.Load(), e.ThrottleEvents.Load(),
+		events.Total(), events.Dropped())
 	fmt.Println("\nThe controller weights the heavy stage up (~10x) so both chains")
 	fmt.Println("drain at similar packet rates despite the cost imbalance.")
 }

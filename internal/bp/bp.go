@@ -147,6 +147,9 @@ type ECNMarker struct {
 
 	// Marked counts CE marks applied.
 	Marked uint64
+
+	// OnMark, when set, observes every CE mark (telemetry).
+	OnMark func()
 }
 
 // NewECNMarker returns a marker that trips when the smoothed queue length
@@ -163,6 +166,9 @@ func (m *ECNMarker) OnEnqueue(qlen int, pkt *packet.Packet) {
 	if pkt.ECN == packet.ECT && m.avg.Value() > m.threshold {
 		pkt.ECN = packet.CE
 		m.Marked++
+		if m.OnMark != nil {
+			m.OnMark()
+		}
 	}
 }
 

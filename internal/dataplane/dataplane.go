@@ -20,11 +20,13 @@ package dataplane
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nfvnice/internal/ring"
+	"nfvnice/internal/telemetry"
 )
 
 // Packet is the unit of work flowing through a pipeline. Handlers may use
@@ -81,6 +83,11 @@ type StageStats struct {
 	Busy time.Duration
 	// EstCost is the controller's smoothed per-packet cost estimate.
 	EstCost time.Duration
+	// QueueDrops counts packets dropped at this stage's full receive ring;
+	// Wasted counts packets this stage processed that died downstream (the
+	// paper's wasted-work metric).
+	QueueDrops uint64
+	Wasted     uint64
 }
 
 type stage struct {
@@ -100,6 +107,8 @@ type stage struct {
 	processed atomic.Uint64
 	busyNanos atomic.Int64
 	arrivals  atomic.Uint64
+	drops     atomic.Uint64 // packets lost at this stage's full rx ring
+	wasted    atomic.Uint64 // packets processed here that died downstream
 
 	pass     float64 // WFQ virtual time, owned by the scheduler goroutine
 	estCost  float64 // smoothed ns/packet, owned by the controller
@@ -133,6 +142,13 @@ type Engine struct {
 	// (owned by the control goroutine; read via LatencyStats).
 	latSumNanos atomic.Int64
 	latMaxNanos atomic.Int64
+
+	// latHist, when registered via RegisterMetrics, observes per-packet
+	// end-to-end latency in nanoseconds.
+	latHist *telemetry.Histogram
+	// events, when set via SetEventLog, receives control-plane decisions.
+	events    *telemetry.EventLog
+	startWall time.Time
 
 	running atomic.Bool
 }
@@ -250,6 +266,7 @@ func (e *Engine) Inject(p *Packet) bool {
 	entry.rxMu.Unlock()
 	if !ok {
 		e.RingDrops.Add(1)
+		entry.drops.Add(1)
 		return false
 	}
 	return true
@@ -260,11 +277,13 @@ func (e *Engine) Stats() []StageStats {
 	out := make([]StageStats, len(e.stages))
 	for i, s := range e.stages {
 		out[i] = StageStats{
-			Name:      s.name,
-			Processed: s.processed.Load(),
-			Weight:    s.weight.Load(),
-			Busy:      time.Duration(s.busyNanos.Load()),
-			EstCost:   time.Duration(s.estCost),
+			Name:       s.name,
+			Processed:  s.processed.Load(),
+			Weight:     s.weight.Load(),
+			Busy:       time.Duration(s.busyNanos.Load()),
+			EstCost:    time.Duration(s.estCost),
+			QueueDrops: s.drops.Load(),
+			Wasted:     s.wasted.Load(),
 		}
 	}
 	return out
@@ -289,6 +308,7 @@ func (e *Engine) Run(ctx context.Context) {
 	if !e.running.CompareAndSwap(false, true) {
 		panic("dataplane: Run called twice")
 	}
+	e.startWall = time.Now()
 	var workers, cores sync.WaitGroup
 	for _, s := range e.stages {
 		workers.Add(1)
@@ -420,6 +440,9 @@ func (e *Engine) moveAll() {
 					e.Delivered.Add(1)
 					lat := time.Since(pkt.enqueued).Nanoseconds()
 					e.latSumNanos.Add(lat)
+					if e.latHist != nil {
+						e.latHist.Observe(uint64(lat))
+					}
 					for {
 						cur := e.latMaxNanos.Load()
 						if lat <= cur || e.latMaxNanos.CompareAndSwap(cur, lat) {
@@ -428,6 +451,7 @@ func (e *Engine) moveAll() {
 					}
 				default:
 					e.RingDrops.Add(1) // consumer not draining
+					s.wasted.Add(1)
 				}
 				continue
 			}
@@ -436,7 +460,11 @@ func (e *Engine) moveAll() {
 			ok = dst.rx.Enqueue(pkt)
 			dst.rxMu.Unlock()
 			if !ok {
+				// Work already invested in this packet is wasted; the drop
+				// itself happens at dst's full receive ring.
 				e.RingDrops.Add(1)
+				dst.drops.Add(1)
+				s.wasted.Add(1)
 				continue
 			}
 			dst.arrivals.Add(1)
@@ -468,12 +496,21 @@ func (e *Engine) updateBackpressure() {
 			}
 			if all {
 				e.throttled[ci].Store(false)
+				if e.events != nil {
+					e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelInfo,
+						"backpressure", telemetry.F("chain", ci), telemetry.F("state", "clear"))
+				}
 			}
 		} else {
 			for _, sid := range chain {
 				if over[sid] {
 					e.throttled[ci].Store(true)
 					e.ThrottleEvents.Add(1)
+					if e.events != nil {
+						e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelInfo,
+							"backpressure", telemetry.F("chain", ci), telemetry.F("state", "throttle"),
+							telemetry.F("stage", e.stages[sid].name))
+					}
 					break
 				}
 			}
@@ -542,8 +579,75 @@ func (e *Engine) updateWeights() {
 		if w < scale/100 {
 			w = scale / 100
 		}
-		s.weight.Store(w)
+		if s.weight.Swap(w) != w && e.events != nil {
+			e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelDebug,
+				"weight", telemetry.F("stage", s.name), telemetry.F("weight", w))
+		}
 	}
+}
+
+// RegisterMetrics publishes the engine's counters, gauges and the end-to-end
+// latency histogram into a telemetry registry. All backing values are
+// atomic, so the registry may be gathered (scraped) live while the engine
+// runs. Must be called before Run.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	if e.running.Load() {
+		panic("dataplane: RegisterMetrics after Run")
+	}
+	for _, s := range e.stages {
+		lbl := []telemetry.Label{
+			telemetry.L("stage", s.name),
+			telemetry.L("id", strconv.Itoa(s.id)),
+			telemetry.L("core", strconv.Itoa(s.core)),
+		}
+		reg.CounterFunc("dataplane_stage_processed_total",
+			"Packets processed by the stage.", s.processed.Load, lbl...)
+		reg.CounterFunc("dataplane_stage_arrivals_total",
+			"Packets offered to the stage (attempts, including drops).", s.arrivals.Load, lbl...)
+		reg.CounterFunc("dataplane_stage_queue_drops_total",
+			"Packets dropped at the stage's full receive ring.", s.drops.Load, lbl...)
+		reg.CounterFunc("dataplane_stage_wasted_total",
+			"Packets processed by the stage that died downstream (wasted work).", s.wasted.Load, lbl...)
+		reg.CounterFunc("dataplane_stage_busy_nanoseconds_total",
+			"Cumulative handler wall time.", func() uint64 { return uint64(s.busyNanos.Load()) }, lbl...)
+		reg.GaugeFunc("dataplane_stage_weight",
+			"Current scheduler weight (1024 = one default share).",
+			func() float64 { return float64(s.weight.Load()) }, lbl...)
+		reg.GaugeFunc("dataplane_stage_queue_depth",
+			"Instantaneous receive-ring occupancy.",
+			func() float64 { return float64(s.rx.Len()) }, lbl...)
+	}
+	for ci := range e.chains {
+		lbl := []telemetry.Label{telemetry.L("chain", strconv.Itoa(ci))}
+		th := &e.throttled[ci]
+		reg.GaugeFunc("dataplane_chain_throttled",
+			"1 while the chain is shed at entry by backpressure.",
+			func() float64 {
+				if th.Load() {
+					return 1
+				}
+				return 0
+			}, lbl...)
+	}
+	reg.CounterFunc("dataplane_delivered_total",
+		"Packets that completed their chains.", e.Delivered.Load)
+	reg.CounterFunc("dataplane_entry_drops_total",
+		"Packets shed at chain entry by backpressure.", e.EntryDrops.Load)
+	reg.CounterFunc("dataplane_ring_drops_total",
+		"Packets dropped at full rings (entry, mid-chain, or output).", e.RingDrops.Load)
+	reg.CounterFunc("dataplane_throttle_events_total",
+		"Chain-throttle activations.", e.ThrottleEvents.Load)
+	e.latHist = reg.Histogram("dataplane_latency_nanoseconds",
+		"End-to-end sojourn time of delivered packets.")
+}
+
+// SetEventLog attaches a structured event log receiving backpressure
+// transitions (info) and weight updates (debug). Must be called before Run.
+func (e *Engine) SetEventLog(l *telemetry.EventLog) {
+	if e.running.Load() {
+		panic("dataplane: SetEventLog after Run")
+	}
+	e.events = l
 }
 
 // Tap registers a callback invoked (on the control goroutine) for every

@@ -151,6 +151,10 @@ type Manager struct {
 	// OnThrottle, when set, observes backpressure enable/disable edges
 	// per NF (tracing).
 	OnThrottle func(nfID int, enabled bool, now simtime.Cycles)
+	// OnECNMark, when set, observes every CE mark applied at an NF's queue
+	// (telemetry). Set before AddNF calls take effect on later NFs; the
+	// platform wires it before any packet flows.
+	OnECNMark func(nfID int, now simtime.Cycles)
 	// Latency accumulates end-to-end packet latency of delivered packets.
 	Latency stats.Histogram
 
@@ -182,7 +186,14 @@ func (m *Manager) AddNF(n *nf.NF) {
 	m.nfs = append(m.nfs, n)
 	m.bpStates = append(m.bpStates, bp.NFState{})
 	m.throttledBy = append(m.throttledBy, nil)
-	m.ecn = append(m.ecn, bp.NewECNMarker(m.Params.ECNThreshold))
+	marker := bp.NewECNMarker(m.Params.ECNThreshold)
+	nfID := n.ID
+	marker.OnMark = func() {
+		if m.OnECNMark != nil {
+			m.OnECNMark(nfID, m.Eng.Now())
+		}
+	}
+	m.ecn = append(m.ecn, marker)
 	m.Wasted = append(m.Wasted, stats.Meter{})
 	m.EntryRingDrops = append(m.EntryRingDrops, stats.Meter{})
 	m.QueueDrops = append(m.QueueDrops, stats.Meter{})

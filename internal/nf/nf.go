@@ -84,6 +84,10 @@ type NF struct {
 
 	// ServiceEst is the service-time estimator shared with the manager.
 	ServiceEst *stats.MedianWindow
+	// ServiceHist accumulates every sampled per-packet service time over
+	// the NF's lifetime (telemetry's service-time histogram; the estimator
+	// above only keeps the 100 ms window).
+	ServiceHist stats.Histogram
 
 	// Meters the manager and experiments read.
 	ArrivalMeter   stats.Meter // packets enqueued to Rx
@@ -224,6 +228,7 @@ func (n *NF) Complete(now simtime.Cycles) bool {
 		n.sampled++
 		if n.sampled > n.params.WarmupSamples {
 			n.ServiceEst.Observe(now, uint64(n.batchCosts[0]))
+			n.ServiceHist.Observe(uint64(n.batchCosts[0]))
 		}
 	}
 	for i, pkt := range n.batch {

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nfvnice/internal/simtime"
+)
+
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, data)
+	}
+	return evs
+}
+
+func TestChromeWriterStreams(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf)
+
+	cw.RunSpan(0, "nf-a", 0, 2600)
+	before := buf.Len()
+	cw.Instant("bp-throttle", 2600, map[string]any{"nf": "nf-a"})
+	if buf.Len() <= before {
+		t.Error("Instant did not stream incrementally")
+	}
+	cw.Counter("shares:nf-a", 5200, 512)
+	cw.RunSpan(1, "zero-span", 100, 100) // dropped: zero duration
+
+	if err := cw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if cw.Len() != 3 {
+		t.Errorf("Len = %d, want 3", cw.Len())
+	}
+
+	evs := decodeTrace(t, buf.Bytes())
+	if len(evs) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(evs))
+	}
+	span := evs[0]
+	if span["name"] != "nf-a" || span["ph"] != "X" || span["tid"] != float64(0) {
+		t.Errorf("span event = %v", span)
+	}
+	if span["dur"] != float64(1) { // 2600 cycles = 1 µs at 2.6 GHz
+		t.Errorf("span dur = %v, want 1", span["dur"])
+	}
+	if inst := evs[1]; inst["ph"] != "i" || inst["s"] != "g" {
+		t.Errorf("instant event = %v", inst)
+	}
+	if ctr := evs[2]; ctr["ph"] != "C" {
+		t.Errorf("counter event = %v", ctr)
+	}
+
+	// Close is idempotent and stops accepting events.
+	cw.Counter("late", 0, 1)
+	if err := cw.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if cw.Len() != 3 {
+		t.Errorf("events accepted after Close: %d", cw.Len())
+	}
+}
+
+func TestChromeWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty trace = %q, want []", got)
+	}
+}
+
+// TestTraceAndChromeWriterAgree pins that the buffered Trace's serialized
+// output matches what the streaming writer emits for the same calls.
+func TestTraceAndChromeWriterAgree(t *testing.T) {
+	tr := New()
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf)
+	for _, s := range []Sink{tr, cw} {
+		s.RunSpan(2, "fw", 0, 26000)
+		s.Instant("bp-clear", 26000, nil)
+		s.Counter("q", 26000, 3)
+	}
+	var trBuf bytes.Buffer
+	if err := tr.WriteChrome(&trBuf); err != nil {
+		t.Fatal(err)
+	}
+	cw.Close()
+
+	a := decodeTrace(t, trBuf.Bytes())
+	b := decodeTrace(t, buf.Bytes())
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		aj, _ := json.Marshal(a[i])
+		bj, _ := json.Marshal(b[i])
+		if string(aj) != string(bj) {
+			t.Errorf("event %d differs:\nbuffered:  %s\nstreaming: %s", i, aj, bj)
+		}
+	}
+}
+
+func TestChromeWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				cw.RunSpan(g, "t", simtime.Cycles(i*100), simtime.Cycles(i*100+50))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if evs := decodeTrace(t, buf.Bytes()); len(evs) != 800 {
+		t.Errorf("decoded %d events, want 800", len(evs))
+	}
+}

@@ -31,6 +31,31 @@ func bucketOf(v uint64) int {
 	return 64 - leadingZeros(v)
 }
 
+// BucketOf exposes the log-bucket index function so other packages
+// (internal/telemetry) can share the same bucket layout.
+func BucketOf(v uint64) int { return bucketOf(v) }
+
+// BucketUpper reports the largest value bucket i can hold — the inclusive
+// ("le") upper bound used when exposing the histogram.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// HistogramSnapshot is a copyable view of a log-bucket histogram, shared
+// with internal/telemetry for exposition.
+type HistogramSnapshot struct {
+	Count, Sum uint64
+	Min, Max   uint64
+	// Buckets[k] counts samples of bit length k (range [2^(k-1), 2^k)).
+	Buckets [64]uint64
+}
+
 func leadingZeros(v uint64) int {
 	n := 0
 	if v == 0 {
@@ -109,6 +134,19 @@ func (h *Histogram) Quantile(q float64) uint64 {
 
 // Reset clears all samples.
 func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Snapshot copies the histogram state for exposition. Not safe against a
+// concurrent Observe; the simulator is single-threaded, so callers gather
+// when the simulation is not being advanced.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: h.buckets,
+	}
+}
 
 // MedianWindow estimates the median over a sliding window of the most recent
 // samples — the NF manager's "median over a 100 ms moving window" estimator

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Level grades event severity.
+type Level uint8
+
+// Levels.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "?"
+	}
+}
+
+// MarshalJSON renders the level name.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// Field is one key/value attribute of an event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured log entry: a control-plane decision such as a
+// backpressure HIGH/LOW transition, a cgroup weight update, an ECN mark, or
+// a chain-entry throttle drop.
+type Event struct {
+	// Time is seconds since the run began (simulated or wall clock,
+	// depending on the producer).
+	Time   float64
+	Level  Level
+	Type   string
+	Fields []Field
+}
+
+// MarshalJSON flattens fields into the event object.
+func (e Event) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any, len(e.Fields)+3)
+	m["t"] = e.Time
+	m["level"] = e.Level.String()
+	m["type"] = e.Type
+	for _, f := range e.Fields {
+		m[f.Key] = f.Value
+	}
+	return json.Marshal(m)
+}
+
+// EventLog is a bounded, levelled, drop-counting ring of Events. Emissions
+// below MinLevel are filtered; once the ring is full the oldest event is
+// overwritten and the drop counter increments, so a long run keeps its most
+// recent history and an honest account of what it lost. Safe for concurrent
+// use.
+type EventLog struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of oldest
+	n       int
+	total   uint64
+	dropped uint64
+	sinks   []func(Event)
+
+	// MinLevel filters emissions below it (set before concurrent use).
+	MinLevel Level
+}
+
+// DefaultEventCap bounds the ring when NewEventLog is given 0.
+const DefaultEventCap = 8192
+
+// NewEventLog returns a ring holding up to capacity events (0 means
+// DefaultEventCap).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// AddSink registers fn to observe every accepted event synchronously at emit
+// time — the bridge that lets the same instrumentation point feed the trace
+// (internal/obs) alongside the log. Sinks see events even when the ring
+// later overwrites them.
+func (l *EventLog) AddSink(fn func(Event)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sinks = append(l.sinks, fn)
+}
+
+// Emit records an event.
+func (l *EventLog) Emit(t float64, lvl Level, typ string, fields ...Field) {
+	if lvl < l.MinLevel {
+		return
+	}
+	e := Event{Time: t, Level: lvl, Type: typ, Fields: fields}
+	l.mu.Lock()
+	l.total++
+	if l.n == len(l.buf) {
+		l.buf[l.head] = e
+		l.head = (l.head + 1) % len(l.buf)
+		l.dropped++
+	} else {
+		l.buf[(l.head+l.n)%len(l.buf)] = e
+		l.n++
+	}
+	sinks := l.sinks
+	l.mu.Unlock()
+	for _, fn := range sinks {
+		fn(e)
+	}
+}
+
+// Len reports retained events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Total reports all accepted emissions, including those since overwritten.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped reports events overwritten by ring wraparound.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Events returns retained events oldest-first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.head+i)%len(l.buf)]
+	}
+	return out
+}
+
+// WriteJSON renders the retained events as a JSON array (the /events
+// endpoint and the -events file of cmd/nfvsim).
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Dropped uint64  `json:"dropped"`
+		Total   uint64  `json:"total"`
+		Events  []Event `json:"events"`
+	}{Dropped: l.Dropped(), Total: l.Total(), Events: l.Events()})
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEventLogRingAndDropCount(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(float64(i), LevelInfo, "tick", F("i", i))
+	}
+	if l.Len() != 4 {
+		t.Errorf("Len = %d, want 4", l.Len())
+	}
+	if l.Total() != 10 {
+		t.Errorf("Total = %d, want 10", l.Total())
+	}
+	if l.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", l.Dropped())
+	}
+	evs := l.Events()
+	for i, e := range evs {
+		if want := float64(6 + i); e.Time != want {
+			t.Errorf("event %d time = %v, want %v (oldest-first, most recent retained)", i, e.Time, want)
+		}
+	}
+}
+
+func TestEventLogMinLevel(t *testing.T) {
+	l := NewEventLog(8)
+	l.MinLevel = LevelInfo
+	l.Emit(0, LevelDebug, "noise")
+	l.Emit(1, LevelInfo, "signal")
+	l.Emit(2, LevelWarn, "alarm")
+	if l.Len() != 2 || l.Total() != 2 {
+		t.Errorf("filtered log: len=%d total=%d, want 2/2", l.Len(), l.Total())
+	}
+}
+
+func TestEventLogSinkSeesOverwrittenEvents(t *testing.T) {
+	l := NewEventLog(2)
+	var seen []string
+	l.AddSink(func(e Event) { seen = append(seen, e.Type) })
+	for _, typ := range []string{"a", "b", "c", "d"} {
+		l.Emit(0, LevelInfo, typ)
+	}
+	if len(seen) != 4 {
+		t.Errorf("sink saw %d events, want 4 (including overwritten)", len(seen))
+	}
+}
+
+func TestEventLogWriteJSON(t *testing.T) {
+	l := NewEventLog(4)
+	l.Emit(0.5, LevelInfo, "backpressure", F("nf", "fw"), F("state", "throttle"))
+	var sb strings.Builder
+	if err := l.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Dropped uint64           `json:"dropped"`
+		Total   uint64           `json:"total"`
+		Events  []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("event JSON invalid: %v\n%s", err, sb.String())
+	}
+	if doc.Total != 1 || len(doc.Events) != 1 {
+		t.Fatalf("unexpected doc: %+v", doc)
+	}
+	e := doc.Events[0]
+	if e["t"] != 0.5 || e["level"] != "info" || e["type"] != "backpressure" ||
+		e["nf"] != "fw" || e["state"] != "throttle" {
+		t.Errorf("flattened event = %v", e)
+	}
+}

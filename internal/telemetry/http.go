@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the exposition endpoints over a gatherer:
+//
+//	/metrics        Prometheus text format
+//	/snapshot       JSON metric dump
+//	/events         structured event log (when log is non-nil)
+//	/debug/pprof/*  Go runtime profiling
+//
+// Pass a *Registry to gather live (safe when all instruments are owned/
+// atomic, as in the live dataplane), or a *Published cache updated by the
+// producer (how a running simulation exposes metrics race-free).
+func NewMux(g Gatherer, log *EventLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, g)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteJSON(w, g)
+	})
+	if log != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			log.WriteJSON(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer listens on addr (e.g. ":9090", "127.0.0.1:0") and serves the
+// exposition mux in the background. The returned server's Addr field holds
+// the bound address; shut it down with Close or Shutdown.
+func StartServer(addr string, g Gatherer, log *EventLog) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewMux(g, log)}
+	go srv.Serve(ln)
+	return srv, nil
+}

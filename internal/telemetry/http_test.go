@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Add(2)
+	log := NewEventLog(8)
+	log.Emit(0, LevelInfo, "start")
+
+	srv := httptest.NewServer(NewMux(r, log))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	vals, err := ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics not parseable: %v", err)
+	}
+	if vals["hits_total"] != 2 {
+		t.Errorf("hits_total = %v, want 2", vals["hits_total"])
+	}
+
+	if body, ct := get("/snapshot"); ct != "application/json" || !strings.Contains(body, "hits_total") {
+		t.Errorf("/snapshot: ct=%q body=%q", ct, body)
+	}
+	if body, _ := get("/events"); !strings.Contains(body, `"type":"start"`) {
+		t.Errorf("/events body = %q", body)
+	}
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected: %.80q", body)
+	}
+}
+
+func TestStartServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	srv, err := StartServer("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET bound server: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("served metrics = %q", body)
+	}
+}

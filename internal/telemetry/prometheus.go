@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"nfvnice/internal/stats"
+)
+
+// WritePrometheus renders the gatherer's families in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE line per family,
+// then one sample line per series. Histograms emit cumulative _bucket series
+// with power-of-two "le" bounds, plus _sum and _count.
+func WritePrometheus(w io.Writer, g Gatherer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range g.Gather() {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Series {
+			if f.Type == TypeHistogram && s.Hist != nil {
+				writeHistogram(bw, f.Name, s.Labels, s.Hist)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.Name, renderLabels(s.Labels, "", ""), formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, name string, labels []Label, h *stats.HistogramSnapshot) {
+	var cum uint64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := strconv.FormatUint(stats.BucketUpper(i), 10)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, "le", "+Inf"), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, renderLabels(labels, "", ""), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels, "", ""), h.Count)
+}
+
+// renderLabels formats {k="v",...}; extraKey/extraVal append one more pair
+// (the histogram "le" bound). Empty label sets render as nothing.
+func renderLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// jsonSeries is the /snapshot wire form of one series.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *jsonHist         `json:"histogram,omitempty"`
+}
+
+type jsonHist struct {
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Buckets [][2]uint64 `json:"buckets"` // [upper bound, count] pairs
+}
+
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Type   string       `json:"type"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON renders the gatherer's families as a JSON document (the
+// /snapshot endpoint).
+func WriteJSON(w io.Writer, g Gatherer) error {
+	fams := g.Gather()
+	out := make([]jsonFamily, 0, len(fams))
+	for _, f := range fams {
+		jf := jsonFamily{Name: f.Name, Help: f.Help, Type: f.Type.String()}
+		for _, s := range f.Series {
+			js := jsonSeries{}
+			if len(s.Labels) > 0 {
+				js.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					js.Labels[l.Key] = l.Value
+				}
+			}
+			if s.Hist != nil {
+				jh := &jsonHist{Count: s.Hist.Count, Sum: s.Hist.Sum}
+				for i, c := range s.Hist.Buckets {
+					if c != 0 {
+						jh.Buckets = append(jh.Buckets, [2]uint64{stats.BucketUpper(i), c})
+					}
+				}
+				js.Hist = jh
+			} else {
+				v := s.Value
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ParseText is a minimal Prometheus text-format parser used by tests and
+// tooling to validate exposition output. It returns sample values keyed by
+// "name{k=\"v\",...}" exactly as rendered, and an error on any line that is
+// neither a comment nor a well-formed sample.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("line %d: no value separator: %q", lineNo, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, fmt.Errorf("line %d: unterminated labels: %q", lineNo, line)
+			}
+			name = key[:i]
+		}
+		if !nameRE.MatchString(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			if val == "+Inf" || val == "-Inf" || val == "NaN" {
+				v = math.NaN()
+			} else {
+				return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, val, err)
+			}
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineNo, key)
+		}
+		out[key] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nf_processed_total", "Packets processed.", L("nf", "fw"), L("id", "0")).Add(42)
+	r.Gauge("nf_queue_depth", "Ring occupancy.", L("nf", "fw")).Set(17)
+	h := r.Histogram("latency_cycles", "End-to-end latency.")
+	h.Observe(1) // bucket le=1
+	h.Observe(2) // bucket le=3
+	h.Observe(3) // bucket le=3
+	h.Observe(900) // bucket le=1023
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP nf_processed_total Packets processed.\n",
+		"# TYPE nf_processed_total counter\n",
+		`nf_processed_total{nf="fw",id="0"} 42` + "\n",
+		"# TYPE nf_queue_depth gauge\n",
+		`nf_queue_depth{nf="fw"} 17` + "\n",
+		"# TYPE latency_cycles histogram\n",
+		`latency_cycles_bucket{le="1"} 1` + "\n",
+		`latency_cycles_bucket{le="3"} 3` + "\n",
+		`latency_cycles_bucket{le="1023"} 4` + "\n",
+		`latency_cycles_bucket{le="+Inf"} 4` + "\n",
+		"latency_cycles_sum 906\n",
+		"latency_cycles_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	vals, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if vals[`nf_processed_total{nf="fw",id="0"}`] != 42 {
+		t.Errorf("parsed counter = %v", vals[`nf_processed_total{nf="fw",id="0"}`])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "help with \\ backslash\nand newline", L("k", "va\"l\\ue\n")).Set(1)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP g help with \\ backslash\nand newline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `g{k="va\"l\\ue\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	if _, err := ParseText(strings.NewReader(out)); err != nil {
+		t.Errorf("escaped output does not parse: %v", err)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"novalue\n",
+		"1bad_name 3\n",
+		"x{unterminated 3\n",
+		"x 3\nx 4\n", // duplicate sample
+		"x notanumber\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q): expected error", bad)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", L("a", "b")).Add(5)
+	r.Histogram("h", "").Observe(10)
+
+	var sb strings.Builder
+	if err := WriteJSON(&sb, r); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Value  *float64          `json:"value"`
+			Hist   *struct {
+				Count   uint64      `json:"count"`
+				Sum     uint64      `json:"sum"`
+				Buckets [][2]uint64 `json:"buckets"`
+			} `json:"histogram"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &fams); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, sb.String())
+	}
+	if len(fams) != 2 || fams[0].Name != "c_total" || *fams[0].Series[0].Value != 5 {
+		t.Errorf("unexpected families: %+v", fams)
+	}
+	hist := fams[1].Series[0].Hist
+	if hist == nil || hist.Count != 1 || hist.Sum != 10 || len(hist.Buckets) != 1 {
+		t.Errorf("unexpected histogram: %+v", hist)
+	}
+	// 10 has bit length 4 -> upper bound 2^4-1 = 15.
+	if hist != nil && len(hist.Buckets) == 1 && hist.Buckets[0] != [2]uint64{15, 1} {
+		t.Errorf("bucket = %v, want [15 1]", hist.Buckets[0])
+	}
+}

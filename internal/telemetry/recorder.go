@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Recorder samples a Gatherer on a fixed period into a bounded ring of
+// rows, one column per flattened series ("name{k=\"v\"}"; histograms
+// contribute _count and _sum columns). When the ring fills, the oldest rows
+// are overwritten and Overwritten() counts the loss, so an unbounded run
+// keeps a bounded, most-recent time series. Export with WriteCSV or
+// WriteJSON.
+//
+// The simulator drives Sample from inside its event loop on simulated time
+// (Platform telemetry wiring); live runs call Run on a goroutine to sample
+// wall clock.
+type Recorder struct {
+	mu    sync.Mutex
+	g     Gatherer
+	cols  []string
+	colOf map[string]int
+
+	times []float64
+	rows  [][]float64
+	head  int // index of oldest row
+	n     int
+
+	overwritten uint64
+}
+
+// DefaultRecorderCap bounds the ring when NewRecorder is given 0.
+const DefaultRecorderCap = 4096
+
+// NewRecorder returns a recorder over g retaining up to capacity samples
+// (0 means DefaultRecorderCap).
+func NewRecorder(g Gatherer, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{
+		g:     g,
+		colOf: make(map[string]int),
+		times: make([]float64, capacity),
+		rows:  make([][]float64, capacity),
+	}
+}
+
+func (r *Recorder) col(key string) int {
+	i, ok := r.colOf[key]
+	if !ok {
+		i = len(r.cols)
+		r.cols = append(r.cols, key)
+		r.colOf[key] = i
+	}
+	return i
+}
+
+// Sample gathers one row at time t (seconds). Columns discovered after the
+// first sample extend the schema; earlier rows export empty cells for them.
+func (r *Recorder) Sample(t float64) {
+	fams := r.g.Gather()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row := make([]float64, len(r.cols), len(r.cols)+8)
+	for i := range row {
+		row[i] = math.NaN() // series may have been gathered conditionally
+	}
+	set := func(key string, v float64) {
+		i := r.col(key)
+		for len(row) <= i {
+			row = append(row, math.NaN())
+		}
+		row[i] = v
+	}
+	for _, f := range fams {
+		for _, s := range f.Series {
+			base := f.Name + renderLabels(s.Labels, "", "")
+			if s.Hist != nil {
+				set(f.Name+"_count"+renderLabels(s.Labels, "", ""), float64(s.Hist.Count))
+				set(f.Name+"_sum"+renderLabels(s.Labels, "", ""), float64(s.Hist.Sum))
+				continue
+			}
+			set(base, s.Value)
+		}
+	}
+	if r.n == len(r.rows) {
+		r.times[r.head] = t
+		r.rows[r.head] = row
+		r.head = (r.head + 1) % len(r.rows)
+		r.overwritten++
+	} else {
+		i := (r.head + r.n) % len(r.rows)
+		r.times[i] = t
+		r.rows[i] = row
+		r.n++
+	}
+}
+
+// Run samples every period until ctx is canceled, stamping rows with seconds
+// since Run started. It blocks; run it on its own goroutine.
+func (r *Recorder) Run(ctx context.Context, period time.Duration) {
+	start := time.Now()
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			r.Sample(now.Sub(start).Seconds())
+		}
+	}
+}
+
+// Len reports retained samples.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Overwritten reports samples lost to ring wraparound.
+func (r *Recorder) Overwritten() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.overwritten
+}
+
+// snapshot copies rows oldest-first under the lock.
+func (r *Recorder) snapshot() (cols []string, times []float64, rows [][]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cols = append([]string(nil), r.cols...)
+	times = make([]float64, r.n)
+	rows = make([][]float64, r.n)
+	for i := 0; i < r.n; i++ {
+		j := (r.head + i) % len(r.rows)
+		times[i] = r.times[j]
+		rows[i] = r.rows[j]
+	}
+	return cols, times, rows
+}
+
+func formatCell(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV renders the retained series: a "time" column then one column per
+// flattened metric (column keys contain commas inside label braces, so the
+// writer quotes them). Cells a row never sampled are empty.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cols, times, rows := r.snapshot()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"time"}, cols...)); err != nil {
+		return err
+	}
+	rec := make([]string, len(cols)+1)
+	for i, row := range rows {
+		rec[0] = strconv.FormatFloat(times[i], 'g', -1, 64)
+		for j := range cols {
+			if j < len(row) {
+				rec[j+1] = formatCell(row[j])
+			} else {
+				rec[j+1] = ""
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the retained series as {columns, samples:[{t, values}]}.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	cols, times, rows := r.snapshot()
+	type sample struct {
+		T      float64    `json:"t"`
+		Values []*float64 `json:"values"`
+	}
+	out := struct {
+		Columns     []string `json:"columns"`
+		Overwritten uint64   `json:"overwritten"`
+		Samples     []sample `json:"samples"`
+	}{Columns: cols, Overwritten: r.Overwritten()}
+	for i, row := range rows {
+		vs := make([]*float64, len(cols))
+		for j := range cols {
+			if j < len(row) && !math.IsNaN(row[j]) {
+				v := row[j]
+				vs[j] = &v
+			}
+		}
+		out.Samples = append(out.Samples, sample{T: times[i], Values: vs})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Column returns the recorded (time, value) points of one column key, for
+// assertions and plotting. ok is false for unknown columns.
+func (r *Recorder) Column(key string) (times, values []float64, ok bool) {
+	cols, ts, rows := r.snapshot()
+	idx := -1
+	for i, c := range cols {
+		if c == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, nil, false
+	}
+	for i, row := range rows {
+		if idx < len(row) && !math.IsNaN(row[idx]) {
+			times = append(times, ts[i])
+			values = append(values, row[idx])
+		}
+	}
+	return times, values, true
+}
+
+// Columns lists the discovered column keys in first-appearance order.
+func (r *Recorder) Columns() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.cols...)
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderSampleAndCSV(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts_total", "", L("nf", "fw"))
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat", "")
+
+	rec := NewRecorder(r, 16)
+	c.Add(10)
+	g.Set(3)
+	h.Observe(100)
+	rec.Sample(0.1)
+	c.Add(5)
+	g.Set(1)
+	rec.Sample(0.2)
+
+	if rec.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rec.Len())
+	}
+	times, vals, ok := rec.Column(`pkts_total{nf="fw"}`)
+	if !ok || len(vals) != 2 || vals[0] != 10 || vals[1] != 15 {
+		t.Errorf("counter column: ok=%v times=%v vals=%v", ok, times, vals)
+	}
+	if _, vals, ok := rec.Column("lat_count"); !ok || vals[0] != 1 {
+		t.Errorf("histogram _count column: ok=%v vals=%v", ok, vals)
+	}
+
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output invalid: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV rows = %d, want header + 2", len(rows))
+	}
+	if rows[0][0] != "time" || rows[0][1] != `pkts_total{nf="fw"}` {
+		t.Errorf("CSV header = %v", rows[0])
+	}
+	if rows[1][0] != "0.1" || rows[1][1] != "10" || rows[2][1] != "15" {
+		t.Errorf("CSV data = %v / %v", rows[1], rows[2])
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	rec := NewRecorder(r, 3)
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		rec.Sample(float64(i))
+	}
+	if rec.Len() != 3 || rec.Overwritten() != 2 {
+		t.Fatalf("len=%d overwritten=%d, want 3/2", rec.Len(), rec.Overwritten())
+	}
+	times, vals, _ := rec.Column("n_total")
+	if times[0] != 2 || vals[0] != 3 || times[2] != 4 || vals[2] != 5 {
+		t.Errorf("retained window: times=%v vals=%v", times, vals)
+	}
+}
+
+func TestRecorderLateColumns(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("early_total", "")
+	rec := NewRecorder(r, 8)
+	c.Inc()
+	rec.Sample(0)
+
+	// A series registered after the first sample: earlier rows must export
+	// empty cells, not zeros.
+	g := r.Gauge("late", "")
+	g.Set(9)
+	rec.Sample(1)
+
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateIdx := -1
+	for i, h := range rows[0] {
+		if h == "late" {
+			lateIdx = i
+		}
+	}
+	if lateIdx < 0 {
+		t.Fatalf("late column missing from header %v", rows[0])
+	}
+	if rows[1][lateIdx] != "" {
+		t.Errorf("pre-registration cell = %q, want empty", rows[1][lateIdx])
+	}
+	if rows[2][lateIdx] != "9" {
+		t.Errorf("post-registration cell = %q, want 9", rows[2][lateIdx])
+	}
+
+	var js struct {
+		Columns []string     `json:"columns"`
+		Samples []struct {
+			T      float64    `json:"t"`
+			Values []*float64 `json:"values"`
+		} `json:"samples"`
+	}
+	sb.Reset()
+	if err := rec.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &js); err != nil {
+		t.Fatalf("recorder JSON invalid: %v", err)
+	}
+	// JSON columns omit the CSV's leading "time" column.
+	if js.Samples[0].Values[lateIdx-1] != nil {
+		t.Errorf("JSON pre-registration cell = %v, want null", *js.Samples[0].Values[lateIdx-1])
+	}
+}

@@ -1,0 +1,318 @@
+// Package telemetry is the unified observability layer shared by the
+// discrete-event simulator and the live goroutine dataplane: a registry of
+// named counters, gauges and log-bucket histograms; Prometheus text and JSON
+// exposition (prometheus.go, http.go); a bounded time-series recorder
+// (recorder.go); and a structured, levelled, drop-counting event log
+// (eventlog.go).
+//
+// Instrument kinds:
+//
+//   - Owned instruments (Counter, Gauge, Histogram) are atomic and safe for
+//     concurrent producers racing a scraping reader — the live dataplane
+//     writes these from its worker goroutines while /metrics is served.
+//   - Func instruments (CounterFunc, GaugeFunc, HistogramFunc) read a value
+//     from a closure at gather time. The simulator registers these over its
+//     existing meters; it is single-threaded, so gathering is safe whenever
+//     the simulation is not being advanced (the recorder samples from inside
+//     the event loop, and cmd/nfvsim serves /metrics after the run).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nfvnice/internal/stats"
+)
+
+// MetricType distinguishes exposition behaviour.
+type MetricType uint8
+
+// Metric types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name=value pair attached to a series. Label order is
+// preserved as given at registration.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count. Safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that may go up or down. Safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts samples in the same logarithmic (power-of-two) buckets as
+// stats.Histogram, but with atomic counters so concurrent producers can race
+// a scraping reader. Bucket k holds values of bit length k, i.e. the range
+// [2^(k-1), 2^k); its Prometheus upper bound is 2^k - 1 inclusive.
+type Histogram struct {
+	buckets [64]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe adds a sample.
+func (h *Histogram) Observe(v uint64) {
+	idx := stats.BucketOf(v)
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports total samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures the histogram state. The snapshot is internally
+// consistent enough for exposition: buckets are read after count/sum, so
+// cumulative bucket totals never exceed the reported count by more than the
+// in-flight observations.
+func (h *Histogram) Snapshot() stats.HistogramSnapshot {
+	var s stats.HistogramSnapshot
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+	var seen uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if seen+c > s.Count {
+			c = s.Count - seen
+		}
+		s.Buckets[i] = c
+		seen += c
+	}
+	return s
+}
+
+// Series is one labelled stream within a family, as gathered.
+type Series struct {
+	Labels []Label
+	// Value holds the current counter or gauge value.
+	Value float64
+	// Hist holds histogram state (nil for counters and gauges).
+	Hist *stats.HistogramSnapshot
+}
+
+// Family is all series sharing one metric name.
+type Family struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Series []Series
+}
+
+// Gatherer is anything that can produce a metrics snapshot: a live Registry
+// or a Published cache.
+type Gatherer interface {
+	Gather() []Family
+}
+
+// series is the registered (live) form.
+type series struct {
+	labels    []Label
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() uint64
+	gaugeFn   func() float64
+	histFn    func() stats.HistogramSnapshot
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	series []*series
+}
+
+// Registry holds metric families in registration order.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*family
+	order []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*family)}
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func labelKey(labels []Label) string {
+	ls := make([]string, len(labels))
+	for i, l := range labels {
+		ls[i] = l.Key + "\x00" + l.Value
+	}
+	sort.Strings(ls)
+	out := ""
+	for _, s := range ls {
+		out += s + "\x01"
+	}
+	return out
+}
+
+func (r *Registry) register(name, help string, typ MetricType, labels []Label, s *series) {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRE.MatchString(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Key))
+		}
+	}
+	s.labels = labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byKey[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byKey[name] = f
+		r.order = append(r.order, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	for _, existing := range f.series {
+		if labelKey(existing.labels) == key {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%v", name, labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns an owned counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, TypeCounter, labels, &series{counter: c})
+	return c
+}
+
+// Gauge registers and returns an owned gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, TypeGauge, labels, &series{gauge: g})
+	return g
+}
+
+// Histogram registers and returns an owned log-bucket histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, TypeHistogram, labels, &series{hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at gather
+// time. fn must be monotonic for the exposition to be honest, and must be
+// safe to call whenever the registry is gathered.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, TypeCounter, labels, &series{counterFn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at gather time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, TypeGauge, labels, &series{gaugeFn: fn})
+}
+
+// HistogramFunc registers a histogram gathered by snapshotting fn — the
+// bridge from the simulator's stats.Histogram instances.
+func (r *Registry) HistogramFunc(name, help string, fn func() stats.HistogramSnapshot, labels ...Label) {
+	r.register(name, help, TypeHistogram, labels, &series{histFn: fn})
+}
+
+// Gather snapshots every family in registration order.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Family, 0, len(r.order))
+	for _, f := range r.order {
+		gf := Family{Name: f.name, Help: f.help, Type: f.typ}
+		for _, s := range f.series {
+			gs := Series{Labels: s.labels}
+			switch {
+			case s.counter != nil:
+				gs.Value = float64(s.counter.Value())
+			case s.counterFn != nil:
+				gs.Value = float64(s.counterFn())
+			case s.gauge != nil:
+				gs.Value = s.gauge.Value()
+			case s.gaugeFn != nil:
+				gs.Value = s.gaugeFn()
+			case s.hist != nil:
+				snap := s.hist.Snapshot()
+				gs.Hist = &snap
+			case s.histFn != nil:
+				snap := s.histFn()
+				gs.Hist = &snap
+			}
+			gf.Series = append(gf.Series, gs)
+		}
+		out = append(out, gf)
+	}
+	return out
+}
+
+// Published is an atomically swapped metrics snapshot: a producer calls
+// Update with a fresh Gather result and readers (the HTTP handlers) serve it
+// without touching the live registry. This is how a running simulation can
+// expose metrics race-free: the event loop publishes, the server reads.
+type Published struct {
+	p atomic.Pointer[[]Family]
+}
+
+// Update replaces the published snapshot.
+func (p *Published) Update(fams []Family) { p.p.Store(&fams) }
+
+// Gather returns the latest published snapshot (empty before any Update).
+func (p *Published) Gather() []Family {
+	if f := p.p.Load(); f != nil {
+		return *f
+	}
+	return nil
+}

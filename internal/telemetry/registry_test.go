@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"nfvnice/internal/stats"
+)
+
+func findFamily(t *testing.T, fams []Family, name string) Family {
+	t.Helper()
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("family %q not gathered", name)
+	return Family{}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.", L("nf", "fw"))
+	g := r.Gauge("queue_depth", "Depth.")
+	h := r.Histogram("latency_cycles", "Latency.")
+
+	c.Inc()
+	c.Add(4)
+	g.Set(7.5)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(1000)
+
+	fams := r.Gather()
+	if got := findFamily(t, fams, "requests_total"); got.Type != TypeCounter || got.Series[0].Value != 5 {
+		t.Errorf("counter: got type %v value %v", got.Type, got.Series[0].Value)
+	}
+	if got := findFamily(t, fams, "queue_depth"); got.Type != TypeGauge || got.Series[0].Value != 7.5 {
+		t.Errorf("gauge: got type %v value %v", got.Type, got.Series[0].Value)
+	}
+	hist := findFamily(t, fams, "latency_cycles")
+	if hist.Type != TypeHistogram || hist.Series[0].Hist == nil {
+		t.Fatalf("histogram: got type %v hist %v", hist.Type, hist.Series[0].Hist)
+	}
+	snap := hist.Series[0].Hist
+	if snap.Count != 4 || snap.Sum != 1011 {
+		t.Errorf("histogram snapshot: count=%d sum=%d, want 4/1011", snap.Count, snap.Sum)
+	}
+	var total uint64
+	for _, b := range snap.Buckets {
+		total += b
+	}
+	if total != snap.Count {
+		t.Errorf("bucket totals %d != count %d", total, snap.Count)
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.CounterFunc("proc_total", "", func() uint64 { return n })
+	r.GaugeFunc("depth", "", func() float64 { return float64(n) / 2 })
+	var sh stats.Histogram
+	r.HistogramFunc("svc_cycles", "", sh.Snapshot)
+
+	n = 10
+	sh.Observe(3)
+	fams := r.Gather()
+	if v := findFamily(t, fams, "proc_total").Series[0].Value; v != 10 {
+		t.Errorf("counterFunc = %v, want 10", v)
+	}
+	if v := findFamily(t, fams, "depth").Series[0].Value; v != 5 {
+		t.Errorf("gaugeFunc = %v, want 5", v)
+	}
+	if c := findFamily(t, fams, "svc_cycles").Series[0].Hist.Count; c != 1 {
+		t.Errorf("histogramFunc count = %d, want 1", c)
+	}
+}
+
+func TestGatherPreservesRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"zz_total", "aa_total", "mm_total"}
+	for _, n := range names {
+		r.Counter(n, "")
+	}
+	fams := r.Gather()
+	for i, f := range fams {
+		if f.Name != names[i] {
+			t.Fatalf("gather order %v, want %v", fams, names)
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "", L("nf", "a"))
+
+	mustPanic(t, "duplicate series", func() { r.Counter("ok_total", "", L("nf", "a")) })
+	mustPanic(t, "type mismatch", func() { r.Gauge("ok_total", "") })
+	mustPanic(t, "bad metric name", func() { r.Counter("bad name", "") })
+	mustPanic(t, "bad label name", func() { r.Counter("ok2_total", "", L("bad key", "v")) })
+
+	// Same name, different labels is fine.
+	r.Counter("ok_total", "", L("nf", "b"))
+	if got := len(findFamily(t, r.Gather(), "ok_total").Series); got != 2 {
+		t.Errorf("series count = %d, want 2", got)
+	}
+}
+
+func TestPublished(t *testing.T) {
+	var p Published
+	if got := p.Gather(); got != nil {
+		t.Errorf("empty Published gathered %v", got)
+	}
+	r := NewRegistry()
+	r.Counter("x_total", "").Add(3)
+	p.Update(r.Gather())
+	if v := findFamily(t, p.Gather(), "x_total").Series[0].Value; v != 3 {
+		t.Errorf("published value = %v, want 3", v)
+	}
+}
+
+// TestConcurrentProducersAndScraper races owned-instrument writers against a
+// reader driving the full exposition path; run with -race.
+func TestConcurrentProducersAndScraper(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat", "")
+	log := NewEventLog(64)
+
+	const producers = 4
+	const perProducer = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perProducer; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(uint64(j%1000 + 1))
+				if j%100 == 0 {
+					log.Emit(float64(j), LevelInfo, "tick", F("p", id))
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := WritePrometheus(io.Discard, r); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			log.WriteJSON(io.Discard)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatalf("final WritePrometheus: %v", err)
+	}
+	vals, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("final exposition does not parse: %v", err)
+	}
+	if got := vals["ops_total"]; got != producers*perProducer {
+		t.Errorf("ops_total = %v, want %d", got, producers*perProducer)
+	}
+	if got := vals["lat_count"]; got != producers*perProducer {
+		t.Errorf("lat_count = %v, want %d", got, producers*perProducer)
+	}
+}

@@ -179,3 +179,43 @@ func (p *Platform) EntryThrottleDrops() uint64 {
 func (p *Platform) LatencyQuantile(q float64) float64 {
 	return float64(p.Mgr.Latency.Quantile(q)) / float64(simtime.Microsecond)
 }
+
+// Window is a completed measurement interval: RunWindow warms the platform,
+// snapshots every counter, runs the measured span, and hands back accessors
+// for the windowed rates. It replaces the warm/snapshot/measure boilerplate
+// cmd/nfvsim and cmd/nfvsweep used to copy.
+type Window struct {
+	p    *Platform
+	snap *Snapshot
+}
+
+// RunWindow advances the simulation warm cycles (excluded from measurement),
+// then meas cycles more, and returns the measured window. Both are durations
+// from the platform's current time, so windows can be chained back to back.
+func (p *Platform) RunWindow(warm, meas Cycles) *Window {
+	p.Run(p.Now() + warm)
+	w := &Window{p: p, snap: p.TakeSnapshot()}
+	p.Run(p.Now() + meas)
+	return w
+}
+
+// NFMetrics reports each NF's windowed metrics.
+func (w *Window) NFMetrics() []NFMetrics { return w.p.NFMetricsSince(w.snap) }
+
+// CoreMetrics reports windowed per-core utilization.
+func (w *Window) CoreMetrics() []CoreMetrics { return w.p.CoreMetricsSince(w.snap) }
+
+// ChainRate reports a chain's delivered packet rate over the window.
+func (w *Window) ChainRate(chainID int) Rate { return w.p.ChainDeliveredSince(w.snap, chainID) }
+
+// ChainMbps reports a chain's delivered bandwidth over the window.
+func (w *Window) ChainMbps(chainID int) float64 { return w.p.ChainDeliveredMbpsSince(w.snap, chainID) }
+
+// TotalDelivered sums delivered packet rates across chains.
+func (w *Window) TotalDelivered() Rate { return w.p.TotalDeliveredSince(w.snap) }
+
+// TotalWasted sums wasted-work drop rates across NFs.
+func (w *Window) TotalWasted() Rate { return w.p.TotalWastedSince(w.snap) }
+
+// QueueDropRate reports an NF's receive-queue drop rate over the window.
+func (w *Window) QueueDropRate(nfID int) Rate { return w.p.QueueDropSince(w.snap, nfID) }

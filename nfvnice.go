@@ -419,25 +419,30 @@ func (p *Platform) Rand() *rand.Rand {
 
 // EnableTracing records a Chrome-trace (Perfetto-compatible) timeline of
 // the run: per-core NF run spans, backpressure transitions, and cpu.shares
-// counters. Call before Run; write the result with Trace.WriteChrome.
+// counters. Call before Run; write the result with Trace.WriteChrome. For
+// long runs prefer EnableTraceTo with a streaming obs.ChromeWriter, which
+// never hits the in-memory retention cap.
 func (p *Platform) EnableTracing() *obs.Trace {
 	tr := obs.New()
-	for _, c := range p.cores {
-		c.OnRunSpan = func(t *cpusched.Task, start, end Cycles) {
-			tr.RunSpan(t.Core().ID, t.Name, start, end)
-		}
-	}
-	p.Mgr.OnThrottle = func(nfID int, enabled bool, now Cycles) {
+	p.EnableTraceTo(tr)
+	return tr
+}
+
+// EnableTraceTo sends the tracing instrumentation to any obs.Sink — a
+// buffered obs.Trace or a streaming obs.ChromeWriter. Hooks are chained, so
+// tracing composes with EnableTelemetry and repeated calls.
+func (p *Platform) EnableTraceTo(tr obs.Sink) {
+	p.addRunSpanHook(tr)
+	p.addThrottleHook(func(nfID int, enabled bool, now Cycles) {
 		state := "clear"
 		if enabled {
 			state = "throttle"
 		}
 		tr.Instant("bp-"+state, now, map[string]any{"nf": p.nfs[nfID].Name})
-	}
-	p.Ctl.OnShares = func(nfID, shares int, now Cycles) {
+	})
+	p.addSharesHook(func(nfID, shares int, now Cycles) {
 		tr.Counter("shares:"+p.nfs[nfID].Name, now, float64(shares))
-	}
-	return tr
+	})
 }
 
 // Start arms the manager, controller and generators without advancing time.
