@@ -1,0 +1,32 @@
+# Developer entry points. Everything here is plain `go` — no external tools.
+
+GO      ?= go
+COMMIT  := $(shell git rev-parse --short HEAD 2>/dev/null)
+
+.PHONY: all build vet test race bench-dataplane bench-alloc-gate
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ring/ ./internal/dataplane/
+
+# Re-measure the dataplane hot path and rewrite the "current" section of
+# BENCH_dataplane.json (the "baseline" section — the pre-batching numbers —
+# is preserved). Run on an idle machine; compare current vs baseline.
+bench-dataplane:
+	$(GO) test -run='^$$' -bench='SteadyState|Chain3' -benchtime=2s ./internal/dataplane/ | \
+		tee /dev/stderr | \
+		$(GO) run ./cmd/benchdataplane -out BENCH_dataplane.json -commit "$(COMMIT)"
+
+# The allocation gate CI enforces: steady-state packet flow must not allocate.
+bench-alloc-gate:
+	$(GO) test -run=TestSteadyStateZeroAllocs -count=1 -v ./internal/dataplane/

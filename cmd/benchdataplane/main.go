@@ -1,0 +1,120 @@
+// benchdataplane turns `go test -bench` output into BENCH_dataplane.json.
+//
+// It reads benchmark output on stdin, extracts the pps / ns-per-packet /
+// allocs metrics the dataplane benchmarks report, and rewrites the JSON
+// file's "current" section while preserving the committed "baseline"
+// section (the pre-batching numbers recorded before the hot-path rework).
+//
+// Usage (see `make bench-dataplane`):
+//
+//	go test -run='^$' -bench='SteadyState|Chain3' -benchtime=2s ./internal/dataplane/ |
+//	    go run ./cmd/benchdataplane -out BENCH_dataplane.json -commit $(git rev-parse --short HEAD)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed metrics.
+type Result struct {
+	NsPerPkt    float64 `json:"ns_per_pkt"`
+	PPS         float64 `json:"pps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Section is one measurement epoch: a commit and its benchmark results.
+type Section struct {
+	Commit     string            `json:"commit,omitempty"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// File is the whole BENCH_dataplane.json document.
+type File struct {
+	Baseline Section `json:"baseline"`
+	Current  Section `json:"current"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_dataplane.json", "JSON file to update in place")
+	commit := flag.String("commit", "", "commit hash to record in the current section")
+	flag.Parse()
+
+	results := parseBench(os.Stdin)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdataplane: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var doc File
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdataplane: %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	doc.Current = Section{
+		Commit:     *commit,
+		Note:       "batch-amortized hot path: InjectBatch + freelist + Sink delivery",
+		Benchmarks: results,
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// parseBench extracts metric pairs from `go test -bench` output lines, which
+// look like:
+//
+//	BenchmarkChain3Stages   10000   143.8 ns/pkt   6953819 pps   0 B/op   0 allocs/op
+func parseBench(f *os.File) map[string]Result {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -N GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var r Result
+		seen := false
+		for i := 1; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/pkt":
+				r.NsPerPkt, seen = v, true
+			case "pps":
+				r.PPS, seen = v, true
+			case "allocs/op":
+				r.AllocsPerOp, seen = v, true
+			}
+		}
+		if seen {
+			results[name] = r
+		}
+	}
+	return results
+}

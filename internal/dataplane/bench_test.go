@@ -1,0 +1,192 @@
+package dataplane
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchConfig is shared by the steady-state benchmarks so pre/post
+// comparisons in BENCH_dataplane.json measure the same topology.
+func benchConfig() Config {
+	return Config{RingSize: 4096, BatchSize: 256, WeightPeriod: 0}
+}
+
+// benchInflight bounds the closed-loop window. Keeping it below every ring's
+// high watermark and the output channel capacity guarantees zero drops, so
+// exactly b.N packets cross the pipeline and the benchmark is deterministic.
+const benchInflight = 1024
+
+// benchBatch is the injection batch size for the bulk path.
+const benchBatch = 64
+
+func newBenchEngine(b *testing.B, stages int) *Engine {
+	e := New(benchConfig())
+	ids := make([]int, stages)
+	for i := range ids {
+		ids[i] = e.AddStage("nf"+string(rune('a'+i)), 1024, func(p *Packet) {})
+	}
+	ch, err := e.AddChain(ids...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.MapFlow(0, ch)
+	return e
+}
+
+func reportRate(b *testing.B, elapsed time.Duration) {
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "pps")
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N), "ns/pkt")
+	}
+}
+
+// runChainBench drives b.N packets through a chain of `stages` no-op stages
+// on the batch-amortized hot path — PacketCache allocation, InjectBatch
+// injection, Sink delivery, recycling — and reports pps and ns/pkt. The
+// handler is a no-op so the measurement isolates framework overhead:
+// injection, ring transfer per hop, scheduling, movement, delivery and
+// recycling.
+func runChainBench(b *testing.B, stages int) {
+	e := newBenchEngine(b, stages)
+	var received atomic.Int64
+	sinkCache := e.NewPacketCache(2 * benchBatch)
+	e.SetSink(func(ps []*Packet) {
+		for _, p := range ps {
+			sinkCache.Put(p)
+		}
+		received.Add(int64(len(ps)))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+
+	cache := e.NewPacketCache(2 * benchBatch)
+	batch := make([]*Packet, benchBatch)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	injected := 0
+	for int(received.Load()) < b.N {
+		n := b.N - injected
+		if n > benchBatch {
+			n = benchBatch
+		}
+		if n > 0 && injected-int(received.Load()) < benchInflight {
+			for i := 0; i < n; i++ {
+				p := cache.Get()
+				p.FlowID = 0
+				p.Size = 64
+				batch[i] = p
+			}
+			injected += e.InjectBatch(batch[:n])
+		} else {
+			runtime.Gosched()
+		}
+	}
+	reportRate(b, time.Since(start))
+}
+
+// runChainBenchChannel is the compatibility path: per-packet Inject and the
+// Output channel, still recycling descriptors through the freelist.
+func runChainBenchChannel(b *testing.B, stages int) {
+	e := newBenchEngine(b, stages)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+	out := e.Output()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	injected, received := 0, 0
+	for received < b.N {
+		if injected < b.N && injected-received < benchInflight {
+			p := e.GetPacket()
+			p.FlowID = 0
+			p.Size = 64
+			if e.Inject(p) {
+				injected++
+				continue
+			}
+			e.PutPacket(p)
+		}
+		select {
+		case p := <-out:
+			e.PutPacket(p)
+			received++
+		default:
+			runtime.Gosched()
+		}
+	}
+	reportRate(b, time.Since(start))
+}
+
+// BenchmarkInjectSteadyState measures the full inject→process→deliver path
+// through a single no-op stage on the batch-amortized hot path.
+func BenchmarkInjectSteadyState(b *testing.B) { runChainBench(b, 1) }
+
+// BenchmarkChain3Stages measures a three-stage service chain: each packet
+// crosses four rings (entry + two hops + delivery).
+func BenchmarkChain3Stages(b *testing.B) { runChainBench(b, 3) }
+
+// BenchmarkInjectSteadyStateChannel and BenchmarkChain3StagesChannel keep
+// the pre-batching API (per-packet Inject, Output channel) measurable; the
+// pre-PR baseline in BENCH_dataplane.json was recorded on this path.
+func BenchmarkInjectSteadyStateChannel(b *testing.B) { runChainBenchChannel(b, 1) }
+func BenchmarkChain3StagesChannel(b *testing.B)     { runChainBenchChannel(b, 3) }
+
+// TestSteadyStateZeroAllocs is the allocation gate for the hot path: after
+// warm-up, pushing packets through a running chain must not allocate —
+// descriptors come from the freelist and every counter, stamp and ring
+// operation is allocation-free. CI fails on any regression here.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	e := New(benchConfig())
+	a := e.AddStage("a", 1024, func(p *Packet) {})
+	bID := e.AddStage("b", 1024, func(p *Packet) {})
+	ch, err := e.AddChain(a, bID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MapFlow(0, ch)
+	var received atomic.Int64
+	sinkCache := e.NewPacketCache(512)
+	e.SetSink(func(ps []*Packet) {
+		for _, p := range ps {
+			sinkCache.Put(p)
+		}
+		received.Add(int64(len(ps)))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+
+	cache := e.NewPacketCache(512)
+	batch := make([]*Packet, 256)
+	sent := 0
+	push := func() {
+		for i := range batch {
+			p := cache.Get()
+			p.FlowID = 0
+			p.Size = 64
+			batch[i] = p
+		}
+		sent += e.InjectBatch(batch)
+		for int(received.Load()) < sent {
+			runtime.Gosched()
+		}
+	}
+	// Warm the freelist and reach steady state before measuring.
+	for i := 0; i < 8; i++ {
+		push()
+	}
+	allocs := testing.AllocsPerRun(50, push)
+	perPacket := allocs / float64(len(batch))
+	if perPacket > 0.01 {
+		t.Fatalf("steady state allocates: %.4f allocs/packet (%.1f per %d-packet batch)",
+			perPacket, allocs, len(batch))
+	}
+}

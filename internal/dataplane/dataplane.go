@@ -1,7 +1,7 @@
 // Package dataplane is a real (non-simulated) concurrent service-chain
 // runtime implementing NFVnice's control algorithms with goroutines: stages
-// (NFs) connected by lock-free SPSC rings, a weighted-fair cooperative
-// scheduler standing in for cgroup-weighted CFS, watermark backpressure with
+// (NFs) connected by lock-free rings, a weighted-fair cooperative scheduler
+// standing in for cgroup-weighted CFS, watermark backpressure with
 // chain-entry shedding, and yield flags checked at batch boundaries.
 //
 // Where the simulator (the rest of this repository) reproduces the paper's
@@ -10,11 +10,22 @@
 // proportional weights equalize throughput of unequal-cost stages, and
 // backpressure sheds load at chain entries instead of wasting work.
 //
-// Threading model: user code injects packets from one producer goroutine;
-// each stage's handler runs on its own goroutine but only while holding a
-// grant from the scheduler, which serializes stage execution (the shared-
-// CPU-core regime the paper studies) while keeping handlers free to block
-// briefly on their own I/O.
+// The steady-state hot path is allocation-free and batch-amortized, the
+// regime the paper's ≤32-packet grant quantum targets: packet descriptors
+// come from a per-engine freelist and are recycled on drop and (optionally,
+// via PutPacket or a batch Sink) on delivery; stage receive rings are
+// CAS-reserve multi-producer rings so injectors never contend with the mover
+// on a lock; workers, the mover and the injectors move packets with bulk
+// ring operations that publish once per batch; and per-packet wall-clock
+// reads are replaced by a coarse engine clock sampled once per grant and
+// once per moved or injected batch, so end-to-end latency is accurate to
+// within one batch quantum.
+//
+// Threading model: user code injects packets from any number of producer
+// goroutines; each stage's handler runs on its own goroutine but only while
+// holding a grant from the scheduler, which serializes stage execution (the
+// shared-CPU-core regime the paper studies) while keeping handlers free to
+// block briefly on their own I/O.
 package dataplane
 
 import (
@@ -31,6 +42,12 @@ import (
 
 // Packet is the unit of work flowing through a pipeline. Handlers may use
 // Userdata to carry per-packet state between stages.
+//
+// Descriptors are pooled: obtain them with Engine.GetPacket (or a
+// PacketCache) and return delivered ones with PutPacket. Packets the engine
+// drops internally are recycled automatically unless Config.NoRecycle is
+// set, so a recycled packet must never be retained past the call that
+// surrendered it — copy what you need instead.
 type Packet struct {
 	FlowID   int
 	ChainID  int
@@ -38,7 +55,8 @@ type Packet struct {
 	Hop      int
 	Userdata any
 
-	enqueued time.Time
+	// enqueuedNanos is the coarse engine clock (unix nanos) at chain entry.
+	enqueuedNanos int64
 }
 
 // Handler processes one packet at a stage.
@@ -60,6 +78,14 @@ type Config struct {
 	// WeightPeriod is how often auto-weights are recomputed (0 disables
 	// the rate-cost controller; manual SetWeight still works).
 	WeightPeriod time.Duration
+	// PoolSize caps the packet freelist (rounded up to a power of two;
+	// default 4×RingSize). Excess recycled packets are left to the GC.
+	PoolSize int
+	// NoRecycle disables automatic recycling of packets the engine drops
+	// (shed batches, full rings, full output). Set it when the producer
+	// retains references to injected packets; GetPacket/PutPacket still
+	// work, they just never race the engine for ownership.
+	NoRecycle bool
 }
 
 // DefaultConfig mirrors the paper's platform parameters.
@@ -78,7 +104,10 @@ func DefaultConfig() Config {
 type StageStats struct {
 	Name      string
 	Processed uint64
-	Weight    int64
+	// Arrivals counts packets offered to the stage, including ones that
+	// were then shed or dropped (offered load, the controller's λ).
+	Arrivals uint64
+	Weight   int64
 	// Busy is cumulative handler wall time.
 	Busy time.Duration
 	// EstCost is the controller's smoothed per-packet cost estimate.
@@ -91,18 +120,24 @@ type StageStats struct {
 }
 
 type stage struct {
-	id     int
-	core   int
-	name   string
-	fn     Handler
-	rx     *ring.SPSC[*Packet]
-	rxMu   sync.Mutex // serializes rx producers (injector + mover)
+	id   int
+	core int
+	name string
+	fn   Handler
+	// rx is a CAS-reserve multi-producer ring: injector goroutines and the
+	// mover enqueue concurrently without a lock; the stage's worker is the
+	// single consumer.
+	rx *ring.MPMC[*Packet]
+	// tx is SPSC: the worker produces, the mover consumes.
 	tx     *ring.SPSC[*Packet]
 	weight atomic.Int64
 	yield  atomic.Bool
 
 	grant chan int // batch budget; closed on shutdown
 	done  chan struct{}
+
+	// batch is the worker's dequeue scratch (BatchSize long, worker-owned).
+	batch []*Packet
 
 	processed atomic.Uint64
 	busyNanos atomic.Int64
@@ -121,27 +156,56 @@ type stage struct {
 type Engine struct {
 	cfg    Config
 	stages []*stage
-	chains [][]int  // chainID -> stage ids
-	flows  sync.Map // flowID -> chainID
+	chains [][]int // chainID -> stage ids
+
+	// flows maps flowID -> chainID. It is copy-on-write: MapFlow clones the
+	// map under flowsMu and swaps the pointer, so the per-packet lookup is a
+	// plain (allocation-free) map read — sync.Map would box every int key
+	// outside the runtime's small-integer cache.
+	flows   atomic.Pointer[map[int]int]
+	flowsMu sync.Mutex
 
 	throttled []atomic.Bool // per chain
 	highWater int
 	lowWater  int
 
-	out chan *Packet
-	tap func(*Packet)
+	out  chan *Packet
+	sink func([]*Packet)
+	tap  func(*Packet)
 
-	// Delivered, EntryDrops and RingDrops count packet outcomes;
-	// ThrottleEvents counts chain-throttle activations.
+	// free is the shared packet freelist (see GetPacket/PutPacket and
+	// PacketCache for the per-producer caches layered on top).
+	free *ring.MPMC[*Packet]
+
+	// coarseNanos is the engine clock: unix nanos refreshed once per
+	// scheduler iteration, grant and moved batch. Injection stamps and
+	// latency measurements read it instead of calling time.Now per packet.
+	coarseNanos atomic.Int64
+
+	// Injected counts packets accepted into a chain entry ring; Delivered,
+	// EntryDrops, RingDrops and OutputDrops count packet outcomes
+	// (Injected == Delivered + RingDrops(mid-chain) + OutputDrops once the
+	// pipeline quiesces); ThrottleEvents counts chain-throttle activations.
+	Injected       atomic.Uint64
 	Delivered      atomic.Uint64
 	EntryDrops     atomic.Uint64
 	RingDrops      atomic.Uint64
+	OutputDrops    atomic.Uint64
 	ThrottleEvents atomic.Uint64
 
 	// latNanos accumulates end-to-end sojourn time of delivered packets
 	// (owned by the control goroutine; read via LatencyStats).
 	latSumNanos atomic.Int64
 	latMaxNanos atomic.Int64
+
+	// moveBuf is the mover's tx-drain scratch; over/under, wLoads and
+	// wTotals are control-loop scratch, all hoisted out of the steady-state
+	// loops so they allocate once.
+	moveBuf []*Packet
+	over    []bool
+	under   []bool
+	wLoads  []float64
+	wTotals []float64
 
 	// latHist, when registered via RegisterMetrics, observes per-packet
 	// end-to-end latency in nanoseconds.
@@ -172,12 +236,20 @@ func New(cfg Config) *Engine {
 	if cfg.Cores <= 0 {
 		cfg.Cores = def.Cores
 	}
-	return &Engine{
-		cfg:       cfg,
-		highWater: int(float64(cfg.RingSize) * cfg.HighFrac),
-		lowWater:  int(float64(cfg.RingSize) * cfg.LowFrac),
-		out:       make(chan *Packet, cfg.RingSize),
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4 * cfg.RingSize
 	}
+	high, low := ring.ClampWatermarks(cfg.RingSize, cfg.HighFrac, cfg.LowFrac)
+	e := &Engine{
+		cfg:       cfg,
+		highWater: high,
+		lowWater:  low,
+		out:       make(chan *Packet, cfg.RingSize),
+		free:      ring.NewMPMC[*Packet](cfg.PoolSize),
+		moveBuf:   make([]*Packet, cfg.BatchSize),
+	}
+	e.coarseNanos.Store(time.Now().UnixNano())
+	return e
 }
 
 // AddStage registers an NF on core 0 with the given initial weight (1024 =
@@ -197,10 +269,11 @@ func (e *Engine) AddStageOn(name string, weight int64, core int, fn Handler) int
 		core:  core,
 		name:  name,
 		fn:    fn,
-		rx:    ring.NewSPSC[*Packet](e.cfg.RingSize),
+		rx:    ring.NewMPMC[*Packet](e.cfg.RingSize),
 		tx:    ring.NewSPSC[*Packet](e.cfg.RingSize),
 		grant: make(chan int),
 		done:  make(chan struct{}),
+		batch: make([]*Packet, e.cfg.BatchSize),
 	}
 	s.weight.Store(weight)
 	s.estCost = float64(time.Microsecond) // prior until measured
@@ -225,7 +298,28 @@ func (e *Engine) AddChain(stageIDs ...int) (int, error) {
 }
 
 // MapFlow routes a flow to a chain. Safe to call at any time.
-func (e *Engine) MapFlow(flowID, chainID int) { e.flows.Store(flowID, chainID) }
+func (e *Engine) MapFlow(flowID, chainID int) {
+	e.flowsMu.Lock()
+	defer e.flowsMu.Unlock()
+	next := make(map[int]int)
+	if cur := e.flows.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[flowID] = chainID
+	e.flows.Store(&next)
+}
+
+// routeOf resolves a flow to its chain without allocating.
+func (e *Engine) routeOf(flowID int) (int, bool) {
+	m := e.flows.Load()
+	if m == nil {
+		return 0, false
+	}
+	chainID, ok := (*m)[flowID]
+	return chainID, ok
+}
 
 // SetWeight adjusts a stage's scheduler weight (manual control when the
 // auto controller is disabled).
@@ -237,18 +331,34 @@ func (e *Engine) SetWeight(stageID int, w int64) {
 }
 
 // Output delivers packets that completed their chains. The consumer must
-// drain it; a full output channel backpressures the final stages.
+// drain it; a full output channel backpressures the final stages. Return
+// packets with PutPacket (or a PacketCache) once consumed to keep the hot
+// path allocation-free. Unused when a Sink is set.
 func (e *Engine) Output() <-chan *Packet { return e.out }
 
-// Inject offers a packet from the (single) producer goroutine. It reports
-// false when the packet was shed — by chain-entry backpressure or a full
-// entry ring — or when the flow has no route.
+// SetSink replaces the Output channel with a callback invoked on the mover
+// goroutine with each batch of delivered packets — the batch-amortized
+// delivery path (no per-packet channel operation). The sink owns the
+// packets; recycle them with PutPacket or a PacketCache when done. The slice
+// is reused after the call returns — don't retain it. Must be called before
+// Run.
+func (e *Engine) SetSink(fn func([]*Packet)) {
+	if e.running.Load() {
+		panic("dataplane: SetSink after Run")
+	}
+	e.sink = fn
+}
+
+// Inject offers a packet from a producer goroutine. It reports false when
+// the packet was shed — by chain-entry backpressure or a full entry ring —
+// or when the flow has no route; the caller keeps ownership of a rejected
+// packet (retry it or PutPacket it). For bulk producers InjectBatch
+// amortizes the per-packet costs.
 func (e *Engine) Inject(p *Packet) bool {
-	v, ok := e.flows.Load(p.FlowID)
+	chainID, ok := e.routeOf(p.FlowID)
 	if !ok {
 		return false
 	}
-	chainID := v.(int)
 	p.ChainID = chainID
 	p.Hop = 0
 	entry := e.stages[e.chains[chainID][0]]
@@ -260,16 +370,72 @@ func (e *Engine) Inject(p *Packet) bool {
 		e.EntryDrops.Add(1)
 		return false
 	}
-	p.enqueued = time.Now()
-	entry.rxMu.Lock()
-	ok = entry.rx.Enqueue(p)
-	entry.rxMu.Unlock()
-	if !ok {
+	p.enqueuedNanos = e.coarseNanos.Load()
+	if !entry.rx.Enqueue(p) {
 		e.RingDrops.Add(1)
 		entry.drops.Add(1)
 		return false
 	}
+	e.Injected.Add(1)
 	return true
+}
+
+// InjectBatch offers every packet in ps, sampling the engine clock once and
+// publishing each run of same-flow packets with a single ring reservation.
+// It reports how many were accepted. Unlike Inject, the engine consumes the
+// whole slice: packets shed by backpressure, full rings or missing routes
+// are dropped (and recycled unless Config.NoRecycle), so the caller must not
+// reuse any packet in ps afterwards.
+func (e *Engine) InjectBatch(ps []*Packet) int {
+	if len(ps) == 0 {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	e.coarseNanos.Store(now)
+	accepted := 0
+	for i := 0; i < len(ps); {
+		p := ps[i]
+		chainID, ok := e.routeOf(p.FlowID)
+		if !ok {
+			e.freePacket(p)
+			i++
+			continue
+		}
+		entry := e.stages[e.chains[chainID][0]]
+		// Extend the run across packets sharing the flow: one routing
+		// lookup, one counter update, one ring reservation for the run.
+		j := i
+		for j < len(ps) && ps[j].FlowID == p.FlowID {
+			ps[j].ChainID = chainID
+			ps[j].Hop = 0
+			ps[j].enqueuedNanos = now
+			j++
+		}
+		run := ps[i:j]
+		entry.arrivals.Add(uint64(len(run)))
+		if e.throttled[chainID].Load() {
+			e.EntryDrops.Add(uint64(len(run)))
+			for _, q := range run {
+				e.freePacket(q)
+			}
+		} else {
+			n := entry.rx.EnqueueBatch(run)
+			accepted += n
+			if n < len(run) {
+				d := uint64(len(run) - n)
+				e.RingDrops.Add(d)
+				entry.drops.Add(d)
+				for _, q := range run[n:] {
+					e.freePacket(q)
+				}
+			}
+		}
+		i = j
+	}
+	if accepted > 0 {
+		e.Injected.Add(uint64(accepted))
+	}
+	return accepted
 }
 
 // Stats snapshots every stage.
@@ -279,6 +445,7 @@ func (e *Engine) Stats() []StageStats {
 		out[i] = StageStats{
 			Name:       s.name,
 			Processed:  s.processed.Load(),
+			Arrivals:   s.arrivals.Load(),
 			Weight:     s.weight.Load(),
 			Busy:       time.Duration(s.busyNanos.Load()),
 			EstCost:    time.Duration(s.estCost),
@@ -290,7 +457,8 @@ func (e *Engine) Stats() []StageStats {
 }
 
 // LatencyStats reports the mean and maximum end-to-end sojourn time of
-// delivered packets.
+// delivered packets, accurate to within one batch quantum (the coarse-clock
+// bound).
 func (e *Engine) LatencyStats() (mean, max time.Duration) {
 	n := e.Delivered.Load()
 	if n == 0 {
@@ -309,6 +477,10 @@ func (e *Engine) Run(ctx context.Context) {
 		panic("dataplane: Run called twice")
 	}
 	e.startWall = time.Now()
+	e.over = make([]bool, len(e.stages))
+	e.under = make([]bool, len(e.stages))
+	e.wLoads = make([]float64, len(e.stages))
+	e.wTotals = make([]float64, e.cfg.Cores)
 	var workers, cores sync.WaitGroup
 	for _, s := range e.stages {
 		workers.Add(1)
@@ -326,16 +498,16 @@ func (e *Engine) Run(ctx context.Context) {
 			defer cores.Done()
 			for ctx.Err() == nil {
 				if !e.scheduleCore(core) {
-					select {
-					case <-ctx.Done():
-					case <-time.After(50 * time.Microsecond):
-					}
+					// Idle: plain sleep, not time.After — the select-timer
+					// variant allocates, and this is inside the hot loop.
+					time.Sleep(50 * time.Microsecond)
 				}
 			}
 		}(core)
 	}
 	lastWeights := time.Now()
 	for ctx.Err() == nil {
+		e.coarseNanos.Store(time.Now().UnixNano())
 		granted := e.scheduleCore(0)
 		e.moveAll()
 		e.updateBackpressure()
@@ -345,10 +517,7 @@ func (e *Engine) Run(ctx context.Context) {
 		}
 		if !granted {
 			// Idle: nothing runnable; yield the OS thread briefly.
-			select {
-			case <-ctx.Done():
-			case <-time.After(50 * time.Microsecond):
-			}
+			time.Sleep(50 * time.Microsecond)
 		}
 	}
 	// Shutdown order matters: first join the scheduler loops (no more
@@ -360,32 +529,43 @@ func (e *Engine) Run(ctx context.Context) {
 	workers.Wait()
 }
 
-// worker runs a stage's handler under grants.
+// worker runs a stage's handler under grants, moving packets rx→tx in bulk:
+// one ring reservation per dequeued batch and one per published batch.
 func (e *Engine) worker(s *stage) {
 	for budget := range s.grant {
 		start := time.Now()
 		n := 0
 		for n < budget {
-			pkt, ok := s.rx.Dequeue()
-			if !ok {
+			want := budget - n
+			if want > len(s.batch) {
+				want = len(s.batch)
+			}
+			k := s.rx.DequeueBatch(s.batch[:want])
+			if k == 0 {
 				break
 			}
-			s.fn(pkt)
-			pkt.Hop++
+			for i := 0; i < k; i++ {
+				pkt := s.batch[i]
+				s.fn(pkt)
+				pkt.Hop++
+			}
 			// Tx is sized like Rx and drained between grants, and the
 			// grant budget never exceeds free Tx space, so this cannot
-			// fail.
-			s.tx.Enqueue(pkt)
-			n++
+			// come up short.
+			s.tx.EnqueueBatch(s.batch[:k])
+			n += k
 		}
-		s.processed.Add(uint64(n))
+		if n > 0 {
+			s.processed.Add(uint64(n))
+		}
 		s.busyNanos.Add(time.Since(start).Nanoseconds())
 		s.done <- struct{}{}
 	}
 }
 
 // scheduleCore grants the core's runnable stage with the smallest WFQ pass
-// one batch and waits for completion. Reports whether anything ran.
+// one batch and waits for completion. Reports whether anything ran. The
+// engine clock is refreshed once per grant.
 func (e *Engine) scheduleCore(core int) bool {
 	var pick *stage
 	for _, s := range e.stages {
@@ -402,6 +582,7 @@ func (e *Engine) scheduleCore(core int) bool {
 	if pick == nil {
 		return false
 	}
+	e.coarseNanos.Store(time.Now().UnixNano())
 	before := time.Duration(pick.busyNanos.Load())
 	pick.grant <- e.cfg.BatchSize
 	<-pick.done
@@ -421,54 +602,147 @@ func (e *Engine) scheduleCore(core int) bool {
 	return true
 }
 
-// moveAll drains every stage's tx ring toward the next hop or the output
-// channel (the Tx-thread role).
+// moveAll drains every stage's tx ring toward the next hop, the sink or the
+// output channel (the Tx-thread role), in batches: runs of packets bound for
+// the same destination ring are forwarded with one reservation, and all
+// engine counters are flushed once per drained batch (add-N, not N adds).
 func (e *Engine) moveAll() {
+	now := time.Now().UnixNano()
+	e.coarseNanos.Store(now)
+	var delivered, outDrops, ringDrops uint64
+	var latSum, latMax int64
+	// Coarse-clock latencies arrive in runs of identical values; batch them
+	// into the histogram with run-length encoding.
+	var histVal, histN uint64
+	var sinkFrom int
 	for _, s := range e.stages {
+		var wastedHere uint64
 		for {
-			pkt, ok := s.tx.Dequeue()
-			if !ok {
+			k := s.tx.DequeueBatch(e.moveBuf)
+			if k == 0 {
 				break
 			}
-			chain := e.chains[pkt.ChainID]
-			if pkt.Hop >= len(chain) {
-				if e.tap != nil {
-					e.tap(pkt)
-				}
-				select {
-				case e.out <- pkt:
-					e.Delivered.Add(1)
-					lat := time.Since(pkt.enqueued).Nanoseconds()
-					e.latSumNanos.Add(lat)
-					if e.latHist != nil {
-						e.latHist.Observe(uint64(lat))
+			sinkFrom = 0
+			for i := 0; i < k; {
+				pkt := e.moveBuf[i]
+				chain := e.chains[pkt.ChainID]
+				if pkt.Hop >= len(chain) {
+					// Delivery.
+					if e.tap != nil {
+						e.tap(pkt)
 					}
-					for {
-						cur := e.latMaxNanos.Load()
-						if lat <= cur || e.latMaxNanos.CompareAndSwap(cur, lat) {
-							break
+					lat := now - pkt.enqueuedNanos
+					if lat < 0 {
+						lat = 0
+					}
+					if e.sink != nil {
+						// Batch path: leave the packet in moveBuf; the
+						// contiguous delivered run is handed over below.
+						delivered++
+						latSum += lat
+						if lat > latMax {
+							latMax = lat
 						}
+						if uint64(lat) == histVal {
+							histN++
+						} else {
+							if histN > 0 && e.latHist != nil {
+								e.latHist.ObserveN(histVal, histN)
+							}
+							histVal, histN = uint64(lat), 1
+						}
+						i++
+						continue
 					}
-				default:
-					e.RingDrops.Add(1) // consumer not draining
-					s.wasted.Add(1)
+					select {
+					case e.out <- pkt:
+						delivered++
+						latSum += lat
+						if lat > latMax {
+							latMax = lat
+						}
+						if uint64(lat) == histVal {
+							histN++
+						} else {
+							if histN > 0 && e.latHist != nil {
+								e.latHist.ObserveN(histVal, histN)
+							}
+							histVal, histN = uint64(lat), 1
+						}
+					default:
+						outDrops++ // consumer not draining
+						wastedHere++
+						e.freePacket(pkt)
+					}
+					i++
+					continue
 				}
-				continue
+				// Forward: extend the run while packets share the next-hop
+				// ring, then publish the run with one reservation.
+				if e.sink != nil && i > sinkFrom {
+					e.flushSink(e.moveBuf[sinkFrom:i])
+				}
+				dstID := chain[pkt.Hop]
+				dst := e.stages[dstID]
+				j := i + 1
+				for j < k {
+					q := e.moveBuf[j]
+					qc := e.chains[q.ChainID]
+					if q.Hop >= len(qc) || qc[q.Hop] != dstID {
+						break
+					}
+					j++
+				}
+				run := e.moveBuf[i:j]
+				dst.arrivals.Add(uint64(len(run)))
+				n := dst.rx.EnqueueBatch(run)
+				if n < len(run) {
+					// Work already invested in these packets is wasted; the
+					// drop itself happens at dst's full receive ring.
+					d := uint64(len(run) - n)
+					ringDrops += d
+					dst.drops.Add(d)
+					wastedHere += d
+					for _, q := range run[n:] {
+						e.freePacket(q)
+					}
+				}
+				i = j
+				sinkFrom = j
 			}
-			dst := e.stages[chain[pkt.Hop]]
-			dst.rxMu.Lock()
-			ok = dst.rx.Enqueue(pkt)
-			dst.rxMu.Unlock()
-			if !ok {
-				// Work already invested in this packet is wasted; the drop
-				// itself happens at dst's full receive ring.
-				e.RingDrops.Add(1)
-				dst.drops.Add(1)
-				s.wasted.Add(1)
-				continue
+			if e.sink != nil && k > sinkFrom {
+				e.flushSink(e.moveBuf[sinkFrom:k])
 			}
-			dst.arrivals.Add(1)
 		}
+		if wastedHere > 0 {
+			s.wasted.Add(wastedHere)
+		}
+	}
+	if histN > 0 && e.latHist != nil {
+		e.latHist.ObserveN(histVal, histN)
+	}
+	if delivered > 0 {
+		e.Delivered.Add(delivered)
+		e.latSumNanos.Add(latSum)
+		for {
+			cur := e.latMaxNanos.Load()
+			if latMax <= cur || e.latMaxNanos.CompareAndSwap(cur, latMax) {
+				break
+			}
+		}
+	}
+	if outDrops > 0 {
+		e.OutputDrops.Add(outDrops)
+	}
+	if ringDrops > 0 {
+		e.RingDrops.Add(ringDrops)
+	}
+}
+
+// flushSink hands a contiguous all-delivered run of moveBuf to the sink.
+func (e *Engine) flushSink(run []*Packet) {
+	if len(run) > 0 {
+		e.sink(run)
 	}
 }
 
@@ -478,8 +752,7 @@ func (e *Engine) moveAll() {
 // same rule as the simulator: set only when every chain through the stage is
 // throttled and the stage sits upstream of a bottleneck.
 func (e *Engine) updateBackpressure() {
-	over := make([]bool, len(e.stages))
-	under := make([]bool, len(e.stages))
+	over, under := e.over, e.under
 	for i, s := range e.stages {
 		l := s.rx.Len()
 		over[i] = l >= e.highWater
@@ -553,8 +826,10 @@ func (e *Engine) updateBackpressure() {
 // arrivals_i × estimated cost_i, with an EWMA cost estimate from measured
 // handler time.
 func (e *Engine) updateWeights() {
-	loads := make([]float64, len(e.stages))
-	totals := make([]float64, e.cfg.Cores)
+	loads, totals := e.wLoads, e.wTotals
+	for i := range totals {
+		totals[i] = 0
+	}
 	for i, s := range e.stages {
 		arr := s.arrivals.Load()
 		busy := s.busyNanos.Load()
@@ -629,12 +904,16 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 				return 0
 			}, lbl...)
 	}
+	reg.CounterFunc("dataplane_injected_total",
+		"Packets accepted into a chain entry ring.", e.Injected.Load)
 	reg.CounterFunc("dataplane_delivered_total",
 		"Packets that completed their chains.", e.Delivered.Load)
 	reg.CounterFunc("dataplane_entry_drops_total",
 		"Packets shed at chain entry by backpressure.", e.EntryDrops.Load)
 	reg.CounterFunc("dataplane_ring_drops_total",
-		"Packets dropped at full rings (entry, mid-chain, or output).", e.RingDrops.Load)
+		"Packets dropped at full stage receive rings (entry or mid-chain).", e.RingDrops.Load)
+	reg.CounterFunc("dataplane_output_drops_total",
+		"Delivered packets dropped because the output channel was full.", e.OutputDrops.Load)
 	reg.CounterFunc("dataplane_throttle_events_total",
 		"Chain-throttle activations.", e.ThrottleEvents.Load)
 	e.latHist = reg.Histogram("dataplane_latency_nanoseconds",

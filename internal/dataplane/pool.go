@@ -1,0 +1,105 @@
+package dataplane
+
+// The packet freelist. Engine.free is a lock-free MPMC recycle ring shared
+// by every goroutine; PacketCache layers a per-producer local cache on top
+// so hot producers and consumers touch the shared ring once per
+// half-cache-full of traffic (one CAS-reserve batch reservation) instead of
+// once per packet.
+//
+// Ownership contract:
+//
+//   - GetPacket (or PacketCache.Get) hands the caller a descriptor; the
+//     caller owns it until Inject returns true or InjectBatch consumes it.
+//   - A packet rejected by Inject (false) is still the caller's: retry it or
+//     PutPacket it. InjectBatch instead consumes every packet, recycling the
+//     rejected ones itself (unless Config.NoRecycle).
+//   - Packets the engine drops in flight (full rings, full output) are
+//     recycled automatically unless Config.NoRecycle.
+//   - A delivered packet (Output channel or Sink) is owned by the consumer;
+//     returning it with PutPacket closes the zero-allocation loop. Skipping
+//     that is safe — the freelist just refills from the heap.
+//
+// Because recycled packets are reused immediately, callers that stash
+// *Packet pointers (or pointers reachable from Userdata) past these
+// ownership boundaries must set Config.NoRecycle and skip PutPacket.
+
+// GetPacket returns a descriptor from the engine's freelist, falling back to
+// the heap when it is empty. Safe from any goroutine.
+func (e *Engine) GetPacket() *Packet {
+	if p, ok := e.free.Dequeue(); ok {
+		return p
+	}
+	return &Packet{}
+}
+
+// PutPacket recycles a descriptor the caller owns. The packet's Userdata is
+// cleared (so the freelist never pins user objects); if the freelist is full
+// the packet is left to the garbage collector. Safe from any goroutine.
+func (e *Engine) PutPacket(p *Packet) {
+	p.Userdata = nil
+	p.Hop = 0
+	e.free.Enqueue(p)
+}
+
+// freePacket is the engine-internal recycle for packets dropped in flight,
+// honouring the NoRecycle opt-out.
+func (e *Engine) freePacket(p *Packet) {
+	if e.cfg.NoRecycle {
+		return
+	}
+	p.Userdata = nil
+	p.Hop = 0
+	e.free.Enqueue(p)
+}
+
+// PacketCache is a per-goroutine freelist cache: Get and Put work on a local
+// LIFO slab and exchange half the cache with the shared recycle ring in one
+// bulk reservation when it runs dry or fills up. Create one per producer (or
+// consumer) goroutine; a PacketCache must not be shared between goroutines.
+type PacketCache struct {
+	e   *Engine
+	buf []*Packet
+}
+
+// NewPacketCache returns a cache holding up to size descriptors locally
+// (minimum 8).
+func (e *Engine) NewPacketCache(size int) *PacketCache {
+	if size < 8 {
+		size = 8
+	}
+	return &PacketCache{e: e, buf: make([]*Packet, 0, size)}
+}
+
+// Get returns a descriptor, refilling half the cache from the shared
+// freelist when the local slab is empty.
+func (c *PacketCache) Get() *Packet {
+	if len(c.buf) == 0 {
+		n := c.e.free.DequeueBatch(c.buf[:cap(c.buf)/2])
+		c.buf = c.buf[:n]
+		if n == 0 {
+			return &Packet{}
+		}
+	}
+	p := c.buf[len(c.buf)-1]
+	c.buf[len(c.buf)-1] = nil
+	c.buf = c.buf[:len(c.buf)-1]
+	return p
+}
+
+// Put recycles a descriptor, spilling half the cache to the shared freelist
+// when the local slab is full.
+func (c *PacketCache) Put(p *Packet) {
+	p.Userdata = nil
+	p.Hop = 0
+	if len(c.buf) == cap(c.buf) {
+		half := cap(c.buf) / 2
+		c.e.free.EnqueueBatch(c.buf[half:])
+		// Whatever didn't fit in the shared ring is surplus: drop the
+		// references and let the GC take it.
+		for i := half; i < len(c.buf); i++ {
+			c.buf[i] = nil
+		}
+		c.buf = c.buf[:half]
+	}
+	c.buf = append(c.buf, p)
+}

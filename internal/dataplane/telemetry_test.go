@@ -75,8 +75,24 @@ func TestScrapeWhileRunning(t *testing.T) {
 			scrape(t, mux)
 		}
 	}
-	waitUntil := time.Now().Add(2 * time.Second)
-	for e.Delivered.Load() == 0 && time.Now().Before(waitUntil) {
+	// Quiesce: stop injecting and wait until every accepted packet has been
+	// accounted for (delivered, dropped at the full output channel, or
+	// dropped at dpi's receive ring). Until then the batch-flushed counters
+	// lag the in-flight packets and the equalities below would race.
+	midDrops := func() uint64 {
+		for _, s := range e.Stats() {
+			if s.Name == "dpi" {
+				return s.QueueDrops
+			}
+		}
+		return 0
+	}
+	waitUntil := time.Now().Add(5 * time.Second)
+	for time.Now().Before(waitUntil) {
+		if e.Injected.Load() == e.Delivered.Load()+e.OutputDrops.Load()+midDrops() &&
+			e.Delivered.Load() > 0 {
+			break
+		}
 		time.Sleep(time.Millisecond)
 	}
 	vals := scrape(t, mux)
@@ -110,6 +126,21 @@ func TestScrapeWhileRunning(t *testing.T) {
 	if vals["dataplane_latency_nanoseconds_count"] != vals["dataplane_delivered_total"] {
 		t.Errorf("latency count %v != delivered %v",
 			vals["dataplane_latency_nanoseconds_count"], vals["dataplane_delivered_total"])
+	}
+
+	// Engine-level accounting reconciles through the scrape: every packet
+	// accepted into the chain was delivered, dropped at the full output
+	// channel, or dropped at a mid-chain receive ring.
+	injected := vals["dataplane_injected_total"]
+	if injected == 0 {
+		t.Error("dataplane_injected_total = 0")
+	}
+	accounted := vals["dataplane_delivered_total"] +
+		vals["dataplane_output_drops_total"] +
+		vals[`dataplane_stage_queue_drops_total{stage="dpi",id="1",core="0"}`]
+	if injected != accounted {
+		t.Errorf("scrape does not reconcile: injected %v != delivered+output_drops+mid_drops %v",
+			injected, accounted)
 	}
 }
 

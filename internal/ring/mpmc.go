@@ -1,0 +1,193 @@
+package ring
+
+import (
+	"sync/atomic"
+)
+
+// MPMC is a bounded lock-free multi-producer multi-consumer queue after
+// Vyukov's bounded MPMC design, the Go analogue of DPDK's rte_ring in MP/MC
+// mode. Each slot carries a sequence number that encodes whether it is ready
+// for the producer or the consumer of a given lap, so producers contend only
+// on the tail CAS and consumers only on the head CAS.
+//
+// The dataplane uses it in two roles: as a stage receive ring (injectors and
+// the mover produce concurrently, one worker consumes — the "CAS-reserve
+// MPSC" injection path that replaced the old mutex), and as the shared packet
+// freelist (any goroutine may recycle or allocate).
+//
+// Batch operations reserve a run of slots with a single CAS: the caller scans
+// the published (or free) prefix first and only then CASes the index forward,
+// so a successful reservation never has to spin waiting on slots mid-write
+// by another thread.
+type MPMC[T any] struct {
+	slots []slot[T]
+	mask  uint64
+
+	_    [64]byte // tail and head on separate cache lines
+	tail atomic.Uint64
+	_    [64]byte
+	head atomic.Uint64
+	_    [64]byte
+}
+
+type slot[T any] struct {
+	// seq == pos:       slot free, awaiting the producer of lap pos/size
+	// seq == pos+1:     slot published, awaiting the consumer
+	// seq == pos+size:  slot consumed, free for the next lap
+	seq atomic.Uint64
+	val T
+}
+
+// NewMPMC returns a ring with capacity rounded up to the next power of two
+// (minimum 2).
+func NewMPMC[T any](capacity int) *MPMC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	q := &MPMC[T]{slots: make([]slot[T], size), mask: uint64(size - 1)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap reports capacity. Unlike SPSC, no slot is sacrificed: fullness is
+// encoded in the per-slot sequence numbers.
+func (q *MPMC[T]) Cap() int { return len(q.slots) }
+
+// Len reports an instantaneous occupancy estimate (reserved slots count as
+// occupied).
+func (q *MPMC[T]) Len() int {
+	t := q.tail.Load()
+	h := q.head.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}
+
+// Enqueue adds v; it reports false when the ring is full. Safe for any
+// number of concurrent producers.
+func (q *MPMC[T]) Enqueue(v T) bool {
+	pos := q.tail.Load()
+	for {
+		s := &q.slots[pos&q.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if q.tail.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.tail.Load()
+		case d < 0:
+			return false // full: slot still holds last lap's value
+		default:
+			pos = q.tail.Load() // lost a race; reload
+		}
+	}
+}
+
+// EnqueueBatch adds up to len(vs) items with one tail CAS per attempt and
+// reports how many were accepted. Items are published in order; a partial
+// count means the ring filled.
+func (q *MPMC[T]) EnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	for {
+		pos := q.tail.Load()
+		// Scan the free prefix before reserving: after a successful CAS the
+		// reserved slots are known-writable, so no per-slot spin is needed.
+		n := uint64(0)
+		for n < uint64(len(vs)) {
+			if q.slots[(pos+n)&q.mask].seq.Load() != pos+n {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			// Distinguish "full" from "lost a race": if tail moved, retry.
+			if q.tail.Load() == pos {
+				return 0
+			}
+			continue
+		}
+		if !q.tail.CompareAndSwap(pos, pos+n) {
+			continue
+		}
+		for i := uint64(0); i < n; i++ {
+			s := &q.slots[(pos+i)&q.mask]
+			s.val = vs[i]
+			s.seq.Store(pos + i + 1)
+		}
+		return int(n)
+	}
+}
+
+// Dequeue removes the oldest item. Safe for any number of concurrent
+// consumers.
+func (q *MPMC[T]) Dequeue() (v T, ok bool) {
+	pos := q.head.Load()
+	for {
+		s := &q.slots[pos&q.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos+1); {
+		case d == 0:
+			if q.head.CompareAndSwap(pos, pos+1) {
+				v = s.val
+				var zero T
+				s.val = zero
+				s.seq.Store(pos + uint64(len(q.slots)))
+				return v, true
+			}
+			pos = q.head.Load()
+		case d < 0:
+			return v, false // empty (or producer mid-publish; caller retries)
+		default:
+			pos = q.head.Load()
+		}
+	}
+}
+
+// DequeueBatch removes up to len(dst) items into dst with one head CAS per
+// attempt, reporting the count. Only the contiguously published prefix is
+// taken, so a slow producer mid-publish bounds the batch rather than
+// stalling the consumer.
+func (q *MPMC[T]) DequeueBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	for {
+		pos := q.head.Load()
+		n := uint64(0)
+		for n < uint64(len(dst)) {
+			if q.slots[(pos+n)&q.mask].seq.Load() != pos+n+1 {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			if q.head.Load() == pos {
+				return 0
+			}
+			continue
+		}
+		if !q.head.CompareAndSwap(pos, pos+n) {
+			continue
+		}
+		var zero T
+		for i := uint64(0); i < n; i++ {
+			s := &q.slots[(pos+i)&q.mask]
+			dst[i] = s.val
+			s.val = zero
+			s.seq.Store(pos + i + uint64(len(q.slots)))
+		}
+		return int(n)
+	}
+}

@@ -42,11 +42,32 @@ func NewBuffer(capacity int, highFrac, lowFrac float64) *Buffer {
 	if highFrac <= 0 || highFrac > 1 || lowFrac < 0 || lowFrac > highFrac {
 		panic("ring: watermarks must satisfy 0 <= low <= high <= 1")
 	}
+	high, low := ClampWatermarks(capacity, highFrac, lowFrac)
 	return &Buffer{
 		buf:       make([]*packet.Packet, capacity),
-		highWater: int(float64(capacity) * highFrac),
-		lowWater:  int(float64(capacity) * lowFrac),
+		highWater: high,
+		lowWater:  low,
 	}
+}
+
+// ClampWatermarks converts fractional watermarks to descriptor counts,
+// clamping both to at least one descriptor. Without the clamp a tiny ring
+// (e.g. capacity 1 at highFrac 0.8) truncates to a high watermark of 0 —
+// permanently "above high", so backpressure throttles forever — and a low
+// watermark of 0 can never be gone below, so a throttle would never clear.
+func ClampWatermarks(capacity int, highFrac, lowFrac float64) (high, low int) {
+	high = int(float64(capacity) * highFrac)
+	low = int(float64(capacity) * lowFrac)
+	if high < 1 {
+		high = 1
+	}
+	if low < 1 {
+		low = 1
+	}
+	if low > high {
+		low = high
+	}
+	return high, low
 }
 
 // Len reports current occupancy.

@@ -61,6 +61,83 @@ func TestBufferModelEquivalence(t *testing.T) {
 	}
 }
 
+// TestSPSCModelEquivalence drives the SPSC ring single-threaded with random
+// mixes of single and batch operations against a plain-slice model: FIFO
+// order and exact element conservation must hold, including the cached-index
+// fast paths (which only this mix of refresh patterns exercises).
+func TestSPSCModelEquivalence(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		r := NewSPSC[int](int(capRaw%31) + 2)
+		capacity := r.Cap()
+		var model []int
+		rng := rand.New(rand.NewSource(seed))
+		next := 0
+		scratch := make([]int, 40)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				ok := r.Enqueue(next)
+				if ok != (len(model) < capacity) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+					next++
+				}
+			case 1:
+				k := rng.Intn(len(scratch)) + 1
+				for i := 0; i < k; i++ {
+					scratch[i] = next + i
+				}
+				n := r.EnqueueBatch(scratch[:k])
+				want := capacity - len(model)
+				if want > k {
+					want = k
+				}
+				if n != want {
+					return false
+				}
+				model = append(model, scratch[:n]...)
+				next += n
+			case 2:
+				v, ok := r.Dequeue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			default:
+				k := rng.Intn(len(scratch)) + 1
+				n := r.DequeueBatch(scratch[:k])
+				want := len(model)
+				if want > k {
+					want = k
+				}
+				if n != want {
+					return false
+				}
+				for i := 0; i < n; i++ {
+					if scratch[i] != model[i] {
+						return false
+					}
+				}
+				model = model[n:]
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestWatermarkInvariants: AboveHigh and BelowLow can never hold
 // simultaneously, and TimeAboveHigh is zero exactly when below the mark.
 func TestWatermarkInvariants(t *testing.T) {

@@ -113,6 +113,35 @@ func TestWatermarks(t *testing.T) {
 	}
 }
 
+// TestTinyRingWatermarkClamp is the regression test for truncation-to-zero
+// watermarks: a 1-slot ring at 0.8/0.6 used to compute high=0 (permanently
+// "above high", so backpressure throttled forever) and low=0 (BelowLow never
+// true, so a throttle could never clear).
+func TestTinyRingWatermarkClamp(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3} {
+		r := NewBuffer(capacity, 0.8, 0.6)
+		if r.HighWater() < 1 {
+			t.Errorf("cap %d: high watermark %d < 1 descriptor", capacity, r.HighWater())
+		}
+		if r.LowWater() < 1 {
+			t.Errorf("cap %d: low watermark %d < 1 descriptor", capacity, r.LowWater())
+		}
+		if r.LowWater() > r.HighWater() {
+			t.Errorf("cap %d: low %d > high %d", capacity, r.LowWater(), r.HighWater())
+		}
+		if r.AboveHigh() {
+			t.Errorf("cap %d: empty ring reports above-high", capacity)
+		}
+		if !r.BelowLow() {
+			t.Errorf("cap %d: empty ring not below-low", capacity)
+		}
+	}
+	// The clamp keeps ordering even when lowFrac is 0.
+	if h, l := ClampWatermarks(4, 0.1, 0); h != 1 || l != 1 {
+		t.Errorf("ClampWatermarks(4, 0.1, 0) = %d/%d, want 1/1", h, l)
+	}
+}
+
 func TestWatermarkValidation(t *testing.T) {
 	for _, c := range []struct{ high, low float64 }{
 		{0, 0}, {1.5, 0.5}, {0.5, 0.8}, {0.8, -0.1},

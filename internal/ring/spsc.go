@@ -13,15 +13,30 @@ import (
 // and read by the producer; tail (producer position) the reverse. Both are
 // accessed with atomic Load/Store, which in Go guarantees the necessary
 // happens-before edges for the slot contents.
+//
+// Each side additionally keeps a plain (non-atomic) mirror of its own index
+// and a cached copy of the opposite index, so the fast path — enqueue with
+// known slack, dequeue with known backlog — performs zero atomic loads and a
+// single atomic store (the publish). The cached opposite index is refreshed
+// only when it suggests the ring is full (producer) or empty (consumer),
+// i.e. once per ring-capacity of traffic in steady state.
 type SPSC[T any] struct {
 	buf  []T
 	mask uint64
 
-	_    [64]byte // keep producer and consumer indices on separate cache lines
+	_    [64]byte // keep producer and consumer state on separate cache lines
 	head atomic.Uint64
+	// ctail is the consumer's cached copy of tail; chead mirrors head without
+	// the atomic load. Both are touched only by the consumer goroutine.
+	chead, ctail uint64
+
 	_    [64]byte
 	tail atomic.Uint64
-	_    [64]byte
+	// phead is the producer's cached copy of head; ptail mirrors tail.
+	// Both are touched only by the producer goroutine.
+	ptail, phead uint64
+
+	_ [64]byte
 }
 
 // NewSPSC returns a ring with capacity rounded up to the next power of two
@@ -51,21 +66,28 @@ func (r *SPSC[T]) Len() int {
 // Enqueue adds v; it reports false when the ring is full. Must be called
 // from a single producer goroutine.
 func (r *SPSC[T]) Enqueue(v T) bool {
-	t := r.tail.Load()
-	h := r.head.Load()
-	if t-h >= uint64(len(r.buf)-1) {
-		return false
+	t := r.ptail
+	if t-r.phead >= uint64(len(r.buf)-1) {
+		r.phead = r.head.Load()
+		if t-r.phead >= uint64(len(r.buf)-1) {
+			return false
+		}
 	}
 	r.buf[t&r.mask] = v
+	r.ptail = t + 1
 	r.tail.Store(t + 1)
 	return true
 }
 
-// EnqueueBatch adds up to len(vs) items and reports how many were accepted.
+// EnqueueBatch adds up to len(vs) items with a single publish and reports
+// how many were accepted.
 func (r *SPSC[T]) EnqueueBatch(vs []T) int {
-	t := r.tail.Load()
-	h := r.head.Load()
-	space := uint64(len(r.buf)-1) - (t - h)
+	t := r.ptail
+	space := uint64(len(r.buf)-1) - (t - r.phead)
+	if space < uint64(len(vs)) {
+		r.phead = r.head.Load()
+		space = uint64(len(r.buf)-1) - (t - r.phead)
+	}
 	n := uint64(len(vs))
 	if n > space {
 		n = space
@@ -73,30 +95,41 @@ func (r *SPSC[T]) EnqueueBatch(vs []T) int {
 	for i := uint64(0); i < n; i++ {
 		r.buf[(t+i)&r.mask] = vs[i]
 	}
-	r.tail.Store(t + n)
+	if n > 0 {
+		r.ptail = t + n
+		r.tail.Store(t + n)
+	}
 	return int(n)
 }
 
 // Dequeue removes the oldest item. Must be called from a single consumer
 // goroutine.
 func (r *SPSC[T]) Dequeue() (v T, ok bool) {
-	h := r.head.Load()
-	t := r.tail.Load()
-	if h == t {
-		return v, false
+	h := r.chead
+	if h == r.ctail {
+		r.ctail = r.tail.Load()
+		if h == r.ctail {
+			return v, false
+		}
 	}
 	v = r.buf[h&r.mask]
 	var zero T
 	r.buf[h&r.mask] = zero
+	r.chead = h + 1
 	r.head.Store(h + 1)
 	return v, true
 }
 
-// DequeueBatch removes up to len(dst) items into dst, reporting the count.
+// DequeueBatch removes up to len(dst) items into dst with a single publish,
+// reporting the count.
 func (r *SPSC[T]) DequeueBatch(dst []T) int {
-	h := r.head.Load()
-	t := r.tail.Load()
-	n := t - h
+	h := r.chead
+	avail := r.ctail - h
+	if avail < uint64(len(dst)) {
+		r.ctail = r.tail.Load()
+		avail = r.ctail - h
+	}
+	n := avail
 	if n > uint64(len(dst)) {
 		n = uint64(len(dst))
 	}
@@ -105,6 +138,9 @@ func (r *SPSC[T]) DequeueBatch(dst []T) int {
 		dst[i] = r.buf[(h+i)&r.mask]
 		r.buf[(h+i)&r.mask] = zero
 	}
-	r.head.Store(h + n)
+	if n > 0 {
+		r.chead = h + n
+		r.head.Store(h + n)
+	}
 	return int(n)
 }

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -146,6 +147,68 @@ func TestSPSCConcurrentBatch(t *testing.T) {
 	}
 }
 
+// TestSPSCConcurrentMixed interleaves batch and single operations at random
+// on both sides concurrently: the consumer must observe 0..total-1 exactly,
+// in order, regardless of how either side chunks its calls.
+func TestSPSCConcurrentMixed(t *testing.T) {
+	const total = 1 << 15
+	r := NewSPSC[int](256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		buf := make([]int, 33)
+		sent := 0
+		for sent < total {
+			if rng.Intn(2) == 0 {
+				k := rng.Intn(len(buf)) + 1
+				if sent+k > total {
+					k = total - sent
+				}
+				for i := 0; i < k; i++ {
+					buf[i] = sent + i
+				}
+				n := r.EnqueueBatch(buf[:k])
+				sent += n
+				if n == 0 {
+					runtime.Gosched()
+				}
+			} else if r.Enqueue(sent) {
+				sent++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]int, 29)
+	next := 0
+	for next < total {
+		if rng.Intn(2) == 0 {
+			n := r.DequeueBatch(buf[:rng.Intn(len(buf))+1])
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if buf[i] != next {
+					t.Fatalf("got %d, want %d", buf[i], next)
+				}
+				next++
+			}
+		} else if v, ok := r.Dequeue(); ok {
+			if v != next {
+				t.Fatalf("got %d, want %d", v, next)
+			}
+			next++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
 func BenchmarkSPSCPingPong(b *testing.B) {
 	r := NewSPSC[int](1024)
 	done := make(chan struct{})
@@ -166,6 +229,41 @@ func BenchmarkSPSCPingPong(b *testing.B) {
 		} else {
 			runtime.Gosched()
 		}
+	}
+	<-done
+}
+
+// BenchmarkSPSCBulkPingPong is the batch counterpart: 64-element batches, one
+// atomic publish per batch instead of per element.
+func BenchmarkSPSCBulkPingPong(b *testing.B) {
+	const batch = 64
+	r := NewSPSC[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]int, batch)
+		n := 0
+		for n < b.N {
+			got := r.DequeueBatch(buf)
+			if got == 0 {
+				runtime.Gosched()
+				continue
+			}
+			n += got
+		}
+	}()
+	buf := make([]int, batch)
+	for i := 0; i < b.N; {
+		want := b.N - i
+		if want > batch {
+			want = batch
+		}
+		put := r.EnqueueBatch(buf[:want])
+		if put == 0 {
+			runtime.Gosched()
+			continue
+		}
+		i += put
 	}
 	<-done
 }
