@@ -59,13 +59,15 @@ func main() {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if *listen != "" {
-		srv, err := telemetry.StartServer(*listen, reg, events)
+		mux := telemetry.NewMux(reg, events)
+		telemetry.AddHealthz(mux, e.HealthSnapshot)
+		srv, err := telemetry.StartServerMux(*listen, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dataplane_live:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /snapshot, /events, /debug/pprof) — Ctrl-C to exit\n", srv.Addr)
+		fmt.Printf("telemetry: http://%s/metrics (also /snapshot, /events, /healthz, /debug/pprof) — Ctrl-C to exit\n", srv.Addr)
 		ctx, cancel = signal.NotifyContext(context.Background(), os.Interrupt)
 	} else {
 		ctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)

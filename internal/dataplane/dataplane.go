@@ -26,11 +26,22 @@
 // holding a grant from the scheduler, which serializes stage execution (the
 // shared-CPU-core regime the paper studies) while keeping handlers free to
 // block briefly on their own I/O.
+//
+// Failure model: stages are supervised (see supervise.go). A handler panic
+// fails only its stage; a handler that exceeds the grant deadline is
+// detached so it can never wedge the scheduler; failed stages restart with
+// exponential backoff under a max-restart circuit breaker, and chains
+// through a failed stage either shed at entry (fail-closed, the default) or
+// bypass the dead hop (fail-open). Every packet lost to a fault is charged
+// to an explicit drop class so accounting reconciles even across crashes
+// and shutdown.
 package dataplane
 
 import (
 	"context"
 	"errors"
+	"math"
+	"math/rand"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -55,8 +66,18 @@ type Packet struct {
 	Hop      int
 	Userdata any
 
+	// Drop, when set by a handler, discards the packet instead of
+	// forwarding it: the worker recycles it and charges an NF drop (the
+	// path fault injectors use to model transient NF errors). The flag is
+	// cleared before the descriptor is reused.
+	Drop bool
+
 	// enqueuedNanos is the coarse engine clock (unix nanos) at chain entry.
 	enqueuedNanos int64
+
+	// poolState tracks freelist ownership when Config.DebugPool is set
+	// (0 = live, 1 = pooled); manipulated with sync/atomic functions.
+	poolState int32
 }
 
 // Handler processes one packet at a stage.
@@ -86,17 +107,51 @@ type Config struct {
 	// retains references to injected packets; GetPacket/PutPacket still
 	// work, they just never race the engine for ownership.
 	NoRecycle bool
+
+	// GrantTimeout bounds how long the scheduler waits for a granted stage
+	// to finish its batch. A stage that overruns it is detached and marked
+	// Failed instead of wedging the core (0 takes the 100ms default;
+	// negative disables the deadline and restores unbounded waits).
+	GrantTimeout time.Duration
+	// DrainTimeout bounds the graceful shutdown drain: after ctx cancel,
+	// Run keeps granting and moving until the rings empty or the deadline
+	// passes, then sweeps leftovers into ShutdownDrops (0 takes the 500ms
+	// default; negative skips the drain and sweeps immediately).
+	DrainTimeout time.Duration
+	// RestartBackoff and RestartBackoffMax shape the supervised-restart
+	// schedule: the k-th consecutive failure waits
+	// min(RestartBackoff<<(k-1), RestartBackoffMax), plus jitter
+	// (defaults 2ms and 500ms).
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+	// MaxRestarts is the circuit breaker: after this many consecutive
+	// failures the stage stays Failed permanently and its queue is drained
+	// into FaultDrops (0 takes the default of 8; negative means unlimited).
+	MaxRestarts int
+	// JitterSeed seeds the restart-backoff jitter PRNG so chaos runs are
+	// reproducible (0 takes seed 1).
+	JitterSeed int64
+	// DebugPool enables double-PutPacket and use-after-recycle detection
+	// on the packet freelist; violations panic with the offending stage.
+	// Costs one predictable branch per packet — leave off in production.
+	DebugPool bool
 }
 
 // DefaultConfig mirrors the paper's platform parameters.
 func DefaultConfig() Config {
 	return Config{
-		Cores:        1,
-		RingSize:     4096,
-		BatchSize:    32,
-		HighFrac:     0.80,
-		LowFrac:      0.60,
-		WeightPeriod: 10 * time.Millisecond,
+		Cores:             1,
+		RingSize:          4096,
+		BatchSize:         32,
+		HighFrac:          0.80,
+		LowFrac:           0.60,
+		WeightPeriod:      10 * time.Millisecond,
+		GrantTimeout:      100 * time.Millisecond,
+		DrainTimeout:      500 * time.Millisecond,
+		RestartBackoff:    2 * time.Millisecond,
+		RestartBackoffMax: 500 * time.Millisecond,
+		MaxRestarts:       8,
+		JitterSeed:        1,
 	}
 }
 
@@ -117,6 +172,14 @@ type StageStats struct {
 	// paper's wasted-work metric).
 	QueueDrops uint64
 	Wasted     uint64
+	// Health is the supervision state; Restarts counts supervised worker
+	// respawns; FaultDrops counts packets lost in this stage's crashes,
+	// stalls and failed-queue drains; NFDrops counts packets the handler
+	// discarded via Packet.Drop.
+	Health     Health
+	Restarts   uint64
+	FaultDrops uint64
+	NFDrops    uint64
 }
 
 type stage struct {
@@ -125,32 +188,52 @@ type stage struct {
 	name string
 	fn   Handler
 	// rx is a CAS-reserve multi-producer ring: injector goroutines and the
-	// mover enqueue concurrently without a lock; the stage's worker is the
-	// single consumer.
+	// mover enqueue concurrently without a lock; the stage's live worker is
+	// normally the single consumer (a detached worker incarnation may race
+	// it briefly, which the MPMC ring tolerates).
 	rx *ring.MPMC[*Packet]
-	// tx is SPSC: the worker produces, the mover consumes.
-	tx     *ring.SPSC[*Packet]
+	// tx is MPMC on the producer side so a detached worker incarnation
+	// waking from a stall can never corrupt the ring against its
+	// replacement; the mover remains the single consumer.
+	tx     *ring.MPMC[*Packet]
 	weight atomic.Int64
 	yield  atomic.Bool
 
-	grant chan int // batch budget; closed on shutdown
-	done  chan struct{}
+	// w is the live worker incarnation (grant/done channels, scratch,
+	// in-flight claim counter). Swapped on supervised restart; epoch
+	// stamps incarnations so a stale worker can detect it was detached.
+	w     atomic.Pointer[workerCtx]
+	epoch atomic.Uint64
 
-	// batch is the worker's dequeue scratch (BatchSize long, worker-owned).
-	batch []*Packet
+	// health is the supervision state machine (Health values); consecFails
+	// feeds the backoff schedule and circuit breaker; restartAtNanos is
+	// when a Failed stage may respawn (restartNever = circuit open).
+	health         atomic.Int32
+	consecFails    atomic.Int32
+	restartAtNanos atomic.Int64
+	restarts       atomic.Uint64
 
-	processed atomic.Uint64
-	busyNanos atomic.Int64
-	arrivals  atomic.Uint64
-	drops     atomic.Uint64 // packets lost at this stage's full rx ring
-	wasted    atomic.Uint64 // packets processed here that died downstream
+	processed  atomic.Uint64
+	busyNanos  atomic.Int64
+	arrivals   atomic.Uint64
+	drops      atomic.Uint64 // packets lost at this stage's full rx ring
+	wasted     atomic.Uint64 // packets processed here that died downstream
+	faultDrops atomic.Uint64 // packets lost to this stage's crashes/stalls
+	nfDrops    atomic.Uint64 // packets the handler discarded via Packet.Drop
 
-	pass     float64 // WFQ virtual time, owned by the scheduler goroutine
-	estCost  float64 // smoothed ns/packet, owned by the controller
+	pass float64 // WFQ virtual time, owned by the scheduler goroutine
+	// estCost is the smoothed ns/packet estimate as Float64bits: written
+	// only by the controller, but read by Stats while the engine runs.
+	estCost  atomic.Uint64
 	lastArr  uint64
 	lastBusy int64
 	lastProc uint64
 }
+
+// schedulable reports whether the scheduler may grant the stage: every
+// state but Failed runs (Degraded and Restarting stages prove themselves
+// under real traffic).
+func (s *stage) schedulable() bool { return Health(s.health.Load()) != Failed }
 
 // Engine is a runnable pipeline host.
 type Engine struct {
@@ -169,6 +252,30 @@ type Engine struct {
 	highWater int
 	lowWater  int
 
+	// chainDown marks chains shed at entry because a stage on them is
+	// Failed under the fail-closed policy; chainPolicy is fixed at Run.
+	chainDown   []atomic.Bool
+	chainPolicy []FailPolicy
+
+	// anyFaulty is the fast-path gate for all supervision checks: while
+	// every stage is Healthy the mover and supervisor skip per-packet and
+	// per-tick health work entirely.
+	anyFaulty atomic.Bool
+
+	// stopped flips when Run's drain completes: later Inject/InjectBatch
+	// calls are rejected and counted in LateDrops instead of enqueueing
+	// into rings nobody will drain.
+	stopped atomic.Bool
+
+	// liveWorkers counts running worker goroutines (wedged ones included
+	// until they wake); shutdown waits for it boundedly.
+	liveWorkers atomic.Int64
+
+	// jitterMu guards jitterRand, the seeded PRNG behind restart-backoff
+	// jitter (reachable from every core's scheduler loop).
+	jitterMu   sync.Mutex
+	jitterRand *rand.Rand
+
 	out  chan *Packet
 	sink func([]*Packet)
 	tap  func(*Packet)
@@ -183,15 +290,33 @@ type Engine struct {
 	coarseNanos atomic.Int64
 
 	// Injected counts packets accepted into a chain entry ring; Delivered,
-	// EntryDrops, RingDrops and OutputDrops count packet outcomes
-	// (Injected == Delivered + RingDrops(mid-chain) + OutputDrops once the
-	// pipeline quiesces); ThrottleEvents counts chain-throttle activations.
-	Injected       atomic.Uint64
-	Delivered      atomic.Uint64
-	EntryDrops     atomic.Uint64
-	RingDrops      atomic.Uint64
-	OutputDrops    atomic.Uint64
-	ThrottleEvents atomic.Uint64
+	// EntryDrops, RingDrops and OutputDrops count packet outcomes;
+	// ThrottleEvents counts chain-throttle activations.
+	//
+	// Fault-tolerance classes: FaultEntryDrops counts packets shed at the
+	// entry of a fail-closed chain whose stage is down (pre-acceptance,
+	// like EntryDrops); NFDrops counts packets handlers discarded via
+	// Packet.Drop; FaultDrops counts in-flight packets lost to stage
+	// crashes/stalls and failed-queue drains; ShutdownDrops counts
+	// accepted packets swept out of rings when Run winds down; LateDrops
+	// counts Inject attempts rejected after Run exited (pre-acceptance).
+	//
+	// Reconciliation: once the pipeline quiesces — and, with the shutdown
+	// drain, after Run returns —
+	//
+	//	Injected == Delivered + RingDrops(mid-chain) + OutputDrops
+	//	          + NFDrops + FaultDrops + ShutdownDrops
+	Injected        atomic.Uint64
+	Delivered       atomic.Uint64
+	EntryDrops      atomic.Uint64
+	RingDrops       atomic.Uint64
+	OutputDrops     atomic.Uint64
+	ThrottleEvents  atomic.Uint64
+	FaultEntryDrops atomic.Uint64
+	NFDrops         atomic.Uint64
+	FaultDrops      atomic.Uint64
+	ShutdownDrops   atomic.Uint64
+	LateDrops       atomic.Uint64
 
 	// latNanos accumulates end-to-end sojourn time of delivered packets
 	// (owned by the control goroutine; read via LatencyStats).
@@ -239,14 +364,33 @@ func New(cfg Config) *Engine {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = 4 * cfg.RingSize
 	}
+	if cfg.GrantTimeout == 0 {
+		cfg.GrantTimeout = def.GrantTimeout
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = def.DrainTimeout
+	}
+	if cfg.RestartBackoff <= 0 {
+		cfg.RestartBackoff = def.RestartBackoff
+	}
+	if cfg.RestartBackoffMax <= 0 {
+		cfg.RestartBackoffMax = def.RestartBackoffMax
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = def.MaxRestarts
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = def.JitterSeed
+	}
 	high, low := ring.ClampWatermarks(cfg.RingSize, cfg.HighFrac, cfg.LowFrac)
 	e := &Engine{
-		cfg:       cfg,
-		highWater: high,
-		lowWater:  low,
-		out:       make(chan *Packet, cfg.RingSize),
-		free:      ring.NewMPMC[*Packet](cfg.PoolSize),
-		moveBuf:   make([]*Packet, cfg.BatchSize),
+		cfg:        cfg,
+		highWater:  high,
+		lowWater:   low,
+		out:        make(chan *Packet, cfg.RingSize),
+		free:       ring.NewMPMC[*Packet](cfg.PoolSize),
+		moveBuf:    make([]*Packet, cfg.BatchSize),
+		jitterRand: rand.New(rand.NewSource(cfg.JitterSeed)),
 	}
 	e.coarseNanos.Store(time.Now().UnixNano())
 	return e
@@ -265,18 +409,16 @@ func (e *Engine) AddStageOn(name string, weight int64, core int, fn Handler) int
 		panic("dataplane: stage core out of range")
 	}
 	s := &stage{
-		id:    len(e.stages),
-		core:  core,
-		name:  name,
-		fn:    fn,
-		rx:    ring.NewMPMC[*Packet](e.cfg.RingSize),
-		tx:    ring.NewSPSC[*Packet](e.cfg.RingSize),
-		grant: make(chan int),
-		done:  make(chan struct{}),
-		batch: make([]*Packet, e.cfg.BatchSize),
+		id:   len(e.stages),
+		core: core,
+		name: name,
+		fn:   fn,
+		rx:   ring.NewMPMC[*Packet](e.cfg.RingSize),
+		tx:   ring.NewMPMC[*Packet](e.cfg.RingSize),
 	}
 	s.weight.Store(weight)
-	s.estCost = float64(time.Microsecond) // prior until measured
+	s.estCost.Store(math.Float64bits(float64(time.Microsecond))) // prior until measured
+	s.health.Store(int32(Healthy))
 	e.stages = append(e.stages, s)
 	return s.id
 }
@@ -294,7 +436,20 @@ func (e *Engine) AddChain(stageIDs ...int) (int, error) {
 	}
 	e.chains = append(e.chains, append([]int(nil), stageIDs...))
 	e.throttled = append(e.throttled, atomic.Bool{})
+	e.chainDown = append(e.chainDown, atomic.Bool{})
+	e.chainPolicy = append(e.chainPolicy, FailClosed)
 	return len(e.chains) - 1, nil
+}
+
+// SetChainPolicy selects what happens to a chain while one of its stages is
+// Failed: FailClosed (the default) sheds the chain's packets at entry,
+// charged to FaultEntryDrops; FailOpen forwards past the dead hop. Must be
+// called before Run.
+func (e *Engine) SetChainPolicy(chainID int, p FailPolicy) {
+	if e.running.Load() {
+		panic("dataplane: SetChainPolicy after Run")
+	}
+	e.chainPolicy[chainID] = p
 }
 
 // MapFlow routes a flow to a chain. Safe to call at any time.
@@ -350,11 +505,16 @@ func (e *Engine) SetSink(fn func([]*Packet)) {
 }
 
 // Inject offers a packet from a producer goroutine. It reports false when
-// the packet was shed — by chain-entry backpressure or a full entry ring —
-// or when the flow has no route; the caller keeps ownership of a rejected
+// the packet was shed — by chain-entry backpressure, a fail-closed chain
+// whose stage is down, a full entry ring, or because Run has exited — or
+// when the flow has no route; the caller keeps ownership of a rejected
 // packet (retry it or PutPacket it). For bulk producers InjectBatch
 // amortizes the per-packet costs.
 func (e *Engine) Inject(p *Packet) bool {
+	if e.stopped.Load() {
+		e.LateDrops.Add(1)
+		return false
+	}
 	chainID, ok := e.routeOf(p.FlowID)
 	if !ok {
 		return false
@@ -370,6 +530,10 @@ func (e *Engine) Inject(p *Packet) bool {
 		e.EntryDrops.Add(1)
 		return false
 	}
+	if e.chainDown[chainID].Load() {
+		e.FaultEntryDrops.Add(1)
+		return false
+	}
 	p.enqueuedNanos = e.coarseNanos.Load()
 	if !entry.rx.Enqueue(p) {
 		e.RingDrops.Add(1)
@@ -377,6 +541,12 @@ func (e *Engine) Inject(p *Packet) bool {
 		return false
 	}
 	e.Injected.Add(1)
+	if e.stopped.Load() {
+		// Run exited between the first check and the enqueue: the final
+		// sweep may already have run, so sweep this ring ourselves. The
+		// packet counts as accepted-then-shutdown-dropped.
+		e.sweepRing(entry.rx, &e.ShutdownDrops)
+	}
 	return true
 }
 
@@ -388,6 +558,16 @@ func (e *Engine) Inject(p *Packet) bool {
 // reuse any packet in ps afterwards.
 func (e *Engine) InjectBatch(ps []*Packet) int {
 	if len(ps) == 0 {
+		return 0
+	}
+	if e.stopped.Load() {
+		// Run has exited: consume the slice per the InjectBatch contract,
+		// but account the attempts instead of enqueueing into rings nobody
+		// will ever drain.
+		e.LateDrops.Add(uint64(len(ps)))
+		for _, p := range ps {
+			e.freePacket(p)
+		}
 		return 0
 	}
 	now := time.Now().UnixNano()
@@ -418,6 +598,11 @@ func (e *Engine) InjectBatch(ps []*Packet) int {
 			for _, q := range run {
 				e.freePacket(q)
 			}
+		} else if e.chainDown[chainID].Load() {
+			e.FaultEntryDrops.Add(uint64(len(run)))
+			for _, q := range run {
+				e.freePacket(q)
+			}
 		} else {
 			n := entry.rx.EnqueueBatch(run)
 			accepted += n
@@ -435,6 +620,13 @@ func (e *Engine) InjectBatch(ps []*Packet) int {
 	if accepted > 0 {
 		e.Injected.Add(uint64(accepted))
 	}
+	if e.stopped.Load() && accepted > 0 {
+		// Run exited mid-batch: the final sweep may have missed what we
+		// just enqueued, so sweep the entry rings ourselves.
+		for _, s := range e.stages {
+			e.sweepRing(s.rx, &e.ShutdownDrops)
+		}
+	}
 	return accepted
 }
 
@@ -448,9 +640,13 @@ func (e *Engine) Stats() []StageStats {
 			Arrivals:   s.arrivals.Load(),
 			Weight:     s.weight.Load(),
 			Busy:       time.Duration(s.busyNanos.Load()),
-			EstCost:    time.Duration(s.estCost),
+			EstCost:    time.Duration(math.Float64frombits(s.estCost.Load())),
 			QueueDrops: s.drops.Load(),
 			Wasted:     s.wasted.Load(),
+			Health:     Health(s.health.Load()),
+			Restarts:   s.restarts.Load(),
+			FaultDrops: s.faultDrops.Load(),
+			NFDrops:    s.nfDrops.Load(),
 		}
 	}
 	return out
@@ -470,8 +666,13 @@ func (e *Engine) LatencyStats() (mean, max time.Duration) {
 // Throttled reports whether a chain is currently shed at entry.
 func (e *Engine) Throttled(chainID int) bool { return e.throttled[chainID].Load() }
 
-// Run operates the pipeline until ctx is canceled. It blocks; run it on its
-// own goroutine. Run may be called once.
+// Run operates the pipeline until ctx is canceled, then winds down in
+// order: a bounded drain (grant and move until the rings empty or
+// Config.DrainTimeout passes), a stop gate rejecting later Injects, worker
+// shutdown with a bounded wait (a wedged handler cannot block Run), and a
+// final sweep that charges every packet still in flight to ShutdownDrops so
+// the accounting reconciliation holds after Run returns. It blocks; run it
+// on its own goroutine. Run may be called once.
 func (e *Engine) Run(ctx context.Context) {
 	if !e.running.CompareAndSwap(false, true) {
 		panic("dataplane: Run called twice")
@@ -481,23 +682,21 @@ func (e *Engine) Run(ctx context.Context) {
 	e.under = make([]bool, len(e.stages))
 	e.wLoads = make([]float64, len(e.stages))
 	e.wTotals = make([]float64, e.cfg.Cores)
-	var workers, cores sync.WaitGroup
+	var cores sync.WaitGroup
 	for _, s := range e.stages {
-		workers.Add(1)
-		go func(s *stage) {
-			defer workers.Done()
-			e.worker(s)
-		}(s)
+		e.spawnWorker(s)
 	}
 	// One scheduler loop per core; core 0's loop doubles as the control
-	// plane (Tx-thread packet movement, backpressure, weights), matching
-	// the manager-on-dedicated-core split.
+	// plane (Tx-thread packet movement, backpressure, weights, stage
+	// supervision), matching the manager-on-dedicated-core split.
 	for core := 1; core < e.cfg.Cores; core++ {
 		cores.Add(1)
 		go func(core int) {
 			defer cores.Done()
+			timer := newGrantTimer()
+			defer timer.Stop()
 			for ctx.Err() == nil {
-				if !e.scheduleCore(core) {
+				if !e.scheduleCore(core, timer) {
 					// Idle: plain sleep, not time.After — the select-timer
 					// variant allocates, and this is inside the hot loop.
 					time.Sleep(50 * time.Microsecond)
@@ -505,12 +704,15 @@ func (e *Engine) Run(ctx context.Context) {
 			}
 		}(core)
 	}
+	timer := newGrantTimer()
+	defer timer.Stop()
 	lastWeights := time.Now()
 	for ctx.Err() == nil {
 		e.coarseNanos.Store(time.Now().UnixNano())
-		granted := e.scheduleCore(0)
+		granted := e.scheduleCore(0, timer)
 		e.moveAll()
 		e.updateBackpressure()
+		e.supervise(time.Now().UnixNano())
 		if e.cfg.WeightPeriod > 0 && time.Since(lastWeights) >= e.cfg.WeightPeriod {
 			e.updateWeights()
 			lastWeights = time.Now()
@@ -520,56 +722,165 @@ func (e *Engine) Run(ctx context.Context) {
 			time.Sleep(50 * time.Microsecond)
 		}
 	}
-	// Shutdown order matters: first join the scheduler loops (no more
-	// grants in flight), then close grant channels so workers drain out.
+	// Shutdown. First join the per-core scheduler loops so the control
+	// goroutine is the only one granting; then drain, gate, and sweep.
 	cores.Wait()
-	for _, s := range e.stages {
-		close(s.grant)
-	}
-	workers.Wait()
+	e.shutdown(timer)
 }
 
-// worker runs a stage's handler under grants, moving packets rx→tx in bulk:
-// one ring reservation per dequeued batch and one per published batch.
-func (e *Engine) worker(s *stage) {
-	for budget := range s.grant {
-		start := time.Now()
-		n := 0
-		for n < budget {
-			want := budget - n
-			if want > len(s.batch) {
-				want = len(s.batch)
-			}
-			k := s.rx.DequeueBatch(s.batch[:want])
-			if k == 0 {
-				break
-			}
-			for i := 0; i < k; i++ {
-				pkt := s.batch[i]
-				s.fn(pkt)
-				pkt.Hop++
-			}
-			// Tx is sized like Rx and drained between grants, and the
-			// grant budget never exceeds free Tx space, so this cannot
-			// come up short.
-			s.tx.EnqueueBatch(s.batch[:k])
-			n += k
+// worker runs a stage's handler under grants until its grant channel closes
+// or the incarnation is detached, moving packets rx→tx in bulk: one ring
+// reservation per dequeued batch and one per published batch.
+func (e *Engine) worker(s *stage, w *workerCtx) {
+	defer e.liveWorkers.Add(-1)
+	for budget := range w.grant {
+		res, exit := e.runGrant(s, w, budget)
+		if s.epoch.Load() != w.epoch {
+			// Detached while running: the scheduler stopped listening and
+			// a replacement may exist. Exit without signalling.
+			return
 		}
-		if n > 0 {
-			s.processed.Add(uint64(n))
+		w.done <- res // cap 1: never blocks, even if the scheduler left
+		if exit {
+			return // handler panicked; the supervisor decides what's next
 		}
-		s.busyNanos.Add(time.Since(start).Nanoseconds())
-		s.done <- struct{}{}
 	}
+}
+
+// runGrant executes one grant: up to budget packets in chunks of the
+// incarnation's scratch batch. Each chunk publishes its size in w.inflight
+// before running the handler; whoever Swap()s it to zero — this worker on
+// the happy path, the scheduler on detach, the final sweep at shutdown —
+// owns the accounting for those packets (see runChunk).
+func (e *Engine) runGrant(s *stage, w *workerCtx, budget int) (res grantResult, exit bool) {
+	start := time.Now()
+	n := 0
+	for n < budget {
+		want := budget - n
+		if want > len(w.batch) {
+			want = len(w.batch)
+		}
+		k := s.rx.DequeueBatch(w.batch[:want])
+		if k == 0 {
+			break
+		}
+		w.inflight.Store(int64(k))
+		live, done, panicked, pmsg := e.runChunk(s, w, k)
+		n += done
+		if panicked {
+			s.busyNanos.Add(time.Since(start).Nanoseconds())
+			if n > 0 {
+				s.processed.Add(uint64(n))
+			}
+			return grantResult{panicked: true, panicVal: pmsg}, true
+		}
+		if live > 0 {
+			if claimed := w.inflight.Swap(0); claimed == 0 {
+				// The scheduler detached us mid-chunk and already charged
+				// these packets as fault drops; recycle without counting.
+				for i := 0; i < live; i++ {
+					e.freePacket(w.batch[i])
+				}
+				s.busyNanos.Add(time.Since(start).Nanoseconds())
+				if n > 0 {
+					s.processed.Add(uint64(n))
+				}
+				return res, true
+			}
+			if e.stopped.Load() {
+				// Run already returned: the mover is gone, so delivering
+				// into tx would strand the packets uncounted.
+				e.ShutdownDrops.Add(uint64(live))
+				for i := 0; i < live; i++ {
+					e.freePacket(w.batch[i])
+				}
+			} else {
+				// Tx is sized like Rx and drained between grants, and the
+				// grant budget never exceeds free Tx space, so this cannot
+				// come up short.
+				s.tx.EnqueueBatch(w.batch[:live])
+			}
+		} else {
+			w.inflight.Store(0)
+		}
+	}
+	if n > 0 {
+		s.processed.Add(uint64(n))
+	}
+	s.busyNanos.Add(time.Since(start).Nanoseconds())
+	return res, false
+}
+
+// runChunk runs the handler over batch[:k], compacting survivors to the
+// front. It recovers handler panics: on panic the unaccounted remainder of
+// the chunk is claimed back from w.inflight (unless the scheduler already
+// detached us and charged it) and recycled, so no packet escapes the drop
+// ledger. done is how many packets completed the handler.
+func (e *Engine) runChunk(s *stage, w *workerCtx, k int) (live, done int, panicked bool, pmsg string) {
+	i := 0
+	debug := e.cfg.DebugPool
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else {
+			panicked = true
+			pmsg = panicString(r)
+		}
+		// Unaccounted packets: the kept-but-unpublished survivors plus the
+		// panicking packet and everything after it. A descriptor the debug
+		// check just flagged as recycled is already in the freelist — skip
+		// it rather than tripping the double-put check inside this recover.
+		free := func(p *Packet) {
+			if debug && atomic.LoadInt32(&p.poolState) != 0 {
+				return
+			}
+			e.freePacket(p)
+		}
+		if claimed := w.inflight.Swap(0); claimed > 0 {
+			e.FaultDrops.Add(uint64(claimed))
+			s.faultDrops.Add(uint64(claimed))
+		}
+		for j := 0; j < live; j++ {
+			free(w.batch[j])
+		}
+		for j := i; j < k; j++ {
+			free(w.batch[j])
+		}
+		live, done = 0, i
+	}()
+	for ; i < k; i++ {
+		pkt := w.batch[i]
+		if debug && atomic.LoadInt32(&pkt.poolState) != 0 {
+			panic("dataplane: stage " + s.name + " processing a recycled packet (use-after-PutPacket)")
+		}
+		s.fn(pkt)
+		if pkt.Drop {
+			pkt.Drop = false
+			// Claim the single unit back; if the scheduler detached us it
+			// already charged this packet as a fault drop instead.
+			if decInflight(&w.inflight) {
+				s.nfDrops.Add(1)
+				e.NFDrops.Add(1)
+			}
+			e.freePacket(pkt)
+			continue
+		}
+		pkt.Hop++
+		w.batch[live] = pkt
+		live++
+	}
+	return live, k, false, ""
 }
 
 // scheduleCore grants the core's runnable stage with the smallest WFQ pass
-// one batch and waits for completion. Reports whether anything ran. The
-// engine clock is refreshed once per grant.
-func (e *Engine) scheduleCore(core int) bool {
+// one batch and waits for completion, up to the grant deadline: an overdue
+// stage is detached and marked Failed rather than wedging the core, so one
+// stuck handler can never stall its neighbours. Reports whether anything
+// ran. The engine clock is refreshed once per grant.
+func (e *Engine) scheduleCore(core int, timer *time.Timer) bool {
 	var pick *stage
 	for _, s := range e.stages {
-		if s.core != core || s.yield.Load() || s.rx.Len() == 0 {
+		if s.core != core || !s.schedulable() || s.yield.Load() || s.rx.Len() == 0 {
 			continue
 		}
 		if s.tx.Len() >= e.cfg.RingSize-1-e.cfg.BatchSize {
@@ -583,15 +894,32 @@ func (e *Engine) scheduleCore(core int) bool {
 		return false
 	}
 	e.coarseNanos.Store(time.Now().UnixNano())
+	e.grantStage(pick, timer, core)
+	return true
+}
+
+// grantStage issues one batch grant to the stage's live worker and settles
+// the outcome: WFQ pass accounting and probation on success, failStage on
+// panic, detach on deadline. Shared by scheduleCore and the shutdown drain.
+func (e *Engine) grantStage(pick *stage, timer *time.Timer, core int) {
+	w := pick.w.Load()
 	before := time.Duration(pick.busyNanos.Load())
-	pick.grant <- e.cfg.BatchSize
-	<-pick.done
-	ran := time.Duration(pick.busyNanos.Load()) - before
-	w := pick.weight.Load()
-	if w < 2 {
-		w = 2
+	w.grant <- e.cfg.BatchSize
+	res, ok := waitGrant(w, timer, e.cfg.GrantTimeout)
+	if !ok {
+		e.detachStage(pick, w)
+		return
 	}
-	pick.pass += float64(ran) * 1024 / float64(w)
+	if res.panicked {
+		e.failStage(pick, "panic", res.panicVal)
+		return
+	}
+	ran := time.Duration(pick.busyNanos.Load()) - before
+	wt := pick.weight.Load()
+	if wt < 2 {
+		wt = 2
+	}
+	pick.pass += float64(ran) * 1024 / float64(wt)
 	// Keep sleeping stages from banking unbounded credit.
 	min := pick.pass
 	for _, s := range e.stages {
@@ -599,7 +927,19 @@ func (e *Engine) scheduleCore(core int) bool {
 			s.pass = min - float64(time.Second)
 		}
 	}
-	return true
+	// Probation: a restarted stage earns Healthy back by completing clean
+	// grants under real traffic.
+	switch Health(pick.health.Load()) {
+	case Restarting:
+		w.okGrants = 1
+		e.setHealth(pick, Degraded)
+	case Degraded:
+		w.okGrants++
+		if w.okGrants >= probationGrants {
+			pick.consecFails.Store(0)
+			e.setHealth(pick, Healthy)
+		}
+	}
 }
 
 // moveAll drains every stage's tx ring toward the next hop, the sink or the
@@ -621,6 +961,12 @@ func (e *Engine) moveAll() {
 			k := s.tx.DequeueBatch(e.moveBuf)
 			if k == 0 {
 				break
+			}
+			if e.anyFaulty.Load() {
+				// Fail-open chains skip Failed hops; resolving every
+				// packet's effective hop up front keeps the run-forwarding
+				// loop below oblivious to faults.
+				e.bypassFailedHops(e.moveBuf[:k])
 			}
 			sinkFrom = 0
 			for i := 0; i < k; {
@@ -838,11 +1184,13 @@ func (e *Engine) updateWeights() {
 		dBusy := busy - s.lastBusy
 		dProc := proc - s.lastProc
 		s.lastArr, s.lastBusy, s.lastProc = arr, busy, proc
+		cost := math.Float64frombits(s.estCost.Load())
 		if dProc > 0 {
 			sample := float64(dBusy) / float64(dProc)
-			s.estCost = 0.3*sample + 0.7*s.estCost
+			cost = 0.3*sample + 0.7*cost
+			s.estCost.Store(math.Float64bits(cost))
 		}
-		loads[i] = float64(dArr) * s.estCost
+		loads[i] = float64(dArr) * cost
 		totals[s.core] += loads[i]
 	}
 	const scale = 10 * 1024
@@ -891,6 +1239,16 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 		reg.GaugeFunc("dataplane_stage_queue_depth",
 			"Instantaneous receive-ring occupancy.",
 			func() float64 { return float64(s.rx.Len()) }, lbl...)
+		reg.GaugeFunc("dataplane_stage_health",
+			"Supervision state: 0 healthy, 1 degraded, 2 failed, 3 restarting.",
+			func() float64 { return float64(s.health.Load()) }, lbl...)
+		reg.CounterFunc("dataplane_stage_restarts_total",
+			"Supervised worker respawns after a crash or stall.", s.restarts.Load, lbl...)
+		reg.CounterFunc("dataplane_stage_fault_drops_total",
+			"Packets lost in this stage's crashes, stalls and failed-queue drains.",
+			s.faultDrops.Load, lbl...)
+		reg.CounterFunc("dataplane_stage_nf_drops_total",
+			"Packets the handler discarded via Packet.Drop.", s.nfDrops.Load, lbl...)
 	}
 	for ci := range e.chains {
 		lbl := []telemetry.Label{telemetry.L("chain", strconv.Itoa(ci))}
@@ -916,6 +1274,19 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 		"Delivered packets dropped because the output channel was full.", e.OutputDrops.Load)
 	reg.CounterFunc("dataplane_throttle_events_total",
 		"Chain-throttle activations.", e.ThrottleEvents.Load)
+	reg.CounterFunc("dataplane_fault_entry_drops_total",
+		"Packets shed at the entry of a fail-closed chain with a Failed stage.",
+		e.FaultEntryDrops.Load)
+	reg.CounterFunc("dataplane_nf_drops_total",
+		"Packets discarded by handlers via Packet.Drop.", e.NFDrops.Load)
+	reg.CounterFunc("dataplane_fault_drops_total",
+		"In-flight packets lost to stage crashes, stalls and failed-queue drains.",
+		e.FaultDrops.Load)
+	reg.CounterFunc("dataplane_shutdown_drops_total",
+		"Accepted packets swept out of rings when Run wound down.",
+		e.ShutdownDrops.Load)
+	reg.CounterFunc("dataplane_late_drops_total",
+		"Inject attempts rejected because Run had exited.", e.LateDrops.Load)
 	e.latHist = reg.Histogram("dataplane_latency_nanoseconds",
 		"End-to-end sojourn time of delivered packets.")
 }

@@ -198,7 +198,13 @@ func TestBackpressureShedsAtEntry(t *testing.T) {
 	drain(e, stop)
 	deadline := time.Now().Add(400 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		e.Inject(&Packet{FlowID: 0})
+		if !e.Inject(&Packet{FlowID: 0}) {
+			// Yield on rejection: on a single-CPU box (GOMAXPROCS=1,
+			// -race) an unyielding producer loop can starve the control
+			// loop into lockstep, bursting only while the throttle is
+			// clear and never observing it set.
+			runtime.Gosched()
+		}
 	}
 	if e.EntryDrops.Load() == 0 {
 		t.Fatal("overloaded chain never shed at entry")

@@ -22,11 +22,30 @@ package dataplane
 // Because recycled packets are reused immediately, callers that stash
 // *Packet pointers (or pointers reachable from Userdata) past these
 // ownership boundaries must set Config.NoRecycle and skip PutPacket.
+//
+// Config.DebugPool arms ownership tracking for debugging violations of this
+// contract: every recycle path flips the descriptor's poolState live→pooled
+// with a CAS and panics on a double put; every Get marks it live again; and
+// stage workers panic (naming the stage) when a handler receives a pooled
+// descriptor — a use-after-recycle. Disabled, the tracking costs nothing:
+// the hot path stays allocation-free and check-free.
+
+import "sync/atomic"
+
+// debugPut flips a descriptor live→pooled, panicking on a second put.
+func debugPut(p *Packet) {
+	if !atomic.CompareAndSwapInt32(&p.poolState, 0, 1) {
+		panic("dataplane: double PutPacket: descriptor is already in the freelist")
+	}
+}
 
 // GetPacket returns a descriptor from the engine's freelist, falling back to
 // the heap when it is empty. Safe from any goroutine.
 func (e *Engine) GetPacket() *Packet {
 	if p, ok := e.free.Dequeue(); ok {
+		if e.cfg.DebugPool {
+			atomic.StoreInt32(&p.poolState, 0)
+		}
 		return p
 	}
 	return &Packet{}
@@ -36,8 +55,12 @@ func (e *Engine) GetPacket() *Packet {
 // cleared (so the freelist never pins user objects); if the freelist is full
 // the packet is left to the garbage collector. Safe from any goroutine.
 func (e *Engine) PutPacket(p *Packet) {
+	if e.cfg.DebugPool {
+		debugPut(p)
+	}
 	p.Userdata = nil
 	p.Hop = 0
+	p.Drop = false
 	e.free.Enqueue(p)
 }
 
@@ -47,8 +70,12 @@ func (e *Engine) freePacket(p *Packet) {
 	if e.cfg.NoRecycle {
 		return
 	}
+	if e.cfg.DebugPool {
+		debugPut(p)
+	}
 	p.Userdata = nil
 	p.Hop = 0
+	p.Drop = false
 	e.free.Enqueue(p)
 }
 
@@ -83,14 +110,21 @@ func (c *PacketCache) Get() *Packet {
 	p := c.buf[len(c.buf)-1]
 	c.buf[len(c.buf)-1] = nil
 	c.buf = c.buf[:len(c.buf)-1]
+	if c.e.cfg.DebugPool {
+		atomic.StoreInt32(&p.poolState, 0)
+	}
 	return p
 }
 
 // Put recycles a descriptor, spilling half the cache to the shared freelist
 // when the local slab is full.
 func (c *PacketCache) Put(p *Packet) {
+	if c.e.cfg.DebugPool {
+		debugPut(p)
+	}
 	p.Userdata = nil
 	p.Hop = 0
+	p.Drop = false
 	if len(c.buf) == cap(c.buf) {
 		half := cap(c.buf) / 2
 		c.e.free.EnqueueBatch(c.buf[half:])

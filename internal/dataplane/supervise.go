@@ -1,0 +1,464 @@
+package dataplane
+
+// Supervision: the NF-Manager liveness layer around stage workers.
+//
+// The paper's NF Manager assumes misbehaving NFs are contained — overload
+// is managed (backpressure, early discard), never fatal. This file gives
+// the live goroutine dataplane the same property:
+//
+//   - A handler panic fails only its stage: the worker recovers, charges
+//     the in-flight chunk to the fault ledger, reports the failure through
+//     its done channel and exits; the scheduler marks the stage Failed.
+//   - A handler that blocks past Config.GrantTimeout cannot wedge the
+//     scheduler: the grant wait has a deadline, and an overdue stage is
+//     *detached* — its epoch is bumped so the stale worker discovers it on
+//     wake, and its in-flight packets are claimed via an atomic Swap of
+//     the incarnation's inflight counter. Exactly one side (worker,
+//     detaching scheduler, or the shutdown sweep) wins the Swap and owns
+//     the accounting, so no packet is double-counted or lost.
+//   - Failed stages restart with exponential backoff plus seeded jitter
+//     under a max-restart circuit breaker; a restarted stage re-earns
+//     Healthy through a probation of clean grants (Restarting → Degraded
+//     → Healthy).
+//   - Chains through a Failed stage follow a per-chain policy: FailClosed
+//     sheds at chain entry (reusing the backpressure gate shape, charged
+//     to FaultEntryDrops), FailOpen bypasses the dead hop in the mover.
+//
+// Goroutines cannot be killed, so a truly wedged worker leaks until it
+// wakes; the circuit breaker bounds the leak, and every structure the old
+// incarnation might touch on wake is either epoch-guarded, per-incarnation
+// (scratch batch, channels, inflight), or safe under an extra producer
+// (the MPMC tx ring).
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"nfvnice/internal/ring"
+	"nfvnice/internal/telemetry"
+)
+
+// Health is a stage's supervision state.
+type Health int32
+
+// Health states. Every state but Failed is schedulable.
+const (
+	// Healthy: normal operation.
+	Healthy Health = iota
+	// Degraded: restarted and on probation; a run of clean grants
+	// promotes the stage back to Healthy.
+	Degraded
+	// Failed: crashed or stalled; waiting out restart backoff, or down
+	// permanently once the circuit breaker opens.
+	Failed
+	// Restarting: a fresh worker was spawned and has yet to complete its
+	// first grant.
+	Restarting
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	case Restarting:
+		return "restarting"
+	default:
+		return "?"
+	}
+}
+
+// FailPolicy selects a chain's degradation mode while one of its stages is
+// Failed.
+type FailPolicy uint8
+
+const (
+	// FailClosed sheds the chain's packets at entry (the paper's
+	// drop-early ethos: don't invest work in packets that cannot finish).
+	FailClosed FailPolicy = iota
+	// FailOpen forwards past the dead hop, trading the failed stage's
+	// processing for chain availability.
+	FailOpen
+)
+
+// probationGrants is how many clean grants a Degraded stage must complete
+// to be promoted back to Healthy (resetting the failure streak).
+const probationGrants = 8
+
+// restartNever marks a circuit-open stage: no restart will be scheduled.
+const restartNever = int64(math.MaxInt64)
+
+// workerCtx is one worker incarnation. Restart replaces the whole context,
+// so a stale worker can never share channels, scratch or the inflight
+// counter with its replacement.
+type workerCtx struct {
+	// epoch identifies the incarnation; stage.epoch moves past it when
+	// the incarnation is detached.
+	epoch uint64
+	// grant carries the batch budget; closed on shutdown.
+	grant chan int
+	// done reports grant completion; cap 1 so a worker finishing after
+	// detach (or after shutdown) never blocks sending to a departed
+	// scheduler.
+	done chan grantResult
+	// batch is the incarnation's dequeue scratch.
+	batch []*Packet
+	// inflight is the chunk ownership arbiter: the worker publishes the
+	// chunk size before running handlers; whoever Swap()s it to zero owns
+	// the accounting for those packets.
+	inflight atomic.Int64
+	// closed guards grant against double close: both detach and shutdown
+	// retire an incarnation, and a detached-but-never-restarted stage
+	// reaches shutdown with the same incarnation current.
+	closed atomic.Bool
+	// okGrants counts clean grants since (re)start; owned by the
+	// scheduler goroutine of the stage's core.
+	okGrants int
+}
+
+// grantResult is a worker's per-grant completion report.
+type grantResult struct {
+	panicked bool
+	panicVal string
+}
+
+// spawnWorker starts a fresh worker incarnation for the stage. The epoch
+// bump precedes the pointer swap so any previous incarnation that wakes
+// later observes it is stale before it can signal anyone.
+func (e *Engine) spawnWorker(s *stage) {
+	w := &workerCtx{
+		epoch: s.epoch.Add(1),
+		grant: make(chan int),
+		done:  make(chan grantResult, 1),
+		batch: make([]*Packet, e.cfg.BatchSize),
+	}
+	s.w.Store(w)
+	e.liveWorkers.Add(1)
+	go e.worker(s, w)
+}
+
+// newGrantTimer returns a stopped, drained timer for waitGrant reuse.
+func newGrantTimer() *time.Timer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}
+
+// waitGrant waits for the grant to complete, bounded by the grant deadline
+// (negative d waits forever). The timer must come from newGrantTimer and is
+// left stopped and drained either way, so the wait is allocation-free.
+func waitGrant(w *workerCtx, timer *time.Timer, d time.Duration) (grantResult, bool) {
+	if d < 0 {
+		return <-w.done, true
+	}
+	timer.Reset(d)
+	select {
+	case res := <-w.done:
+		if !timer.Stop() {
+			<-timer.C
+		}
+		return res, true
+	case <-timer.C:
+		return grantResult{}, false
+	}
+}
+
+// decInflight claims one unit from an incarnation's inflight counter,
+// reporting false when a detach (or the shutdown sweep) already claimed the
+// remainder.
+func decInflight(v *atomic.Int64) bool {
+	for {
+		cur := v.Load()
+		if cur <= 0 {
+			return false
+		}
+		if v.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// panicString renders a recovered panic value (cold path).
+func panicString(r any) string { return fmt.Sprint(r) }
+
+// emit forwards a supervision event to the attached event log, if any.
+func (e *Engine) emit(lvl telemetry.Level, typ string, fields ...telemetry.Field) {
+	if e.events != nil {
+		e.events.Emit(time.Since(e.startWall).Seconds(), lvl, typ, fields...)
+	}
+}
+
+// setHealth transitions a stage's health state, emitting the change.
+func (e *Engine) setHealth(s *stage, h Health) {
+	if Health(s.health.Swap(int32(h))) != h {
+		e.emit(telemetry.LevelInfo, "stage_health",
+			telemetry.F("stage", s.name), telemetry.F("state", h.String()))
+	}
+}
+
+// closeGrant retires an incarnation's grant channel exactly once. Safe
+// because only the stage's (single) grantor ever sends on it, and a
+// retired incarnation is never granted again.
+func closeGrant(w *workerCtx) {
+	if w.closed.CompareAndSwap(false, true) {
+		close(w.grant)
+	}
+}
+
+// detachStage abandons a worker incarnation that overran the grant
+// deadline: the epoch bump makes the incarnation stale, and the inflight
+// Swap claims whatever chunk it was holding for the fault ledger (if the
+// worker completes the chunk concurrently, exactly one side wins the Swap).
+// Closing the grant channel releases the worker if it finished just after
+// the deadline and re-blocked waiting for a grant that will never come.
+func (e *Engine) detachStage(s *stage, w *workerCtx) {
+	s.epoch.Add(1)
+	closeGrant(w)
+	if k := w.inflight.Swap(0); k > 0 {
+		e.FaultDrops.Add(uint64(k))
+		s.faultDrops.Add(uint64(k))
+	}
+	e.failStage(s, "stall", "grant deadline exceeded")
+}
+
+// failStage marks a stage Failed, schedules its restart (or opens the
+// circuit breaker), and applies chain degradation policies. Called from the
+// scheduler goroutine of the stage's core.
+func (e *Engine) failStage(s *stage, kind, msg string) {
+	fails := int(s.consecFails.Add(1))
+	e.anyFaulty.Store(true)
+	if e.cfg.MaxRestarts >= 0 && fails > e.cfg.MaxRestarts {
+		s.restartAtNanos.Store(restartNever)
+		e.emit(telemetry.LevelWarn, "stage_circuit_open",
+			telemetry.F("stage", s.name), telemetry.F("failures", fails))
+	} else {
+		s.restartAtNanos.Store(time.Now().UnixNano() + e.restartBackoff(fails).Nanoseconds())
+	}
+	e.setHealth(s, Failed)
+	e.recomputeChainsDown()
+	e.emit(telemetry.LevelWarn, "stage_fault",
+		telemetry.F("stage", s.name), telemetry.F("kind", kind),
+		telemetry.F("msg", msg), telemetry.F("failures", fails))
+}
+
+// restartBackoff is the supervised-restart schedule: exponential in the
+// consecutive-failure count, capped, with ±20% seeded jitter so co-failing
+// stages don't restart in lockstep (and chaos runs stay reproducible).
+func (e *Engine) restartBackoff(fails int) time.Duration {
+	d := e.cfg.RestartBackoff
+	for i := 1; i < fails && d < e.cfg.RestartBackoffMax; i++ {
+		d *= 2
+	}
+	if d > e.cfg.RestartBackoffMax {
+		d = e.cfg.RestartBackoffMax
+	}
+	e.jitterMu.Lock()
+	f := 0.8 + 0.4*e.jitterRand.Float64()
+	e.jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// restartStage spawns a replacement worker for a Failed stage. The context
+// swap happens before the health transition so no scheduler can grant a
+// stale incarnation.
+func (e *Engine) restartStage(s *stage) {
+	s.restarts.Add(1)
+	e.spawnWorker(s)
+	e.setHealth(s, Restarting)
+	e.recomputeChainsDown()
+	e.emit(telemetry.LevelInfo, "stage_restart",
+		telemetry.F("stage", s.name),
+		telemetry.F("attempt", s.restarts.Load()),
+		telemetry.F("failures", s.consecFails.Load()))
+}
+
+// recomputeChainsDown refreshes the fail-closed entry gates: a chain is
+// down while any of its stages is Failed and its policy is FailClosed.
+func (e *Engine) recomputeChainsDown() {
+	for ci, chain := range e.chains {
+		down := false
+		if e.chainPolicy[ci] == FailClosed {
+			for _, sid := range chain {
+				if Health(e.stages[sid].health.Load()) == Failed {
+					down = true
+					break
+				}
+			}
+		}
+		if e.chainDown[ci].Swap(down) != down {
+			state := "up"
+			if down {
+				state = "down"
+			}
+			e.emit(telemetry.LevelInfo, "chain_failclosed",
+				telemetry.F("chain", ci), telemetry.F("state", state))
+		}
+	}
+}
+
+// supervise is the control loop's restart pass: respawn Failed stages whose
+// backoff elapsed and keep circuit-open stages' queues from stranding
+// accepted packets. Gated on anyFaulty so the all-healthy steady state pays
+// one atomic load per iteration.
+func (e *Engine) supervise(now int64) {
+	if !e.anyFaulty.Load() {
+		return
+	}
+	allHealthy := true
+	for _, s := range e.stages {
+		switch Health(s.health.Load()) {
+		case Healthy:
+			continue
+		case Failed:
+			allHealthy = false
+			ra := s.restartAtNanos.Load()
+			if ra == restartNever {
+				// Circuit open: the stage will never drain its own queue.
+				if n := e.sweepRing(s.rx, &e.FaultDrops); n > 0 {
+					s.faultDrops.Add(n)
+				}
+			} else if now >= ra {
+				e.restartStage(s)
+			}
+		default:
+			allHealthy = false
+		}
+	}
+	if allHealthy {
+		e.anyFaulty.Store(false)
+	}
+}
+
+// bypassFailedHops advances each packet's hop past Failed stages on
+// fail-open chains, so the mover forwards (or delivers) around dead hops.
+func (e *Engine) bypassFailedHops(ps []*Packet) {
+	for _, pkt := range ps {
+		if e.chainPolicy[pkt.ChainID] != FailOpen {
+			continue
+		}
+		chain := e.chains[pkt.ChainID]
+		for pkt.Hop < len(chain) && Health(e.stages[chain[pkt.Hop]].health.Load()) == Failed {
+			pkt.Hop++
+		}
+	}
+}
+
+// sweepRing drains a ring, recycling packets and charging them to the
+// given drop counter; returns how many were swept.
+func (e *Engine) sweepRing(r *ring.MPMC[*Packet], counter *atomic.Uint64) uint64 {
+	var n uint64
+	for {
+		p, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		e.freePacket(p)
+		n++
+	}
+	if n > 0 {
+		counter.Add(n)
+	}
+	return n
+}
+
+// idleRings reports whether every stage's rx and tx ring is empty.
+func (e *Engine) idleRings() bool {
+	for _, s := range e.stages {
+		if s.rx.Len() > 0 || s.tx.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// shutdown is Run's wind-down: bounded drain, stop gate, bounded worker
+// join, final sweep. After it returns, every accepted packet is delivered
+// or charged to a drop class — the reconciliation invariant holds for the
+// whole run, not just steady state (the one caveat is a worker preempted
+// between winning its inflight claim and publishing to tx for longer than
+// the exit wait; it self-charges ShutdownDrops on wake).
+func (e *Engine) shutdown(timer *time.Timer) {
+	if e.cfg.DrainTimeout >= 0 {
+		deadline := time.Now().Add(e.cfg.DrainTimeout)
+		for time.Now().Before(deadline) {
+			e.coarseNanos.Store(time.Now().UnixNano())
+			ran := false
+			for _, s := range e.stages {
+				if !s.schedulable() || s.rx.Len() == 0 {
+					continue
+				}
+				if s.tx.Len() >= e.cfg.RingSize-1-e.cfg.BatchSize {
+					continue
+				}
+				// Yield flags are ignored: the goal is flushing, not
+				// fairness.
+				e.grantStage(s, timer, s.core)
+				ran = true
+			}
+			e.moveAll()
+			e.supervise(time.Now().UnixNano())
+			if !ran {
+				if e.idleRings() {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+	// Stop gate: from here on, Inject attempts are counted (LateDrops),
+	// not enqueued, and workers deliver nothing new into tx.
+	e.stopped.Store(true)
+	// Release the workers and give them a bounded window; a handler
+	// wedged inside a packet cannot hold Run hostage.
+	for _, s := range e.stages {
+		closeGrant(s.w.Load())
+	}
+	exitWait := e.cfg.DrainTimeout
+	if exitWait <= 0 {
+		exitWait = 50 * time.Millisecond
+	}
+	if exitWait > time.Second {
+		exitWait = time.Second
+	}
+	waitDeadline := time.Now().Add(exitWait)
+	for e.liveWorkers.Load() > 0 && time.Now().Before(waitDeadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Deliver what reached tx, then sweep what's left into the shutdown
+	// ledger: live in-flight claims first (a wedged worker waking later
+	// loses the Swap and recycles without counting), then every ring.
+	e.moveAll()
+	for _, s := range e.stages {
+		if k := s.w.Load().inflight.Swap(0); k > 0 {
+			e.ShutdownDrops.Add(uint64(k))
+		}
+	}
+	for _, s := range e.stages {
+		e.sweepRing(s.rx, &e.ShutdownDrops)
+		e.sweepRing(s.tx, &e.ShutdownDrops)
+	}
+}
+
+// HealthSnapshot reports every stage's supervision state, restart count and
+// failure streak — the /healthz payload (see telemetry.AddHealthz).
+func (e *Engine) HealthSnapshot() []telemetry.ComponentHealth {
+	out := make([]telemetry.ComponentHealth, len(e.stages))
+	for i, s := range e.stages {
+		h := Health(s.health.Load())
+		out[i] = telemetry.ComponentHealth{
+			Component: s.name,
+			State:     h.String(),
+			Healthy:   h != Failed,
+			Restarts:  s.restarts.Load(),
+			Failures:  uint64(s.consecFails.Load()),
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+// Package faults is a deterministic fault-injection harness for dataplane
+// handlers: wrap a stage's Handler with a seeded Injector and it panics,
+// stalls, delays, or drops packets on a reproducible schedule. The point is
+// making the supervision layer (crash isolation, stall detachment,
+// restarts, degradation policies) testable — a chaos soak with a fixed seed
+// replays the same fault sequence byte-for-byte, so a failure found in CI
+// reproduces at the keyboard.
+//
+// An Injector composes up to 32 Rules. Each Rule pairs a Trigger (when to
+// fire, as a pure function of the packet index and seed) with a Kind (what
+// to do). Triggers never consult wall-clock randomness: probability
+// triggers hash (seed, rule, index) with a splitmix64-style mixer, so the
+// schedule is a function of the seed alone.
+//
+//	inj := faults.New(42,
+//	    faults.PanicOn(faults.EveryNth(1000), "injected crash"),
+//	    faults.DelayOn(faults.Prob(0.01), 200*time.Microsecond),
+//	)
+//	eng.AddStage("nat", faults.Wrap(inj, natHandler))
+//
+// Wrap counts packets per injector (not per rule), so one injector shared
+// by several stages sees the union of their traffic; use one Injector per
+// stage for per-stage schedules.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nfvnice/internal/dataplane"
+)
+
+// Kind is what a firing rule does to the packet (or the goroutine
+// processing it).
+type Kind uint8
+
+const (
+	// KindPanic panics with the rule's message — exercises crash
+	// isolation and supervised restart.
+	KindPanic Kind = iota
+	// KindStall blocks the handler for the rule's duration (forever when
+	// the duration is 0, until Release) — exercises the grant deadline
+	// and stall detachment.
+	KindStall
+	// KindDelay sleeps for the rule's duration — a latency spike, not a
+	// fault: the grant completes, just late.
+	KindDelay
+	// KindDrop marks the packet dropped (Packet.Drop), standing in for a
+	// transient per-packet processing error.
+	KindDrop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	case KindDelay:
+		return "delay"
+	case KindDrop:
+		return "drop"
+	default:
+		return "?"
+	}
+}
+
+// Trigger decides whether a rule fires on the idx-th packet (0-based) seen
+// by the injector. Implementations must be deterministic in (seed, rule
+// index, idx); the only allowed state is monotone (e.g. "once after").
+type Trigger interface {
+	Fires(seed uint64, rule int, idx uint64) bool
+}
+
+// everyNth fires on packets n-1, 2n-1, ... (every n-th packet).
+type everyNth uint64
+
+func (n everyNth) Fires(_ uint64, _ int, idx uint64) bool {
+	return n > 0 && (idx+1)%uint64(n) == 0
+}
+
+// EveryNth fires on every n-th packet (the n-th, 2n-th, ...). n <= 0 never
+// fires.
+func EveryNth(n int) Trigger {
+	if n <= 0 {
+		return everyNth(0)
+	}
+	return everyNth(n)
+}
+
+// onceAt fires exactly once, on packet index n (0-based).
+type onceAt uint64
+
+func (n onceAt) Fires(_ uint64, _ int, idx uint64) bool { return idx == uint64(n) }
+
+// OnceAt fires exactly once, on the idx-th packet (0-based).
+func OnceAt(idx int) Trigger { return onceAt(idx) }
+
+// after fires on every packet from index n (0-based) onward.
+type after uint64
+
+func (n after) Fires(_ uint64, _ int, idx uint64) bool { return idx >= uint64(n) }
+
+// After fires on every packet from the idx-th (0-based) onward.
+func After(idx int) Trigger { return after(idx) }
+
+// prob fires with fixed probability per packet, derived from a stateless
+// hash of (seed, rule, idx) — same seed, same schedule.
+type prob float64
+
+func (p prob) Fires(seed uint64, rule int, idx uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := mix(seed ^ (uint64(rule)+1)*0x9e3779b97f4a7c15 ^ mix(idx))
+	// Top 53 bits → uniform float64 in [0, 1).
+	u := float64(h>>11) / (1 << 53)
+	return u < float64(p)
+}
+
+// Prob fires with probability p per packet, deterministically derived from
+// the injector seed (not a live RNG): replaying the same seed replays the
+// same fault schedule.
+func Prob(p float64) Trigger { return prob(p) }
+
+// mix is the splitmix64 finalizer — a cheap, well-distributed 64-bit hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rule pairs a trigger with an action.
+type Rule struct {
+	Trigger Trigger
+	Kind    Kind
+	// Dur is the stall/delay duration; 0 for KindStall means "until
+	// Release".
+	Dur time.Duration
+	// Msg is the panic message for KindPanic.
+	Msg string
+}
+
+// PanicOn panics with msg when t fires.
+func PanicOn(t Trigger, msg string) Rule { return Rule{Trigger: t, Kind: KindPanic, Msg: msg} }
+
+// StallOn blocks for d when t fires; d = 0 blocks until Release.
+func StallOn(t Trigger, d time.Duration) Rule { return Rule{Trigger: t, Kind: KindStall, Dur: d} }
+
+// DelayOn sleeps for d when t fires.
+func DelayOn(t Trigger, d time.Duration) Rule { return Rule{Trigger: t, Kind: KindDelay, Dur: d} }
+
+// DropOn marks the packet dropped when t fires.
+func DropOn(t Trigger) Rule { return Rule{Trigger: t, Kind: KindDrop} }
+
+// maxRules bounds an injector's rule set so a firing decision fits a
+// uint32 bitmask.
+const maxRules = 32
+
+// Injector evaluates its rules against a per-injector packet counter and
+// applies the firing ones. Safe for concurrent use (the counter is
+// mutex-protected; injection is a test/chaos tool, not a hot-path
+// component).
+type Injector struct {
+	seed  uint64
+	rules []Rule
+
+	mu  sync.Mutex
+	idx uint64
+
+	release chan struct{}
+}
+
+// New builds an injector with the given seed and rules (at most 32).
+func New(seed uint64, rules ...Rule) *Injector {
+	if len(rules) > maxRules {
+		panic(fmt.Sprintf("faults: %d rules exceeds the maximum of %d", len(rules), maxRules))
+	}
+	return &Injector{seed: seed, rules: rules, release: make(chan struct{})}
+}
+
+// step advances the packet counter and returns the bitmask of firing rules.
+func (in *Injector) step() uint32 {
+	in.mu.Lock()
+	idx := in.idx
+	in.idx++
+	in.mu.Unlock()
+	var mask uint32
+	for i, r := range in.rules {
+		if r.Trigger != nil && r.Trigger.Fires(in.seed, i, idx) {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// Seen returns how many packets the injector has evaluated.
+func (in *Injector) Seen() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.idx
+}
+
+// Release unblocks every rule currently stalled with Dur = 0 and disarms
+// future forever-stalls (they return immediately). Call it in test cleanup
+// so a wedged-handler test doesn't leak a blocked goroutine past the run.
+func (in *Injector) Release() {
+	in.mu.Lock()
+	select {
+	case <-in.release:
+	default:
+		close(in.release)
+	}
+	in.mu.Unlock()
+}
+
+// apply executes the firing rules against the packet. Panic is applied
+// last so other firing rules (delays) still happen; drop + panic both
+// firing is a panic (the packet's fate is the fault ledger either way).
+func (in *Injector) apply(mask uint32, pkt *dataplane.Packet) {
+	var panicMsg string
+	panics := false
+	for i, r := range in.rules {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		switch r.Kind {
+		case KindPanic:
+			panics, panicMsg = true, r.Msg
+		case KindStall:
+			if r.Dur <= 0 {
+				<-in.release
+			} else {
+				select {
+				case <-time.After(r.Dur):
+				case <-in.release:
+				}
+			}
+		case KindDelay:
+			time.Sleep(r.Dur)
+		case KindDrop:
+			pkt.Drop = true
+		}
+	}
+	if panics {
+		if panicMsg == "" {
+			panicMsg = "faults: injected panic"
+		}
+		panic(panicMsg)
+	}
+}
+
+// Wrap returns a Handler that runs the injector's schedule before the
+// wrapped handler. A firing drop skips fn (the packet is charged to the
+// stage's NF drops); a firing panic fires after delays/stalls.
+func Wrap(in *Injector, fn dataplane.Handler) dataplane.Handler {
+	return func(pkt *dataplane.Packet) {
+		if mask := in.step(); mask != 0 {
+			in.apply(mask, pkt)
+			if pkt.Drop {
+				return
+			}
+		}
+		fn(pkt)
+	}
+}
+
+// Event is one row of a dry-run schedule: packet index plus the rule that
+// fired.
+type Event struct {
+	Idx  uint64
+	Rule int
+	Kind Kind
+}
+
+// Plan evaluates the first n packet indices without side effects and
+// returns every (index, rule) firing — the deterministic schedule a live
+// run with the same seed and rules will follow. It does not advance the
+// injector's live counter.
+func (in *Injector) Plan(n int) []Event {
+	var out []Event
+	for idx := uint64(0); idx < uint64(n); idx++ {
+		for i, r := range in.rules {
+			if r.Trigger != nil && r.Trigger.Fires(in.seed, i, idx) {
+				out = append(out, Event{Idx: idx, Rule: i, Kind: r.Kind})
+			}
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -41,15 +42,61 @@ func NewMux(g Gatherer, log *EventLog) *http.ServeMux {
 	return mux
 }
 
+// ComponentHealth is one component's row in the /healthz payload: its
+// supervision state, whether it currently counts as healthy, and its
+// restart/failure history. Producers (e.g. the dataplane engine) expose a
+// snapshot function returning one row per stage.
+type ComponentHealth struct {
+	Component string `json:"component"`
+	State     string `json:"state"`
+	Healthy   bool   `json:"healthy"`
+	Restarts  uint64 `json:"restarts"`
+	Failures  uint64 `json:"failures"`
+}
+
+// AddHealthz mounts a /healthz endpoint on the mux. Each request calls src
+// for a fresh snapshot and replies with a JSON body:
+//
+//	{"healthy": bool, "components": [...]}
+//
+// Status is 200 when every component is healthy, 503 otherwise — so plain
+// HTTP probes (load balancers, uptime checks) work without parsing.
+func AddHealthz(mux *http.ServeMux, src func() []ComponentHealth) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		comps := src()
+		healthy := true
+		for _, c := range comps {
+			if !c.Healthy {
+				healthy = false
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(struct {
+			Healthy    bool              `json:"healthy"`
+			Components []ComponentHealth `json:"components"`
+		}{healthy, comps})
+	})
+}
+
 // StartServer listens on addr (e.g. ":9090", "127.0.0.1:0") and serves the
 // exposition mux in the background. The returned server's Addr field holds
 // the bound address; shut it down with Close or Shutdown.
 func StartServer(addr string, g Gatherer, log *EventLog) (*http.Server, error) {
+	return StartServerMux(addr, NewMux(g, log))
+}
+
+// StartServerMux is StartServer for a caller-built mux — use it to mount
+// extra endpoints (AddHealthz) before serving.
+func StartServerMux(addr string, mux *http.ServeMux) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewMux(g, log)}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
 	go srv.Serve(ln)
 	return srv, nil
 }

@@ -72,3 +72,55 @@ func TestStartServer(t *testing.T) {
 		t.Errorf("served metrics = %q", body)
 	}
 }
+
+func TestHealthzEndpoint(t *testing.T) {
+	var comps []ComponentHealth
+	mux := NewMux(NewRegistry(), nil)
+	AddHealthz(mux, func() []ComponentHealth { return comps })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type = %q", ct)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// No components registered: vacuously healthy.
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, `"healthy":true`) {
+		t.Errorf("empty healthz: code=%d body=%q", code, body)
+	}
+
+	comps = []ComponentHealth{
+		{Component: "fw", State: "healthy", Healthy: true, Restarts: 2},
+		{Component: "dpi", State: "healthy", Healthy: true},
+	}
+	code, body := get()
+	if code != http.StatusOK {
+		t.Errorf("all healthy: code = %d, want 200", code)
+	}
+	for _, want := range []string{`"healthy":true`, `"component":"fw"`, `"restarts":2`, `"component":"dpi"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("healthz body missing %s: %q", want, body)
+		}
+	}
+
+	comps[1] = ComponentHealth{Component: "dpi", State: "failed", Failures: 9}
+	code, body = get()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("degraded: code = %d, want 503", code)
+	}
+	for _, want := range []string{`"healthy":false`, `"state":"failed"`, `"failures":9`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("degraded healthz body missing %s: %q", want, body)
+		}
+	}
+}
