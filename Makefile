@@ -3,7 +3,7 @@
 GO      ?= go
 COMMIT  := $(shell git rev-parse --short HEAD 2>/dev/null)
 
-.PHONY: all build vet test race bench-dataplane bench-alloc-gate
+.PHONY: all build vet test race bench-dataplane bench-alloc-gate bench-compare bench-movers
 
 all: build vet test
 
@@ -28,5 +28,33 @@ bench-dataplane:
 		$(GO) run ./cmd/benchdataplane -out BENCH_dataplane.json -commit "$(COMMIT)"
 
 # The allocation gate CI enforces: steady-state packet flow must not allocate.
+# Matches both the serial gate and the Movers=2 sharded-path gate.
 bench-alloc-gate:
 	$(GO) test -run=TestSteadyStateZeroAllocs -count=1 -v ./internal/dataplane/
+
+# Before/after comparison: benchmark the tree, diff against the last saved
+# run, then save this run as the new reference. Uses benchstat when it is on
+# PATH (statistical, needs BENCH_COUNT >= 10 for tight CIs); falls back to
+# the builtin averaging comparator otherwise.
+BENCH_COUNT ?= 5
+bench-compare:
+	@mkdir -p results
+	$(GO) test -run='^$$' -bench='SteadyState|Chain3' -benchtime=1s \
+		-count=$(BENCH_COUNT) ./internal/dataplane/ | tee results/bench_new.txt
+	@if [ -f results/bench_old.txt ]; then \
+		if command -v benchstat >/dev/null 2>&1; then \
+			benchstat results/bench_old.txt results/bench_new.txt; \
+		else \
+			$(GO) run ./cmd/benchdataplane -compare results/bench_old.txt results/bench_new.txt; \
+		fi; \
+	else \
+		echo "no results/bench_old.txt — this run saved as the reference"; \
+	fi
+	@cp results/bench_new.txt results/bench_old.txt
+
+# In-process movers sweep (no `go test` harness): drives the closed-loop
+# 3-stage chain at 1, 2 and 4 TX shards and merges the points into
+# BENCH_dataplane.json's current section.
+bench-movers:
+	$(GO) run ./cmd/benchdataplane -movers 1,2,4 -benchtime 2s \
+		-out BENCH_dataplane.json -commit "$(COMMIT)" < /dev/null

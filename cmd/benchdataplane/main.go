@@ -1,14 +1,22 @@
-// benchdataplane turns `go test -bench` output into BENCH_dataplane.json.
+// benchdataplane turns `go test -bench` output into BENCH_dataplane.json,
+// runs in-process mover sweeps, and compares two benchmark runs.
 //
 // It reads benchmark output on stdin, extracts the pps / ns-per-packet /
-// allocs metrics the dataplane benchmarks report, and rewrites the JSON
-// file's "current" section while preserving the committed "baseline"
-// section (the pre-batching numbers recorded before the hot-path rework).
+// allocs metrics the dataplane benchmarks report (averaging across -count
+// repetitions), and rewrites the JSON file's "current" section while
+// preserving the committed "baseline" section (the pre-batching numbers
+// recorded before the hot-path rework).
 //
-// Usage (see `make bench-dataplane`):
+// Usage (see `make bench-dataplane` and `make bench-compare`):
 //
 //	go test -run='^$' -bench='SteadyState|Chain3' -benchtime=2s ./internal/dataplane/ |
 //	    go run ./cmd/benchdataplane -out BENCH_dataplane.json -commit $(git rev-parse --short HEAD)
+//
+//	# In-process movers sweep (no `go test` needed), merged into the JSON:
+//	go run ./cmd/benchdataplane -movers 1,2,4 -benchtime 2s -out BENCH_dataplane.json
+//
+//	# Compare two saved runs (fallback when benchstat is not installed):
+//	go run ./cmd/benchdataplane -compare old.txt new.txt
 package main
 
 import (
@@ -16,9 +24,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one benchmark's parsed metrics.
@@ -41,14 +52,48 @@ type File struct {
 	Current  Section `json:"current"`
 }
 
+const currentNote = "sharded TX path: parallel movers with stage affinity, " +
+	"decoupled control plane (single-CPU runner: movers time-share)"
+
 func main() {
 	out := flag.String("out", "BENCH_dataplane.json", "JSON file to update in place")
 	commit := flag.String("commit", "", "commit hash to record in the current section")
+	movers := flag.String("movers", "", "comma-separated mover counts to sweep in-process (e.g. 1,2,4)")
+	benchtime := flag.Duration("benchtime", 2*time.Second, "measurement window per sweep point")
+	compare := flag.Bool("compare", false, "compare two benchmark output files: -compare old.txt new.txt")
 	flag.Parse()
 
-	results := parseBench(os.Stdin)
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchdataplane -compare old.txt new.txt")
+			os.Exit(2)
+		}
+		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1)))
+	}
+
+	results := make(map[string]Result)
+	// Stdin is parsed when it is a pipe; the -movers sweep needs no input.
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		for k, v := range parseBench(os.Stdin) {
+			results[k] = v
+		}
+	}
+	if *movers != "" {
+		counts, err := parseMovers(*movers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+			os.Exit(2)
+		}
+		for _, m := range counts {
+			r := sweepMovers(m, *benchtime)
+			name := "BenchmarkChain3StagesMovers/" + strconv.Itoa(m)
+			results[name] = r
+			fmt.Printf("%-40s %10.1f ns/pkt %12.0f pps %6.2f allocs/op\n",
+				name, r.NsPerPkt, r.PPS, r.AllocsPerOp)
+		}
+	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdataplane: no benchmark lines on stdin")
+		fmt.Fprintln(os.Stderr, "benchdataplane: no benchmark lines on stdin and no -movers sweep")
 		os.Exit(1)
 	}
 
@@ -59,11 +104,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	doc.Current = Section{
-		Commit:     *commit,
-		Note:       "batch-amortized hot path: InjectBatch + freelist + Sink delivery",
-		Benchmarks: results,
+	// Merge so a -movers sweep refreshes its points without discarding the
+	// `go test` numbers recorded by an earlier bench-dataplane run.
+	if doc.Current.Benchmarks == nil {
+		doc.Current.Benchmarks = make(map[string]Result)
 	}
+	for k, v := range results {
+		doc.Current.Benchmarks[k] = v
+	}
+	if *commit != "" {
+		doc.Current.Commit = *commit
+	}
+	doc.Current.Note = currentNote
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -77,12 +129,28 @@ func main() {
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
 }
 
+// parseMovers parses "1,2,4" into mover counts.
+func parseMovers(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -movers element %q (want positive integers)", f)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
 // parseBench extracts metric pairs from `go test -bench` output lines, which
 // look like:
 //
 //	BenchmarkChain3Stages   10000   143.8 ns/pkt   6953819 pps   0 B/op   0 allocs/op
-func parseBench(f *os.File) map[string]Result {
-	results := make(map[string]Result)
+//
+// Repeated lines for the same benchmark (`-count=N` runs) are averaged.
+func parseBench(f io.Reader) map[string]Result {
+	sums := make(map[string]Result)
+	counts := make(map[string]int)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -113,8 +181,62 @@ func parseBench(f *os.File) map[string]Result {
 			}
 		}
 		if seen {
-			results[name] = r
+			s := sums[name]
+			s.NsPerPkt += r.NsPerPkt
+			s.PPS += r.PPS
+			s.AllocsPerOp += r.AllocsPerOp
+			sums[name] = s
+			counts[name]++
 		}
 	}
-	return results
+	for name, n := range counts {
+		s := sums[name]
+		s.NsPerPkt /= float64(n)
+		s.PPS /= float64(n)
+		s.AllocsPerOp /= float64(n)
+		sums[name] = s
+	}
+	return sums
+}
+
+// compareFiles prints an old-vs-new delta table for two benchmark output
+// files (the builtin fallback for benchstat). Returns the process exit code.
+func compareFiles(oldPath, newPath string) int {
+	read := func(path string) map[string]Result {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	oldR, newR := read(oldPath), read(newPath)
+
+	names := make([]string, 0, len(newR))
+	for name := range newR {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-42s %12s %12s %8s\n", "benchmark", "old ns/pkt", "new ns/pkt", "delta")
+	for _, name := range names {
+		n := newR[name]
+		o, ok := oldR[name]
+		if !ok {
+			fmt.Printf("%-42s %12s %12.1f %8s\n", name, "-", n.NsPerPkt, "new")
+			continue
+		}
+		delta := "~"
+		if o.NsPerPkt > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (n.NsPerPkt-o.NsPerPkt)/o.NsPerPkt*100)
+		}
+		fmt.Printf("%-42s %12.1f %12.1f %8s\n", name, o.NsPerPkt, n.NsPerPkt, delta)
+	}
+	for name := range oldR {
+		if _, ok := newR[name]; !ok {
+			fmt.Printf("%-42s %12.1f %12s %8s\n", name, oldR[name].NsPerPkt, "-", "gone")
+		}
+	}
+	return 0
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"nfvnice/internal/dataplane"
+)
+
+// Sweep parameters mirror the committed BenchmarkChain3StagesMovers shape so
+// the in-process numbers are comparable to the `go test -bench` ones: a
+// 3-stage chain, closed-loop injection bounded below every ring's high
+// watermark (zero drops, deterministic delivery), batch recycle through the
+// shared freelist.
+const (
+	sweepStages   = 3
+	sweepBatch    = 64
+	sweepInflight = 1024
+	sweepWarmup   = 100 * time.Millisecond
+)
+
+// sweepMovers drives the closed-loop 3-stage chain with the TX path sharded
+// across the given mover count for roughly the measurement window, and
+// reports the achieved rate plus per-packet heap allocations (freelist
+// regressions show up here as allocs/op > 0).
+func sweepMovers(movers int, window time.Duration) Result {
+	e := dataplane.New(dataplane.Config{
+		RingSize:  4096,
+		BatchSize: 256,
+		Movers:    movers,
+	})
+	ids := make([]int, sweepStages)
+	for i := range ids {
+		ids[i] = e.AddStage("nf"+string(rune('a'+i)), 1024, func(p *dataplane.Packet) {})
+	}
+	ch, err := e.AddChain(ids...)
+	if err != nil {
+		panic(err)
+	}
+	e.MapFlow(0, ch)
+	var received atomic.Int64
+	e.SetSink(func(ps []*dataplane.Packet) {
+		for _, p := range ps {
+			e.PutPacket(p)
+		}
+		received.Add(int64(len(ps)))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+
+	cache := e.NewPacketCache(2 * sweepBatch)
+	batch := make([]*dataplane.Packet, sweepBatch)
+	// injected is cumulative across the warmup and measured phases — the
+	// inflight window compares it against the cumulative delivery count.
+	var injected int64
+	inject := func(until time.Time) {
+		for time.Now().Before(until) {
+			if injected-received.Load() < sweepInflight {
+				for i := range batch {
+					p := cache.Get()
+					p.FlowID = 0
+					p.Size = 64
+					batch[i] = p
+				}
+				injected += int64(e.InjectBatch(batch))
+			} else {
+				runtime.Gosched()
+			}
+		}
+		// Drain the window so the measured packet count is fully delivered.
+		for received.Load() < injected {
+			runtime.Gosched()
+		}
+	}
+
+	inject(time.Now().Add(sweepWarmup))
+	warm := received.Load()
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	inject(start.Add(window))
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	cancel()
+	<-done
+
+	n := received.Load() - warm
+	if n <= 0 || elapsed <= 0 {
+		return Result{}
+	}
+	if os.Getenv("SWEEP_DEBUG") != "" {
+		fmt.Printf("debug: movers=%d stats=%+v moverstats=%+v\n", movers, e.Stats(), e.MoverStats())
+	}
+	return Result{
+		NsPerPkt:    float64(elapsed.Nanoseconds()) / float64(n),
+		PPS:         float64(n) / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+	}
+}

@@ -28,18 +28,21 @@ func chaosReconcile(e *dataplane.Engine, entryStages map[string]bool) (uint64, u
 		midDrops + e.NFDrops.Load() + e.FaultDrops.Load() + e.ShutdownDrops.Load()
 }
 
-// TestChaosSoak drives a 3-stage chain under a seeded fault schedule: the
+// chaosSoak drives a 3-stage chain under a seeded fault schedule: the
 // middle stage panics periodically and stalls past the grant deadline once;
 // the first stage injects latency spikes and transient drops. The process
 // must survive, the faulty stage must keep being restarted, and accounting
-// must balance exactly when the dust settles.
-func TestChaosSoak(t *testing.T) {
+// must balance exactly when the dust settles. movers selects the TX-path
+// shard count so supervision and conservation are soaked on both the
+// serial and the sharded mover.
+func chaosSoak(t *testing.T, movers int) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
 	e := dataplane.New(dataplane.Config{
 		RingSize:       256,
 		BatchSize:      16,
+		Movers:         movers,
 		GrantTimeout:   50 * time.Millisecond,
 		DrainTimeout:   time.Second,
 		RestartBackoff: time.Millisecond,
@@ -136,6 +139,15 @@ func TestChaosSoak(t *testing.T) {
 		e.Injected.Load(), e.Delivered.Load(), st[b].Restarts, e.FaultDrops.Load(),
 		e.NFDrops.Load(), e.ShutdownDrops.Load())
 }
+
+// TestChaosSoak soaks the serial TX path (one mover).
+func TestChaosSoak(t *testing.T) { chaosSoak(t, 1) }
+
+// TestChaosSoakMovers2 soaks the sharded TX path: two movers own disjoint
+// halves of the stages' tx rings while faults crash and stall stages, so
+// conservation and supervision are certified against concurrent movers
+// (CI runs this under -race).
+func TestChaosSoakMovers2(t *testing.T) { chaosSoak(t, 2) }
 
 // TestChaosSeededReplay runs the same short chaos scenario twice with
 // identical seeds and checks the fault injectors evaluated identical

@@ -14,18 +14,23 @@
 // regime the paper's ≤32-packet grant quantum targets: packet descriptors
 // come from a per-engine freelist and are recycled on drop and (optionally,
 // via PutPacket or a batch Sink) on delivery; stage receive rings are
-// CAS-reserve multi-producer rings so injectors never contend with the mover
-// on a lock; workers, the mover and the injectors move packets with bulk
-// ring operations that publish once per batch; and per-packet wall-clock
-// reads are replaced by a coarse engine clock sampled once per grant and
-// once per moved or injected batch, so end-to-end latency is accurate to
-// within one batch quantum.
+// CAS-reserve multi-producer rings so injectors never contend with movers
+// on a lock; workers, movers and injectors move packets with bulk ring
+// operations that publish once per batch; and per-packet wall-clock reads
+// are replaced by a coarse engine clock sampled once per grant and once per
+// moved or injected batch, so end-to-end latency is accurate to within one
+// batch quantum.
 //
 // Threading model: user code injects packets from any number of producer
 // goroutines; each stage's handler runs on its own goroutine but only while
 // holding a grant from the scheduler, which serializes stage execution (the
 // shared-CPU-core regime the paper studies) while keeping handlers free to
-// block briefly on their own I/O.
+// block briefly on their own I/O. The TX path is sharded (mover.go): the
+// paper's manager TX threads map to Config.Movers mover goroutines, each
+// owning a static partition of the stages' tx rings, while backpressure,
+// supervision and the weight controller run on a decoupled control
+// goroutine at the paper's cadences (Config.BackpressurePeriod 1 ms,
+// Config.WeightPeriod 10 ms).
 //
 // Failure model: stages are supervised (see supervise.go). A handler panic
 // fails only its stage; a handler that exceeds the grant deadline is
@@ -42,6 +47,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -89,6 +95,18 @@ type Config struct {
 	// core with AddStageOn and contend only with co-resident stages, as
 	// NFs pinned to CPU cores do (default 1).
 	Cores int
+	// Movers is the number of TX-path mover goroutines (the paper's
+	// manager TX threads). Each mover owns a static partition of the
+	// stages' tx rings — stage i belongs to mover i mod Movers — so every
+	// tx ring keeps a single consumer and per-flow FIFO is preserved.
+	// 0 takes min(Cores, GOMAXPROCS). With Movers > 1 the Sink and Tap
+	// callbacks may be invoked concurrently from multiple movers.
+	Movers int
+	// BackpressurePeriod is the control plane's queue-length sampling
+	// cadence: how often the watermark backpressure state machine runs
+	// (the paper's 1 ms load-estimation interval; 0 takes the 1 ms
+	// default).
+	BackpressurePeriod time.Duration
 	// RingSize is each stage's receive/transmit ring capacity (rounded up
 	// to a power of two).
 	RingSize int
@@ -96,8 +114,9 @@ type Config struct {
 	BatchSize int
 	// HighFrac and LowFrac are the backpressure watermarks.
 	HighFrac, LowFrac float64
-	// WeightPeriod is how often auto-weights are recomputed (0 disables
-	// the rate-cost controller; manual SetWeight still works).
+	// WeightPeriod is the weight-push cadence: how often the rate-cost
+	// controller recomputes auto-weights (the paper's 10 ms interval;
+	// 0 disables the controller; manual SetWeight still works).
 	WeightPeriod time.Duration
 	// PoolSize caps the packet freelist (rounded up to a power of two;
 	// default 4×RingSize). Excess recycled packets are left to the GC.
@@ -137,22 +156,54 @@ type Config struct {
 	DebugPool bool
 }
 
-// DefaultConfig mirrors the paper's platform parameters.
+// DefaultConfig mirrors the paper's platform parameters (1 ms load
+// estimation, 10 ms weight push). Movers is left 0 — New resolves it to
+// min(Cores, GOMAXPROCS).
 func DefaultConfig() Config {
 	return Config{
-		Cores:             1,
-		RingSize:          4096,
-		BatchSize:         32,
-		HighFrac:          0.80,
-		LowFrac:           0.60,
-		WeightPeriod:      10 * time.Millisecond,
-		GrantTimeout:      100 * time.Millisecond,
-		DrainTimeout:      500 * time.Millisecond,
-		RestartBackoff:    2 * time.Millisecond,
-		RestartBackoffMax: 500 * time.Millisecond,
-		MaxRestarts:       8,
-		JitterSeed:        1,
+		Cores:              1,
+		RingSize:           4096,
+		BatchSize:          32,
+		HighFrac:           0.80,
+		LowFrac:            0.60,
+		BackpressurePeriod: time.Millisecond,
+		WeightPeriod:       10 * time.Millisecond,
+		GrantTimeout:       100 * time.Millisecond,
+		DrainTimeout:       500 * time.Millisecond,
+		RestartBackoff:     2 * time.Millisecond,
+		RestartBackoffMax:  500 * time.Millisecond,
+		MaxRestarts:        8,
+		JitterSeed:         1,
 	}
+}
+
+// Validate reports the first nonsensical setting in the config, before
+// zero-value defaulting is applied. Fields where a negative value selects
+// documented behaviour (GrantTimeout, DrainTimeout, MaxRestarts) are not
+// flagged. New panics on an invalid config; call Validate first to handle
+// bad configs gracefully.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Cores < 0:
+		return errors.New("dataplane: Cores must be >= 0")
+	case cfg.Movers < 0:
+		return errors.New("dataplane: Movers must be >= 0")
+	case cfg.RingSize < 0:
+		return errors.New("dataplane: RingSize must be >= 0")
+	case cfg.BatchSize < 0:
+		return errors.New("dataplane: BatchSize must be >= 0")
+	case cfg.BackpressurePeriod < 0:
+		return errors.New("dataplane: BackpressurePeriod must be >= 0")
+	case cfg.WeightPeriod < 0:
+		return errors.New("dataplane: WeightPeriod must be >= 0 (0 disables the controller)")
+	case cfg.HighFrac < 0 || cfg.HighFrac > 1:
+		return errors.New("dataplane: HighFrac must be in [0, 1]")
+	case cfg.LowFrac < 0 || cfg.LowFrac > 1:
+		return errors.New("dataplane: LowFrac must be in [0, 1]")
+	case cfg.HighFrac > 0 && cfg.LowFrac > 0 && cfg.LowFrac > cfg.HighFrac:
+		return errors.New("dataplane: LowFrac must not exceed HighFrac")
+	}
+	return nil
 }
 
 // StageStats is a snapshot of one stage's counters.
@@ -194,8 +245,11 @@ type stage struct {
 	rx *ring.MPMC[*Packet]
 	// tx is MPMC on the producer side so a detached worker incarnation
 	// waking from a stall can never corrupt the ring against its
-	// replacement; the mover remains the single consumer.
-	tx     *ring.MPMC[*Packet]
+	// replacement; the stage's owning mover remains the single consumer.
+	tx *ring.MPMC[*Packet]
+	// mov is the TX shard owning this stage's tx ring (the wake target for
+	// workers publishing into it); assigned by Run before workers spawn.
+	mov    *mover
 	weight atomic.Int64
 	yield  atomic.Bool
 
@@ -323,14 +377,21 @@ type Engine struct {
 	latSumNanos atomic.Int64
 	latMaxNanos atomic.Int64
 
-	// moveBuf is the mover's tx-drain scratch; over/under, wLoads and
-	// wTotals are control-loop scratch, all hoisted out of the steady-state
-	// loops so they allocate once.
-	moveBuf []*Packet
-	over    []bool
-	under   []bool
-	wLoads  []float64
-	wTotals []float64
+	// movers are the TX shards (see mover.go); moverStop ends them after
+	// the scheduler loops join, and moverWg waits for their exit before
+	// the serial shutdown drain takes over their rings.
+	movers    []*mover
+	moverStop chan struct{}
+	moverWg   sync.WaitGroup
+
+	// drainBuf is the shutdown drain's tx scratch (the serial moveAll);
+	// over/under, wLoads and wTotals are control-loop scratch, all hoisted
+	// out of the steady-state loops so they allocate once.
+	drainBuf []*Packet
+	over     []bool
+	under    []bool
+	wLoads   []float64
+	wTotals  []float64
 
 	// latHist, when registered via RegisterMetrics, observes per-packet
 	// end-to-end latency in nanoseconds.
@@ -343,8 +404,11 @@ type Engine struct {
 }
 
 // New returns an engine with the given config (zero value fields take
-// defaults).
+// defaults). It panics on a config Validate rejects.
 func New(cfg Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	def := DefaultConfig()
 	if cfg.RingSize == 0 {
 		cfg.RingSize = def.RingSize
@@ -360,6 +424,18 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = def.Cores
+	}
+	if cfg.Movers <= 0 {
+		cfg.Movers = cfg.Cores
+		if p := runtime.GOMAXPROCS(0); cfg.Movers > p {
+			cfg.Movers = p
+		}
+		if cfg.Movers < 1 {
+			cfg.Movers = 1
+		}
+	}
+	if cfg.BackpressurePeriod == 0 {
+		cfg.BackpressurePeriod = def.BackpressurePeriod
 	}
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = 4 * cfg.RingSize
@@ -389,8 +465,18 @@ func New(cfg Config) *Engine {
 		lowWater:   low,
 		out:        make(chan *Packet, cfg.RingSize),
 		free:       ring.NewMPMC[*Packet](cfg.PoolSize),
-		moveBuf:    make([]*Packet, cfg.BatchSize),
+		drainBuf:   make([]*Packet, cfg.BatchSize),
 		jitterRand: rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+	// TX shards exist from construction so RegisterMetrics can expose
+	// their counters; Run partitions the stages across them.
+	e.movers = make([]*mover, cfg.Movers)
+	for i := range e.movers {
+		e.movers[i] = &mover{
+			id:     i,
+			buf:    make([]*Packet, cfg.BatchSize),
+			wakeCh: make(chan struct{}, 1),
+		}
 	}
 	e.coarseNanos.Store(time.Now().UnixNano())
 	return e
@@ -491,12 +577,20 @@ func (e *Engine) SetWeight(stageID int, w int64) {
 // path allocation-free. Unused when a Sink is set.
 func (e *Engine) Output() <-chan *Packet { return e.out }
 
-// SetSink replaces the Output channel with a callback invoked on the mover
+// SetSink replaces the Output channel with a callback invoked on a mover
 // goroutine with each batch of delivered packets — the batch-amortized
 // delivery path (no per-packet channel operation). The sink owns the
 // packets; recycle them with PutPacket or a PacketCache when done. The slice
 // is reused after the call returns — don't retain it. Must be called before
 // Run.
+//
+// Sink concurrency: with Config.Movers > 1 the sink may be invoked
+// concurrently from multiple movers, so it must be safe for concurrent
+// use (Engine.PutPacket is; a PacketCache is not — use one per mover's
+// worth of traffic only under an external lock, or a plain PutPacket
+// loop). Deliveries of any single flow always come from one mover — a
+// flow exits through a fixed final stage, and each stage's tx ring has
+// exactly one consumer — so per-flow delivery order is still FIFO.
 func (e *Engine) SetSink(fn func([]*Packet)) {
 	if e.running.Load() {
 		panic("dataplane: SetSink after Run")
@@ -682,14 +776,20 @@ func (e *Engine) Run(ctx context.Context) {
 	e.under = make([]bool, len(e.stages))
 	e.wLoads = make([]float64, len(e.stages))
 	e.wTotals = make([]float64, e.cfg.Cores)
-	var cores sync.WaitGroup
+	e.moverStop = make(chan struct{})
+	// Partition the stages across the TX shards before any worker can
+	// publish into a tx ring (workers wake their stage's owning mover).
+	e.assignMovers()
 	for _, s := range e.stages {
 		e.spawnWorker(s)
 	}
-	// One scheduler loop per core; core 0's loop doubles as the control
-	// plane (Tx-thread packet movement, backpressure, weights, stage
-	// supervision), matching the manager-on-dedicated-core split.
-	for core := 1; core < e.cfg.Cores; core++ {
+	// The three decoupled planes, mirroring the paper's manager split:
+	// scheduler loops (one per core) grant stages, mover shards (the
+	// manager's TX threads) shuttle packets between rings, and the control
+	// plane — this goroutine — runs backpressure, supervision and the
+	// weight controller at their configured cadences, off the hot path.
+	var cores sync.WaitGroup
+	for core := 0; core < e.cfg.Cores; core++ {
 		cores.Add(1)
 		go func(core int) {
 			defer cores.Done()
@@ -704,27 +804,22 @@ func (e *Engine) Run(ctx context.Context) {
 			}
 		}(core)
 	}
+	for _, m := range e.movers {
+		if len(m.stages) == 0 {
+			continue // more shards than stages: nothing to own
+		}
+		e.moverWg.Add(1)
+		go e.runMover(m)
+	}
+	e.controlLoop(ctx)
+	// Shutdown. Join the scheduler loops first; movers keep draining tx
+	// rings until then so the graceful drain starts from near-empty rings.
+	// Only after the movers exit does the serial drain own every ring.
+	cores.Wait()
+	close(e.moverStop)
+	e.moverWg.Wait()
 	timer := newGrantTimer()
 	defer timer.Stop()
-	lastWeights := time.Now()
-	for ctx.Err() == nil {
-		e.coarseNanos.Store(time.Now().UnixNano())
-		granted := e.scheduleCore(0, timer)
-		e.moveAll()
-		e.updateBackpressure()
-		e.supervise(time.Now().UnixNano())
-		if e.cfg.WeightPeriod > 0 && time.Since(lastWeights) >= e.cfg.WeightPeriod {
-			e.updateWeights()
-			lastWeights = time.Now()
-		}
-		if !granted {
-			// Idle: nothing runnable; yield the OS thread briefly.
-			time.Sleep(50 * time.Microsecond)
-		}
-	}
-	// Shutdown. First join the per-core scheduler loops so the control
-	// goroutine is the only one granting; then drain, gate, and sweep.
-	cores.Wait()
 	e.shutdown(timer)
 }
 
@@ -795,10 +890,28 @@ func (e *Engine) runGrant(s *stage, w *workerCtx, budget int) (res grantResult, 
 					e.freePacket(w.batch[i])
 				}
 			} else {
-				// Tx is sized like Rx and drained between grants, and the
-				// grant budget never exceeds free Tx space, so this cannot
-				// come up short.
-				s.tx.EnqueueBatch(w.batch[:live])
+				// The scheduler only grants while tx has a batch of free
+				// space and the owning mover only removes, so this completes
+				// on the first pass; the loop covers the detached-incarnation
+				// race where two workers briefly share the ring.
+				rem := w.batch[:live]
+				for {
+					rem = rem[s.tx.EnqueueBatch(rem):]
+					if len(rem) == 0 {
+						break
+					}
+					if e.stopped.Load() {
+						e.ShutdownDrops.Add(uint64(len(rem)))
+						for _, p := range rem {
+							e.freePacket(p)
+						}
+						break
+					}
+					runtime.Gosched()
+				}
+				if m := s.mov; m != nil {
+					m.maybeWake()
+				}
 			}
 		} else {
 			w.inflight.Store(0)
@@ -942,35 +1055,52 @@ func (e *Engine) grantStage(pick *stage, timer *time.Timer, core int) {
 	}
 }
 
-// moveAll drains every stage's tx ring toward the next hop, the sink or the
-// output channel (the Tx-thread role), in batches: runs of packets bound for
-// the same destination ring are forwarded with one reservation, and all
-// engine counters are flushed once per drained batch (add-N, not N adds).
-func (e *Engine) moveAll() {
-	now := time.Now().UnixNano()
-	e.coarseNanos.Store(now)
+// moveAll serially drains every stage's tx ring — the shutdown drain's
+// single-threaded mover, run only after the TX shards have exited.
+func (e *Engine) moveAll() { e.moveStages(e.stages, e.drainBuf) }
+
+// moveStages drains each given stage's tx ring toward the next hop, the
+// sink or the output channel (the paper's TX-thread role), in batches: runs
+// of packets bound for the same destination ring are forwarded with one
+// reservation, and all engine counters are flushed once per drained batch
+// (add-N, not N adds). Every piece of scratch state — the drain buffer, the
+// latency run-length encoder, the counter accumulators — is local to the
+// call, so concurrent movers over disjoint partitions share nothing but
+// the rings and the final atomic adds. Reports how many packets it moved.
+func (e *Engine) moveStages(stages []*stage, buf []*Packet) int {
+	// The clock is read lazily, once per sweep that actually drains
+	// packets: idle movers sweep dry partitions thousands of times per
+	// millisecond, and a vDSO clock call per dry sweep is the single
+	// largest avoidable cost on the serial path.
+	var now int64
+	moved := 0
 	var delivered, outDrops, ringDrops uint64
 	var latSum, latMax int64
 	// Coarse-clock latencies arrive in runs of identical values; batch them
 	// into the histogram with run-length encoding.
 	var histVal, histN uint64
 	var sinkFrom int
-	for _, s := range e.stages {
+	for _, s := range stages {
 		var wastedHere uint64
 		for {
-			k := s.tx.DequeueBatch(e.moveBuf)
+			k := s.tx.DequeueBatch(buf)
 			if k == 0 {
 				break
 			}
+			if now == 0 {
+				now = time.Now().UnixNano()
+				e.coarseNanos.Store(now)
+			}
+			moved += k
 			if e.anyFaulty.Load() {
 				// Fail-open chains skip Failed hops; resolving every
 				// packet's effective hop up front keeps the run-forwarding
 				// loop below oblivious to faults.
-				e.bypassFailedHops(e.moveBuf[:k])
+				e.bypassFailedHops(buf[:k])
 			}
 			sinkFrom = 0
 			for i := 0; i < k; {
-				pkt := e.moveBuf[i]
+				pkt := buf[i]
 				chain := e.chains[pkt.ChainID]
 				if pkt.Hop >= len(chain) {
 					// Delivery.
@@ -1026,20 +1156,20 @@ func (e *Engine) moveAll() {
 				// Forward: extend the run while packets share the next-hop
 				// ring, then publish the run with one reservation.
 				if e.sink != nil && i > sinkFrom {
-					e.flushSink(e.moveBuf[sinkFrom:i])
+					e.flushSink(buf[sinkFrom:i])
 				}
 				dstID := chain[pkt.Hop]
 				dst := e.stages[dstID]
 				j := i + 1
 				for j < k {
-					q := e.moveBuf[j]
+					q := buf[j]
 					qc := e.chains[q.ChainID]
 					if q.Hop >= len(qc) || qc[q.Hop] != dstID {
 						break
 					}
 					j++
 				}
-				run := e.moveBuf[i:j]
+				run := buf[i:j]
 				dst.arrivals.Add(uint64(len(run)))
 				n := dst.rx.EnqueueBatch(run)
 				if n < len(run) {
@@ -1057,7 +1187,7 @@ func (e *Engine) moveAll() {
 				sinkFrom = j
 			}
 			if e.sink != nil && k > sinkFrom {
-				e.flushSink(e.moveBuf[sinkFrom:k])
+				e.flushSink(buf[sinkFrom:k])
 			}
 		}
 		if wastedHere > 0 {
@@ -1083,9 +1213,11 @@ func (e *Engine) moveAll() {
 	if ringDrops > 0 {
 		e.RingDrops.Add(ringDrops)
 	}
+	return moved
 }
 
-// flushSink hands a contiguous all-delivered run of moveBuf to the sink.
+// flushSink hands a contiguous all-delivered run of a mover's drain buffer
+// to the sink.
 func (e *Engine) flushSink(run []*Packet) {
 	if len(run) > 0 {
 		e.sink(run)
@@ -1250,6 +1382,34 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 		reg.CounterFunc("dataplane_stage_nf_drops_total",
 			"Packets the handler discarded via Packet.Drop.", s.nfDrops.Load, lbl...)
 	}
+	for _, m := range e.movers {
+		m := m
+		lbl := []telemetry.Label{telemetry.L("mover", strconv.Itoa(m.id))}
+		reg.CounterFunc("dataplane_mover_sweeps_total",
+			"Drain passes the TX shard made over its stage partition.", m.sweeps.Load, lbl...)
+		reg.CounterFunc("dataplane_mover_moved_total",
+			"Packets the TX shard drained from its tx rings.", m.moved.Load, lbl...)
+		reg.CounterFunc("dataplane_mover_parks_total",
+			"Times the idle TX shard parked awaiting a wake signal.", m.parks.Load, lbl...)
+		reg.CounterFunc("dataplane_mover_wakes_total",
+			"Enqueue-side wake signals delivered to the parked TX shard.", m.wakes.Load, lbl...)
+		reg.GaugeFunc("dataplane_mover_park_ratio",
+			"Fraction of the TX shard's sweeps that ended in a park.",
+			func() float64 {
+				if sw := m.sweeps.Load(); sw > 0 {
+					return float64(m.parks.Load()) / float64(sw)
+				}
+				return 0
+			}, lbl...)
+		reg.GaugeFunc("dataplane_mover_drain_per_sweep",
+			"Mean packets drained per TX-shard sweep.",
+			func() float64 {
+				if sw := m.sweeps.Load(); sw > 0 {
+					return float64(m.moved.Load()) / float64(sw)
+				}
+				return 0
+			}, lbl...)
+	}
 	for ci := range e.chains {
 		lbl := []telemetry.Label{telemetry.L("chain", strconv.Itoa(ci))}
 		th := &e.throttled[ci]
@@ -1300,9 +1460,9 @@ func (e *Engine) SetEventLog(l *telemetry.EventLog) {
 	e.events = l
 }
 
-// Tap registers a callback invoked (on the control goroutine) for every
-// delivered packet, e.g. to mirror frames into a pcap capture. Must be set
-// before Run.
+// Tap registers a callback invoked (on a mover goroutine; concurrently
+// from several when Config.Movers > 1) for every delivered packet, e.g.
+// to mirror frames into a pcap capture. Must be set before Run.
 func (e *Engine) Tap(fn func(*Packet)) {
 	if e.running.Load() {
 		panic("dataplane: Tap after Run")

@@ -1,0 +1,241 @@
+package dataplane
+
+// The sharded TX path: the paper's NF Manager dedicates TX threads that
+// shuttle packets between NF rings; here Config.Movers spawns M mover
+// goroutines, each owning a static partition of the stages' tx rings
+// (stage i belongs to mover i mod M). Stage affinity keeps every tx ring
+// single-consumer while the engine runs, and preserves per-flow FIFO: a
+// flow's packets traverse a fixed stage sequence, each hop's ring is FIFO,
+// and every ring on the path has exactly one drainer.
+//
+// Idle movers descend an adaptive spin → yield → park ladder so unused
+// shards don't burn cores: a mover that sweeps dry respins a few times
+// (work usually arrives within a batch quantum), then yields the OS thread
+// via Gosched, then parks on its wake channel. Workers publishing into a
+// parked mover's tx ring send a non-blocking wake token; a bounded park
+// timeout backstops the (seqcst-ordered, therefore lost-wakeup-free)
+// signal so a missed edge costs bounded latency, never liveness.
+//
+// Everything a mover touches per sweep is shard-local — scratch buffer,
+// latency run-length state, counter accumulators flushed once per drained
+// batch — so movers share nothing but the lock-free rings and the final
+// atomic counter adds.
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Idle-ladder tuning. Spin sweeps are nearly free (one atomic load per
+// owned stage), the yield phase keeps single-CPU hosts live, and the park
+// timeout bounds delivery latency if a wake edge is ever missed.
+const (
+	moverSpinSweeps  = 64
+	moverYieldSweeps = 16
+	moverParkMax     = time.Millisecond
+)
+
+// Mover run states (mover.state).
+const (
+	moverActive int32 = iota
+	moverParked
+)
+
+// mover is one TX shard: a goroutine draining its partition of stage tx
+// rings toward next hops, the sink, or the output channel.
+type mover struct {
+	id     int
+	stages []*stage  // static partition, fixed before Run spawns workers
+	buf    []*Packet // sweep scratch, one BatchSize slab per shard
+	// nstages mirrors len(stages) for MoverStats, which may race Run's
+	// partition assignment.
+	nstages atomic.Int32
+	// wakeCh carries at most one pending wake token; workers publishing
+	// into a parked mover's tx ring send into it without blocking.
+	wakeCh chan struct{}
+	state  atomic.Int32
+
+	// Telemetry: sweeps counts drain passes over the partition, moved the
+	// packets those sweeps drained, parks the descents into a blocking
+	// wait, and wakes the enqueue-side wake tokens actually delivered.
+	sweeps atomic.Uint64
+	moved  atomic.Uint64
+	parks  atomic.Uint64
+	wakes  atomic.Uint64
+}
+
+// MoverStats is a snapshot of one TX shard's counters.
+type MoverStats struct {
+	// Stages is how many stages' tx rings the shard owns.
+	Stages int
+	// Sweeps counts drain passes; Moved counts packets drained across all
+	// sweeps (Moved/Sweeps is the drain efficiency).
+	Sweeps uint64
+	Moved  uint64
+	// Parks counts blocking idle waits; Parks/Sweeps is the park ratio.
+	Parks uint64
+	// Wakes counts enqueue-side wake signals delivered to this shard.
+	Wakes uint64
+}
+
+// MoverStats snapshots every TX shard.
+func (e *Engine) MoverStats() []MoverStats {
+	out := make([]MoverStats, len(e.movers))
+	for i, m := range e.movers {
+		out[i] = MoverStats{
+			Stages: int(m.nstages.Load()),
+			Sweeps: m.sweeps.Load(),
+			Moved:  m.moved.Load(),
+			Parks:  m.parks.Load(),
+			Wakes:  m.wakes.Load(),
+		}
+	}
+	return out
+}
+
+// maybeWake delivers a wake token if the mover is parked (or descending
+// into a park). One atomic load on the worker's publish path; the cap-1
+// channel send never blocks.
+func (m *mover) maybeWake() {
+	if m.state.Load() == moverParked {
+		select {
+		case m.wakeCh <- struct{}{}:
+			m.wakes.Add(1)
+		default:
+		}
+	}
+}
+
+// pending reports whether any owned tx ring holds packets — the post-park
+// re-check that closes the wake race window.
+func (m *mover) pending() bool {
+	for _, s := range m.stages {
+		if s.tx.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// assignMovers statically partitions the stages across the engine's movers
+// (stage i → mover i mod M) and records each stage's owner for the
+// enqueue-side wake path. Called once by Run, before any worker spawns.
+func (e *Engine) assignMovers() {
+	for _, m := range e.movers {
+		m.stages = m.stages[:0]
+	}
+	for i, s := range e.stages {
+		m := e.movers[i%len(e.movers)]
+		m.stages = append(m.stages, s)
+		s.mov = m
+	}
+	for _, m := range e.movers {
+		m.nstages.Store(int32(len(m.stages)))
+	}
+}
+
+// runMover is one TX shard's loop: sweep the partition, and when a sweep
+// comes up dry descend the spin → yield → park ladder. Exits when Run
+// closes moverStop (movers keep draining through the cancel-to-join window
+// so the graceful drain starts from near-empty tx rings).
+func (e *Engine) runMover(m *mover) {
+	defer e.moverWg.Done()
+	timer := newGrantTimer()
+	defer timer.Stop()
+	idle := 0
+	for {
+		select {
+		case <-e.moverStop:
+			return
+		default:
+		}
+		n := e.moveStages(m.stages, m.buf)
+		m.sweeps.Add(1)
+		if n > 0 {
+			m.moved.Add(uint64(n))
+			idle = 0
+			continue
+		}
+		idle++
+		switch {
+		case idle <= moverSpinSweeps:
+			// Spin: re-sweep immediately; a worker mid-grant publishes
+			// within a batch quantum.
+		case idle <= moverSpinSweeps+moverYieldSweeps:
+			runtime.Gosched()
+		default:
+			// Park. Publish the parked state before re-checking the rings:
+			// a worker that enqueues after the re-check must observe the
+			// state (seqcst total order) and deliver a wake token; the
+			// bounded timeout backstops the edge either way.
+			m.state.Store(moverParked)
+			if m.pending() {
+				m.state.Store(moverActive)
+				idle = 0
+				continue
+			}
+			m.parks.Add(1)
+			timer.Reset(moverParkMax)
+			select {
+			case <-m.wakeCh:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+			case <-e.moverStop:
+				m.state.Store(moverActive)
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				return
+			}
+			m.state.Store(moverActive)
+			// Skip straight to the yield phase: one wake usually means one
+			// batch, not a sustained burst.
+			idle = moverSpinSweeps
+		}
+	}
+}
+
+// controlLoop is the decoupled control plane: the engine clock, the
+// watermark backpressure state machine (every Config.BackpressurePeriod,
+// the paper's 1 ms load-estimation cadence), stage supervision, and the
+// rate-cost weight controller (every Config.WeightPeriod, the paper's
+// 10 ms weight push). It runs on Run's own goroutine so the hot path —
+// schedulers granting, workers processing, movers shuttling — never
+// carries control work.
+func (e *Engine) controlLoop(ctx context.Context) {
+	tick := e.cfg.BackpressurePeriod
+	if tick > controlTickMax {
+		tick = controlTickMax
+	}
+	if e.cfg.WeightPeriod > 0 && e.cfg.WeightPeriod < tick {
+		tick = e.cfg.WeightPeriod
+	}
+	lastBP := time.Now()
+	lastW := lastBP
+	for ctx.Err() == nil {
+		now := time.Now()
+		e.coarseNanos.Store(now.UnixNano())
+		if now.Sub(lastBP) >= e.cfg.BackpressurePeriod {
+			e.updateBackpressure()
+			lastBP = now
+		}
+		e.supervise(now.UnixNano())
+		if e.cfg.WeightPeriod > 0 && now.Sub(lastW) >= e.cfg.WeightPeriod {
+			e.updateWeights()
+			lastW = now
+		}
+		time.Sleep(tick)
+	}
+}
+
+// controlTickMax bounds the control loop's sleep so the coarse engine
+// clock stays fresh (and supervision reacts promptly) even when the
+// backpressure cadence is long.
+const controlTickMax = 100 * time.Microsecond

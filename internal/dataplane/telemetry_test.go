@@ -35,11 +35,12 @@ func scrape(t *testing.T, mux http.Handler) map[string]float64 {
 }
 
 // TestScrapeWhileRunning is the acceptance test for the live exposition: the
-// pipeline runs with concurrent producers while the HTTP handler is scraped,
-// and the parsed output must carry per-stage processed/wasted/drop counters
-// and queue-depth gauges.
+// pipeline runs with a sharded TX path and concurrent producers while the
+// HTTP handler is scraped, and the parsed output must carry per-stage
+// processed/wasted/drop counters, queue-depth gauges, and per-mover shard
+// counters.
 func TestScrapeWhileRunning(t *testing.T) {
-	e := New(Config{RingSize: 64, WeightPeriod: 5 * time.Millisecond})
+	e := New(Config{RingSize: 64, WeightPeriod: 5 * time.Millisecond, Movers: 2})
 	a := e.AddStage("fw", 1024, func(p *Packet) {})
 	b := e.AddStage("dpi", 1024, func(p *Packet) { spin(5 * time.Microsecond) })
 	ch, err := e.AddChain(a, b)
@@ -126,6 +127,31 @@ func TestScrapeWhileRunning(t *testing.T) {
 	if vals["dataplane_latency_nanoseconds_count"] != vals["dataplane_delivered_total"] {
 		t.Errorf("latency count %v != delivered %v",
 			vals["dataplane_latency_nanoseconds_count"], vals["dataplane_delivered_total"])
+	}
+
+	// Per-mover shard telemetry: both TX shards own a stage here (stage i →
+	// mover i mod 2), so both must expose counters and have swept.
+	for _, shard := range []string{`mover="0"`, `mover="1"`} {
+		for _, metric := range []string{
+			"dataplane_mover_sweeps_total",
+			"dataplane_mover_moved_total",
+			"dataplane_mover_parks_total",
+			"dataplane_mover_wakes_total",
+			"dataplane_mover_park_ratio",
+			"dataplane_mover_drain_per_sweep",
+		} {
+			key := metric + "{" + shard + "}"
+			if _, ok := vals[key]; !ok {
+				t.Errorf("scrape missing %s", key)
+			}
+		}
+		if vals["dataplane_mover_sweeps_total{"+shard+"}"] == 0 {
+			t.Errorf("mover %s never swept", shard)
+		}
+	}
+	if vals[`dataplane_mover_moved_total{mover="0"}`]+
+		vals[`dataplane_mover_moved_total{mover="1"}`] == 0 {
+		t.Error("no packets moved through the sharded TX path")
 	}
 
 	// Engine-level accounting reconciles through the scrape: every packet
