@@ -1,0 +1,453 @@
+// Command nfvtop is a terminal dashboard for a live dataplane engine: it
+// polls the telemetry endpoints (/snapshot, /healthz, /debug/decisions) of a
+// running process — any binary that serves telemetry.NewMux plus the
+// engine's debug endpoints, e.g. examples/dataplane_live — and renders the
+// paper's control surfaces at a glance: per-stage queue depth against the
+// backpressure watermarks, WFQ weights, mover park ratios, per-hop latency
+// quantiles from the flight recorder, and the tail of the decision journal.
+//
+// Usage:
+//
+//	nfvtop -addr localhost:9090            # refresh twice a second
+//	nfvtop -addr localhost:9090 -once      # one frame, no screen control
+//	nfvtop -interval 1s -n 12              # slower poll, longer journal tail
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The /snapshot wire format (mirrors internal/telemetry's JSON export).
+type family struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"`
+	Series []series `json:"series"`
+}
+
+type series struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *hist             `json:"histogram,omitempty"`
+}
+
+type hist struct {
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Buckets [][2]uint64 `json:"buckets"`
+}
+
+// decision mirrors the journal's wire form (internal/dataplane.Decision).
+type decision struct {
+	Seq        uint64  `json:"seq"`
+	TimeNanos  int64   `json:"t_ns"`
+	Kind       string  `json:"kind"`
+	Chain      int     `json:"chain"`
+	Stage      string  `json:"stage,omitempty"`
+	QueueDepth int     `json:"qdepth,omitempty"`
+	HighWater  int     `json:"high_water,omitempty"`
+	LowWater   int     `json:"low_water,omitempty"`
+	Load       float64 `json:"load,omitempty"`
+	CostNanos  float64 `json:"cost_ns,omitempty"`
+	OldWeight  int64   `json:"old_weight,omitempty"`
+	NewWeight  int64   `json:"new_weight,omitempty"`
+	From       string  `json:"from,omitempty"`
+	To         string  `json:"to,omitempty"`
+	Note       string  `json:"note,omitempty"`
+}
+
+type decisionReply struct {
+	Total     uint64     `json:"total"`
+	Dropped   uint64     `json:"dropped"`
+	Decisions []decision `json:"decisions"`
+}
+
+// snapshot indexes one /snapshot poll for lookup by family name.
+type snapshot map[string]*family
+
+func parseSnapshot(r io.Reader) (snapshot, error) {
+	var fams []family
+	if err := json.NewDecoder(r).Decode(&fams); err != nil {
+		return nil, err
+	}
+	s := make(snapshot, len(fams))
+	for i := range fams {
+		s[fams[i].Name] = &fams[i]
+	}
+	return s, nil
+}
+
+// value returns the first series value of a family whose labels include all
+// of want (nil want: any series). Missing family or series yields 0.
+func (s snapshot) value(name string, want map[string]string) float64 {
+	f := s[name]
+	if f == nil {
+		return 0
+	}
+	for _, se := range f.Series {
+		if se.Value == nil || !labelsMatch(se.Labels, want) {
+			continue
+		}
+		return *se.Value
+	}
+	return 0
+}
+
+// histogram returns the first histogram series matching want, or nil.
+func (s snapshot) histogram(name string, want map[string]string) *hist {
+	f := s[name]
+	if f == nil {
+		return nil
+	}
+	for _, se := range f.Series {
+		if se.Hist != nil && labelsMatch(se.Labels, want) {
+			return se.Hist
+		}
+	}
+	return nil
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) of a snapshot histogram by
+// linear interpolation inside the winning bucket. Buckets arrive as
+// [upper bound, count] pairs with zero-count buckets elided.
+func quantile(h *hist, q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum, prevCum float64
+	lower := 0.0
+	for _, b := range h.Buckets {
+		upper, cnt := float64(b[0]), float64(b[1])
+		prevCum = cum
+		cum += cnt
+		if cum >= rank {
+			frac := 0.0
+			if cnt > 0 {
+				frac = (rank - prevCum) / cnt
+			}
+			return lower + frac*(upper-lower)
+		}
+		lower = upper
+	}
+	return float64(h.Buckets[len(h.Buckets)-1][0])
+}
+
+// bar renders a fixed-width occupancy bar with a high-watermark tick: filled
+// cells for the fraction, '|' at the watermark position, e.g.
+// "#####...|.." for frac 0.42, mark 0.75, width 12.
+func bar(frac, mark float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	fill := int(clamp(frac)*float64(width) + 0.5)
+	markAt := -1
+	if mark > 0 {
+		markAt = int(clamp(mark) * float64(width))
+		if markAt >= width {
+			markAt = width - 1
+		}
+	}
+	b := make([]byte, width)
+	for i := range b {
+		switch {
+		case i == markAt:
+			b[i] = '|'
+		case i < fill:
+			b[i] = '#'
+		default:
+			b[i] = '.'
+		}
+	}
+	return string(b)
+}
+
+// fmtNanos renders a nanosecond quantity with an adaptive unit.
+func fmtNanos(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// fmtRate renders a per-second rate compactly (4.3Mpps style).
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// stageRow is one stage's rendered state, extracted from a snapshot.
+type stageRow struct {
+	Name      string
+	ID        string
+	Depth     float64
+	Weight    float64
+	Health    float64
+	Processed float64 // cumulative; rate computed against the prior frame
+	Drops     float64
+}
+
+// stageRows extracts the per-stage series in stable (id) order.
+func stageRows(s snapshot) []stageRow {
+	f := s["dataplane_stage_queue_depth"]
+	if f == nil {
+		return nil
+	}
+	rows := make([]stageRow, 0, len(f.Series))
+	for _, se := range f.Series {
+		if se.Value == nil {
+			continue
+		}
+		lbl := map[string]string{"stage": se.Labels["stage"], "id": se.Labels["id"]}
+		rows = append(rows, stageRow{
+			Name:      se.Labels["stage"],
+			ID:        se.Labels["id"],
+			Depth:     *se.Value,
+			Weight:    s.value("dataplane_stage_weight", lbl),
+			Health:    s.value("dataplane_stage_health", lbl),
+			Processed: s.value("dataplane_stage_processed_total", lbl),
+			Drops:     s.value("dataplane_stage_queue_drops_total", lbl),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if len(rows[i].ID) != len(rows[j].ID) {
+			return len(rows[i].ID) < len(rows[j].ID)
+		}
+		return rows[i].ID < rows[j].ID
+	})
+	return rows
+}
+
+func healthName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "healthy"
+	case 1:
+		return "degraded"
+	case 2:
+		return "failed"
+	case 3:
+		return "restarting"
+	default:
+		return "?"
+	}
+}
+
+// render draws one frame from the current and previous snapshots. elapsed
+// separates them (rates are deltas over it); decs is the journal tail.
+func render(w io.Writer, cur, prev snapshot, elapsed time.Duration, decs *decisionReply, tail int) {
+	rate := func(name string, lbl map[string]string) float64 {
+		if prev == nil || elapsed <= 0 {
+			return 0
+		}
+		return (cur.value(name, lbl) - prev.value(name, lbl)) / elapsed.Seconds()
+	}
+
+	ringSize := cur.value("dataplane_watermark_packets", map[string]string{"level": "high"})
+	highW := ringSize
+	lowW := cur.value("dataplane_watermark_packets", map[string]string{"level": "low"})
+
+	fmt.Fprintf(w, "nfvtop — inject %spps  deliver %spps  drops %s/s  throttle_events %.0f\n",
+		fmtRate(rate("dataplane_injected_total", nil)),
+		fmtRate(rate("dataplane_delivered_total", nil)),
+		fmtRate(rate("dataplane_ring_drops_total", nil)+rate("dataplane_entry_drops_total", nil)),
+		cur.value("dataplane_throttle_events_total", nil))
+	fmt.Fprintf(w, "watermarks high=%.0f low=%.0f   spans sampled=%.0f completed=%.0f aborted=%.0f spool_drops=%.0f\n\n",
+		highW, lowW,
+		cur.value("dataplane_spans_sampled_total", nil),
+		cur.value("dataplane_spans_completed_total", nil),
+		cur.value("dataplane_spans_aborted_total", nil),
+		cur.value("dataplane_span_spool_drops_total", nil))
+
+	rows := stageRows(cur)
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "%-10s %-24s %7s %7s %9s %8s %8s %8s %10s\n",
+			"STAGE", "QUEUE", "DEPTH", "WEIGHT", "PROC/s", "DROPS", "HOP p50", "HOP p99", "HEALTH")
+		for _, r := range rows {
+			// Bars are scaled to the high watermark ring share: the '|' tick
+			// is the high watermark, full bar ≈ 4/3 of it (so crossing the
+			// mark is visible before saturation).
+			scale := highW * 4 / 3
+			frac, mark := 0.0, 0.75
+			if scale > 0 {
+				frac = r.Depth / scale
+			}
+			lbl := map[string]string{"stage": r.Name, "id": r.ID}
+			p50 := quantile(cur.histogram("dataplane_hop_service_nanoseconds", lbl), 0.50)
+			p99 := quantile(cur.histogram("dataplane_hop_service_nanoseconds", lbl), 0.99)
+			fmt.Fprintf(w, "%-10s [%s] %7.0f %7.0f %9s %8.0f %8s %8s %10s\n",
+				r.Name, bar(frac, mark, 22), r.Depth, r.Weight,
+				fmtRate(rate("dataplane_stage_processed_total", lbl)),
+				r.Drops, fmtNanos(p50), fmtNanos(p99), healthName(r.Health))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if f := cur["dataplane_mover_park_ratio"]; f != nil && len(f.Series) > 0 {
+		fmt.Fprintf(w, "%-8s %12s %14s %12s\n", "MOVER", "PARK RATIO", "DRAIN/SWEEP", "MOVED/s")
+		for _, se := range f.Series {
+			if se.Value == nil {
+				continue
+			}
+			lbl := map[string]string{"mover": se.Labels["mover"]}
+			fmt.Fprintf(w, "%-8s %12.3f %14.2f %12s\n",
+				"tx/"+se.Labels["mover"], *se.Value,
+				cur.value("dataplane_mover_drain_per_sweep", lbl),
+				fmtRate(rate("dataplane_mover_moved_total", lbl)))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if f := cur["dataplane_chain_throttled"]; f != nil {
+		var throttled []string
+		for _, se := range f.Series {
+			if se.Value != nil && *se.Value > 0 {
+				throttled = append(throttled, se.Labels["chain"])
+			}
+		}
+		if len(throttled) > 0 {
+			fmt.Fprintf(w, "BACKPRESSURE: chains throttled: %s\n\n", strings.Join(throttled, ", "))
+		}
+	}
+
+	if decs != nil && len(decs.Decisions) > 0 {
+		fmt.Fprintf(w, "DECISIONS (last %d of %d, %d overwritten)\n", min(tail, len(decs.Decisions)), decs.Total, decs.Dropped)
+		ds := decs.Decisions
+		if len(ds) > tail {
+			ds = ds[len(ds)-tail:]
+		}
+		for _, d := range ds {
+			fmt.Fprintf(w, "  %s %s\n", time.Unix(0, d.TimeNanos).Format("15:04:05.000"), formatDecision(d))
+		}
+	}
+}
+
+// formatDecision renders one journal record as a cause-carrying line.
+func formatDecision(d decision) string {
+	switch d.Kind {
+	case "bp_on":
+		return fmt.Sprintf("bp_on    chain %d: %s queue %d ≥ high water %d", d.Chain, d.Stage, d.QueueDepth, d.HighWater)
+	case "bp_off":
+		return fmt.Sprintf("bp_off   chain %d: %s queue %d ≤ low water %d", d.Chain, d.Stage, d.QueueDepth, d.LowWater)
+	case "weight":
+		return fmt.Sprintf("weight   %s: %d → %d (load %.2f, cost %s)", d.Stage, d.OldWeight, d.NewWeight, d.Load, fmtNanos(d.CostNanos))
+	case "health":
+		s := fmt.Sprintf("health   %s: %s → %s", d.Stage, d.From, d.To)
+		if d.Note != "" {
+			s += " (" + d.Note + ")"
+		}
+		return s
+	case "restart":
+		return fmt.Sprintf("restart  %s: %s", d.Stage, d.Note)
+	case "circuit_open":
+		return fmt.Sprintf("circuit  %s: %s", d.Stage, d.Note)
+	case "chain_down":
+		return fmt.Sprintf("chain %d down (stage %s failed)", d.Chain, d.Stage)
+	case "chain_up":
+		return fmt.Sprintf("chain %d back up", d.Chain)
+	default:
+		b, _ := json.Marshal(d)
+		return string(b)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fetchSnapshot(client *http.Client, base string) (snapshot, error) {
+	resp, err := client.Get(base + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return parseSnapshot(resp.Body)
+}
+
+func fetchDecisions(client *http.Client, base string, n int) *decisionReply {
+	resp, err := client.Get(fmt.Sprintf("%s/debug/decisions?n=%d", base, n))
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var dr decisionReply
+	if json.NewDecoder(resp.Body).Decode(&dr) != nil {
+		return nil
+	}
+	return &dr
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:9090", "telemetry address of the dataplane process")
+	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval")
+	once := flag.Bool("once", false, "render a single frame and exit (no screen control)")
+	tail := flag.Int("n", 8, "decision-journal tail length")
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var prev snapshot
+	var prevAt time.Time
+	for {
+		cur, err := fetchSnapshot(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfvtop: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		decs := fetchDecisions(client, base, *tail)
+		if !*once {
+			fmt.Print("\033[2J\033[H") // clear screen, home cursor
+		}
+		render(os.Stdout, cur, prev, now.Sub(prevAt), decs, *tail)
+		if *once {
+			return
+		}
+		prev, prevAt = cur, now
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSnapshot = `[
+ {"name":"dataplane_injected_total","type":"counter","series":[{"value":100000}]},
+ {"name":"dataplane_delivered_total","type":"counter","series":[{"value":99000}]},
+ {"name":"dataplane_throttle_events_total","type":"counter","series":[{"value":3}]},
+ {"name":"dataplane_watermark_packets","type":"gauge","series":[
+   {"labels":{"level":"high"},"value":48},
+   {"labels":{"level":"low"},"value":32}]},
+ {"name":"dataplane_stage_queue_depth","type":"gauge","series":[
+   {"labels":{"stage":"fw","id":"0","core":"-1"},"value":12},
+   {"labels":{"stage":"nat","id":"1","core":"-1"},"value":50}]},
+ {"name":"dataplane_stage_weight","type":"gauge","series":[
+   {"labels":{"stage":"fw","id":"0","core":"-1"},"value":1024},
+   {"labels":{"stage":"nat","id":"1","core":"-1"},"value":2048}]},
+ {"name":"dataplane_stage_health","type":"gauge","series":[
+   {"labels":{"stage":"fw","id":"0","core":"-1"},"value":0},
+   {"labels":{"stage":"nat","id":"1","core":"-1"},"value":1}]},
+ {"name":"dataplane_stage_processed_total","type":"counter","series":[
+   {"labels":{"stage":"fw","id":"0","core":"-1"},"value":100000},
+   {"labels":{"stage":"nat","id":"1","core":"-1"},"value":99500}]},
+ {"name":"dataplane_hop_service_nanoseconds","type":"histogram","series":[
+   {"labels":{"stage":"fw","id":"0"},"histogram":{"count":100,"sum":100000,
+     "buckets":[[1000,50],[2000,40],[4000,10]]}}]},
+ {"name":"dataplane_mover_park_ratio","type":"gauge","series":[
+   {"labels":{"mover":"0"},"value":0.25}]},
+ {"name":"dataplane_mover_drain_per_sweep","type":"gauge","series":[
+   {"labels":{"mover":"0"},"value":12.5}]},
+ {"name":"dataplane_chain_throttled","type":"gauge","series":[
+   {"labels":{"chain":"0"},"value":1}]}
+]`
+
+func mustSnapshot(t *testing.T, s string) snapshot {
+	t.Helper()
+	snap, err := parseSnapshot(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("parseSnapshot: %v", err)
+	}
+	return snap
+}
+
+func TestParseSnapshotAndLookup(t *testing.T) {
+	s := mustSnapshot(t, sampleSnapshot)
+	if v := s.value("dataplane_injected_total", nil); v != 100000 {
+		t.Errorf("injected = %v, want 100000", v)
+	}
+	if v := s.value("dataplane_watermark_packets", map[string]string{"level": "low"}); v != 32 {
+		t.Errorf("low watermark = %v, want 32", v)
+	}
+	if v := s.value("no_such_family", nil); v != 0 {
+		t.Errorf("missing family = %v, want 0", v)
+	}
+	if h := s.histogram("dataplane_hop_service_nanoseconds", map[string]string{"stage": "fw"}); h == nil || h.Count != 100 {
+		t.Errorf("histogram lookup failed: %+v", h)
+	}
+}
+
+func TestStageRows(t *testing.T) {
+	rows := stageRows(mustSnapshot(t, sampleSnapshot))
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Name != "fw" || rows[1].Name != "nat" {
+		t.Fatalf("rows out of id order: %+v", rows)
+	}
+	if rows[1].Depth != 50 || rows[1].Weight != 2048 || healthName(rows[1].Health) != "degraded" {
+		t.Errorf("nat row = %+v", rows[1])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := &hist{Count: 100, Sum: 100000, Buckets: [][2]uint64{{1000, 50}, {2000, 40}, {4000, 10}}}
+	// p50 lands exactly at the first bucket's upper bound.
+	if p := quantile(h, 0.50); p != 1000 {
+		t.Errorf("p50 = %v, want 1000", p)
+	}
+	// p90 exhausts the second bucket: 2000.
+	if p := quantile(h, 0.90); p != 2000 {
+		t.Errorf("p90 = %v, want 2000", p)
+	}
+	// p99 interpolates inside the last bucket: 2000 + (99-90)/10 * 2000.
+	if p := quantile(h, 0.99); p != 3800 {
+		t.Errorf("p99 = %v, want 3800", p)
+	}
+	if p := quantile(nil, 0.5); p != 0 {
+		t.Errorf("nil histogram = %v, want 0", p)
+	}
+	if p := quantile(&hist{}, 0.5); p != 0 {
+		t.Errorf("empty histogram = %v, want 0", p)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 0.75, 8); got != "####..|." {
+		t.Errorf("bar(0.5, 0.75, 8) = %q", got)
+	}
+	if got := bar(0, 0, 4); got != "...." {
+		t.Errorf("empty bar = %q", got)
+	}
+	// Overfull clamps; the watermark tick survives at the last cell.
+	if got := bar(2.0, 1.0, 4); got != "###|" {
+		t.Errorf("overfull bar = %q", got)
+	}
+	if got := bar(0.5, 0.75, 0); got != "" {
+		t.Errorf("zero width = %q", got)
+	}
+}
+
+func TestFormatDecision(t *testing.T) {
+	cases := []struct {
+		d    decision
+		want string
+	}{
+		{decision{Kind: "bp_on", Chain: 2, Stage: "nat", QueueDepth: 51, HighWater: 48},
+			"bp_on    chain 2: nat queue 51 ≥ high water 48"},
+		{decision{Kind: "bp_off", Chain: 2, Stage: "nat", QueueDepth: 7, LowWater: 32},
+			"bp_off   chain 2: nat queue 7 ≤ low water 32"},
+		{decision{Kind: "weight", Stage: "fw", OldWeight: 1024, NewWeight: 2048, Load: 0.5, CostNanos: 1500},
+			"weight   fw: 1024 → 2048 (load 0.50, cost 1.5µs)"},
+		{decision{Kind: "health", Stage: "mid", From: "healthy", To: "failed", Note: "panic: boom"},
+			"health   mid: healthy → failed (panic: boom)"},
+		{decision{Kind: "chain_down", Chain: 1, Stage: "mid"},
+			"chain 1 down (stage mid failed)"},
+	}
+	for _, c := range cases {
+		if got := formatDecision(c.d); got != c.want {
+			t.Errorf("formatDecision(%s):\n got %q\nwant %q", c.d.Kind, got, c.want)
+		}
+	}
+}
+
+// TestRenderFrame smoke-tests a full frame: every section renders, rates
+// compute against the previous snapshot, and the journal tail appears.
+func TestRenderFrame(t *testing.T) {
+	cur := mustSnapshot(t, sampleSnapshot)
+	prev := mustSnapshot(t, strings.ReplaceAll(sampleSnapshot, "100000", "0"))
+	decs := &decisionReply{Total: 9, Dropped: 1, Decisions: []decision{
+		{Seq: 8, TimeNanos: time.Now().UnixNano(), Kind: "bp_on", Chain: 0, Stage: "nat", QueueDepth: 50, HighWater: 48},
+	}}
+	var b strings.Builder
+	render(&b, cur, prev, time.Second, decs, 8)
+	out := b.String()
+	for _, want := range []string{
+		"inject 100.0kpps", // (100000-0)/1s
+		"watermarks high=48 low=32",
+		"fw", "nat", "degraded",
+		"tx/0", "0.250",
+		"chains throttled: 0",
+		"DECISIONS", "bp_on    chain 0: nat queue 50 ≥ high water 48",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// First frame (no previous sample): rates are zero, nothing crashes.
+	var b2 strings.Builder
+	render(&b2, cur, nil, 0, nil, 8)
+	if !strings.Contains(b2.String(), "inject 0pps") {
+		t.Errorf("first frame should show zero rates:\n%s", b2.String())
+	}
+}

@@ -8,6 +8,12 @@
 //
 //	go run ./examples/dataplane_live
 //	go run ./examples/dataplane_live -listen :9090   # scrape /metrics live
+//	go run ./examples/dataplane_live -listen :9090 -sample 6 \
+//	    -trace spans.json        # flight recorder: 1-in-64 packet spans
+//
+// With -listen set, point cmd/nfvtop at the same address for a live
+// dashboard, and query /debug/decisions for the control plane's decision
+// journal.
 package main
 
 import (
@@ -15,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"os"
 	"os/signal"
 	"time"
 
 	"nfvnice/internal/dataplane"
+	"nfvnice/internal/obs"
 	"nfvnice/internal/telemetry"
 )
 
@@ -37,9 +45,13 @@ func work(n int) dataplane.Handler {
 
 func main() {
 	listen := flag.String("listen", "", "serve /metrics, /snapshot, /events and pprof on this address (e.g. :9090) and keep the pipeline running until interrupted")
+	sample := flag.Int("sample", 0, "flight recorder: sample 1-in-2^N packets as spans (0 = off)")
+	trace := flag.String("trace", "", "write sampled spans as a Chrome trace (chrome://tracing, Perfetto) to this file; requires -sample")
 	flag.Parse()
 
-	e := dataplane.New(dataplane.DefaultConfig())
+	cfg := dataplane.DefaultConfig()
+	cfg.TraceSampleShift = *sample
+	e := dataplane.New(cfg)
 
 	light := e.AddStage("light-fw", 1024, work(5))
 	heavy := e.AddStage("heavy-dpi", 1024, work(50))
@@ -56,11 +68,39 @@ func main() {
 	e.RegisterMetrics(reg)
 	e.SetEventLog(events)
 
+	// Flight recorder: stream sampled packet spans into a Chrome trace.
+	if *trace != "" {
+		if *sample == 0 {
+			fmt.Fprintln(os.Stderr, "dataplane_live: -trace requires -sample > 0")
+			os.Exit(1)
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dataplane_live:", err)
+			os.Exit(1)
+		}
+		cw := obs.NewChromeWriter(f).SetUnit(obs.UnitNanos)
+		e.SetSpanSink(e.SpanTraceSink(cw))
+		defer func() {
+			cw.Close()
+			f.Close()
+			fmt.Printf("flight recorder: %d trace events -> %s (open in chrome://tracing or Perfetto)\n", cw.Len(), *trace)
+		}()
+	}
+
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if *listen != "" {
 		mux := telemetry.NewMux(reg, events)
-		telemetry.AddHealthz(mux, e.HealthSnapshot)
+		// A failing probe carries the recent control-plane decisions that
+		// explain it; /debug/decisions serves the full queryable journal.
+		telemetry.AddHealthzDetail(mux, e.HealthSnapshot, func() any {
+			if j := e.Decisions(); j != nil {
+				return j.Tail(16)
+			}
+			return nil
+		})
+		e.AddDebugEndpoints(mux)
 		srv, err := telemetry.StartServerMux(*listen, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dataplane_live:", err)
@@ -91,10 +131,15 @@ func main() {
 	go func() {
 		cache := e.NewPacketCache(256)
 		batch := make([]*dataplane.Packet, 8)
+		// Flows are assigned by a seeded PRNG rather than a fixed
+		// flow-to-batch-position layout: the flight recorder samples every
+		// 2^N-th packet, and any periodic layout aliases with that stride
+		// (one flow hogging every sample).
+		rng := rand.New(rand.NewSource(1))
 		for ctx.Err() == nil {
 			for i := range batch {
 				p := cache.Get()
-				p.FlowID = i * 2 / len(batch) // first half flow 0, second half flow 1
+				p.FlowID = rng.Intn(2)
 				p.Size = 64
 				batch[i] = p
 			}
@@ -124,6 +169,9 @@ func main() {
 	fmt.Printf("\ninjected=%d delivered=%d entryDrops=%d ringDrops=%d outputDrops=%d throttleEvents=%d events=%d(dropped %d)\n",
 		e.Injected.Load(), e.Delivered.Load(), e.EntryDrops.Load(), e.RingDrops.Load(),
 		e.OutputDrops.Load(), e.ThrottleEvents.Load(), events.Total(), events.Dropped())
+	if *sample > 0 {
+		fmt.Printf("spans: %+v\n", e.SpanStats())
+	}
 	fmt.Println("\nThe controller weights the heavy stage up (~10x) so both chains")
 	fmt.Println("drain at similar packet rates despite the cost imbalance.")
 }

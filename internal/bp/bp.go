@@ -49,6 +49,20 @@ func DefaultParams() Params {
 	return Params{QueueTimeThreshold: 50 * simtime.Microsecond}
 }
 
+// Transition describes one state-machine edge together with the queue
+// observation that caused it — the decision provenance record consumed by
+// event logs and decision journals. The inputs are the exact arguments the
+// Update call saw, so a logged transition is always explainable after the
+// fact ("throttled because the queue had been above HIGH_WATER_MARK for
+// TimeAbove ≥ QueueTimeThreshold").
+type Transition struct {
+	From, To State
+	// AboveHigh and BelowLow are the watermark conditions at decision time.
+	AboveHigh, BelowLow bool
+	// TimeAbove is how long the queue had been above the high watermark.
+	TimeAbove simtime.Cycles
+}
+
 // NFState is one NF's backpressure state machine. Update is fed queue
 // observations (typically by the manager's wakeup thread) and reports
 // enable/disable edges.
@@ -57,10 +71,24 @@ type NFState struct {
 
 	// Throttles counts enable edges, for diagnostics.
 	Throttles uint64
+
+	// Observer, when set, sees every state change with its cause — the
+	// hook that feeds decision journals without coupling the state machine
+	// to any particular log. Called synchronously from Update.
+	Observer func(Transition)
 }
 
 // State reports the current state.
 func (s *NFState) State() State { return s.state }
+
+// setState transitions the machine, notifying the observer on change.
+func (s *NFState) setState(to State, aboveHigh, belowLow bool, timeAbove simtime.Cycles) {
+	from := s.state
+	s.state = to
+	if from != to && s.Observer != nil {
+		s.Observer(Transition{From: from, To: to, AboveHigh: aboveHigh, BelowLow: belowLow, TimeAbove: timeAbove})
+	}
+}
 
 // Update advances the machine given the NF's receive-ring condition.
 // enable is true on the Watch→Throttle edge; disable on Throttle→Clear.
@@ -68,11 +96,11 @@ func (s *NFState) Update(p Params, aboveHigh, belowLow bool, timeAbove simtime.C
 	switch s.state {
 	case ClearThrottle:
 		if aboveHigh {
-			s.state = WatchList
+			s.setState(WatchList, aboveHigh, belowLow, timeAbove)
 			// Immediate promotion if the queue has already been high
 			// long enough (e.g. detection lagged).
 			if timeAbove >= p.QueueTimeThreshold {
-				s.state = PacketThrottle
+				s.setState(PacketThrottle, aboveHigh, belowLow, timeAbove)
 				s.Throttles++
 				return true, false
 			}
@@ -80,15 +108,15 @@ func (s *NFState) Update(p Params, aboveHigh, belowLow bool, timeAbove simtime.C
 	case WatchList:
 		switch {
 		case belowLow:
-			s.state = ClearThrottle
+			s.setState(ClearThrottle, aboveHigh, belowLow, timeAbove)
 		case aboveHigh && timeAbove >= p.QueueTimeThreshold:
-			s.state = PacketThrottle
+			s.setState(PacketThrottle, aboveHigh, belowLow, timeAbove)
 			s.Throttles++
 			return true, false
 		}
 	case PacketThrottle:
 		if belowLow {
-			s.state = ClearThrottle
+			s.setState(ClearThrottle, aboveHigh, belowLow, timeAbove)
 			return false, true
 		}
 	}

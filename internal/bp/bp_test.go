@@ -206,3 +206,42 @@ func TestStateString(t *testing.T) {
 }
 
 var _ = simtime.Cycles(0)
+
+// TestObserverSeesTransitions pins the decision-provenance hook: every state
+// change (including the intermediate clear→watch hop of an immediate
+// promotion) reaches the observer with the exact inputs that caused it.
+func TestObserverSeesTransitions(t *testing.T) {
+	p := DefaultParams()
+	var s NFState
+	var seen []Transition
+	s.Observer = func(tr Transition) { seen = append(seen, tr) }
+
+	s.Update(p, true, false, 0)                    // clear -> watch
+	s.Update(p, true, false, p.QueueTimeThreshold) // watch -> throttle
+	s.Update(p, true, false, p.QueueTimeThreshold) // no change: not observed
+	s.Update(p, false, true, 0)                    // throttle -> clear
+
+	want := []Transition{
+		{From: ClearThrottle, To: WatchList, AboveHigh: true},
+		{From: WatchList, To: PacketThrottle, AboveHigh: true, TimeAbove: p.QueueTimeThreshold},
+		{From: PacketThrottle, To: ClearThrottle, BelowLow: true},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %d transitions, want %d: %+v", len(seen), len(want), seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+
+	// Immediate promotion surfaces both edges, in order.
+	seen = nil
+	s2 := NFState{Observer: func(tr Transition) { seen = append(seen, tr) }}
+	if en, _ := s2.Update(p, true, false, 2*p.QueueTimeThreshold); !en {
+		t.Fatal("expected enable edge on immediate promotion")
+	}
+	if len(seen) != 2 || seen[0].To != WatchList || seen[1].To != PacketThrottle {
+		t.Fatalf("immediate promotion transitions = %+v", seen)
+	}
+}

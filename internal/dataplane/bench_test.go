@@ -24,12 +24,16 @@ const benchInflight = 1024
 const benchBatch = 64
 
 func newBenchEngine(b *testing.B, stages int) *Engine {
-	return newBenchEngineMovers(b, stages, 0)
+	return newBenchEngineCfg(b, stages, benchConfig())
 }
 
 func newBenchEngineMovers(b *testing.B, stages, movers int) *Engine {
 	cfg := benchConfig()
 	cfg.Movers = movers
+	return newBenchEngineCfg(b, stages, cfg)
+}
+
+func newBenchEngineCfg(b *testing.B, stages int, cfg Config) *Engine {
 	e := New(cfg)
 	ids := make([]int, stages)
 	for i := range ids {
@@ -57,7 +61,10 @@ func reportRate(b *testing.B, elapsed time.Duration) {
 // injection, ring transfer per hop, scheduling, movement, delivery and
 // recycling.
 func runChainBench(b *testing.B, stages int) {
-	e := newBenchEngine(b, stages)
+	runChainBenchEngine(b, newBenchEngine(b, stages))
+}
+
+func runChainBenchEngine(b *testing.B, e *Engine) {
 	var received atomic.Int64
 	sinkCache := e.NewPacketCache(2 * benchBatch)
 	e.SetSink(func(ps []*Packet) {
@@ -139,6 +146,17 @@ func BenchmarkInjectSteadyState(b *testing.B) { runChainBench(b, 1) }
 // BenchmarkChain3Stages measures a three-stage service chain: each packet
 // crosses four rings (entry + two hops + delivery).
 func BenchmarkChain3Stages(b *testing.B) { runChainBench(b, 3) }
+
+// BenchmarkChain3StagesSampled is the flight-recorder overhead gate: the
+// same 3-stage chain with 1-in-1024 span sampling armed. The unsampled
+// 1023/1024 of packets pay only the per-batch sequence add and a nil span
+// check per hop, so this must stay within a few percent of the unsampled
+// BenchmarkChain3Stages.
+func BenchmarkChain3StagesSampled(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceSampleShift = 10 // 1 in 1024
+	runChainBenchEngine(b, newBenchEngineCfg(b, 3, cfg))
+}
 
 // BenchmarkInjectSteadyStateChannel and BenchmarkChain3StagesChannel keep
 // the pre-batching API (per-packet Inject, Output channel) measurable; the

@@ -34,20 +34,23 @@ func chaosReconcile(e *dataplane.Engine, entryStages map[string]bool) (uint64, u
 // must survive, the faulty stage must keep being restarted, and accounting
 // must balance exactly when the dust settles. movers selects the TX-path
 // shard count so supervision and conservation are soaked on both the
-// serial and the sharded mover.
-func chaosSoak(t *testing.T, movers int) {
+// serial and the sharded mover; sampleShift > 0 additionally arms the span
+// recorder so the flight recorder is soaked against crashes, stalls, and
+// drops (spans attached to killed packets must abort, not leak).
+func chaosSoak(t *testing.T, movers, sampleShift int) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
 	e := dataplane.New(dataplane.Config{
-		RingSize:       256,
-		BatchSize:      16,
-		Movers:         movers,
-		GrantTimeout:   50 * time.Millisecond,
-		DrainTimeout:   time.Second,
-		RestartBackoff: time.Millisecond,
-		MaxRestarts:    -1, // faults keep firing; restarts must keep coming
-		JitterSeed:     7,
+		RingSize:         256,
+		BatchSize:        16,
+		Movers:           movers,
+		GrantTimeout:     50 * time.Millisecond,
+		DrainTimeout:     time.Second,
+		RestartBackoff:   time.Millisecond,
+		MaxRestarts:      -1, // faults keep firing; restarts must keep coming
+		JitterSeed:       7,
+		TraceSampleShift: sampleShift,
 	})
 	events := telemetry.NewEventLog(8192)
 	e.SetEventLog(events)
@@ -135,19 +138,38 @@ func chaosSoak(t *testing.T, movers int) {
 	if restarts == 0 {
 		t.Error("event log shows no restarts")
 	}
+	if sampleShift > 0 {
+		// Span accounting must close even though faults killed packets at
+		// every lifecycle point: every sampled span was either completed at
+		// delivery or aborted when its packet died.
+		ss := e.SpanStats()
+		if ss.Sampled == 0 {
+			t.Error("sampling armed but no spans sampled")
+		}
+		if ss.Sampled != ss.Completed+ss.Aborted {
+			t.Errorf("span accounting open after chaos: %+v", ss)
+		}
+		t.Logf("chaos spans: %+v", ss)
+	}
 	t.Logf("chaos: injected=%d delivered=%d restarts=%d faultDrops=%d nfDrops=%d shutdownDrops=%d",
 		e.Injected.Load(), e.Delivered.Load(), st[b].Restarts, e.FaultDrops.Load(),
 		e.NFDrops.Load(), e.ShutdownDrops.Load())
 }
 
 // TestChaosSoak soaks the serial TX path (one mover).
-func TestChaosSoak(t *testing.T) { chaosSoak(t, 1) }
+func TestChaosSoak(t *testing.T) { chaosSoak(t, 1, 0) }
 
 // TestChaosSoakMovers2 soaks the sharded TX path: two movers own disjoint
 // halves of the stages' tx rings while faults crash and stall stages, so
 // conservation and supervision are certified against concurrent movers
 // (CI runs this under -race).
-func TestChaosSoakMovers2(t *testing.T) { chaosSoak(t, 2) }
+func TestChaosSoakMovers2(t *testing.T) { chaosSoak(t, 2, 0) }
+
+// TestChaosSoakSampled soaks the sharded TX path with the flight recorder
+// armed at 1-in-16 sampling: spans ride packets through panics, stalls,
+// drops, and restarts, and the Sampled == Completed + Aborted invariant
+// must close when the dust settles (CI runs this under -race).
+func TestChaosSoakSampled(t *testing.T) { chaosSoak(t, 2, 4) }
 
 // TestChaosSeededReplay runs the same short chaos scenario twice with
 // identical seeds and checks the fault injectors evaluated identical

@@ -81,6 +81,11 @@ type Packet struct {
 	// enqueuedNanos is the coarse engine clock (unix nanos) at chain entry.
 	enqueuedNanos int64
 
+	// span is the flight recorder's per-hop trace, attached at inject to
+	// sampled packets only (see trace.go); nil on the unsampled path, so
+	// the hot path pays one predictable branch per packet.
+	span *Span
+
 	// poolState tracks freelist ownership when Config.DebugPool is set
 	// (0 = live, 1 = pooled); manipulated with sync/atomic functions.
 	poolState int32
@@ -154,6 +159,22 @@ type Config struct {
 	// on the packet freelist; violations panic with the offending stage.
 	// Costs one predictable branch per packet — leave off in production.
 	DebugPool bool
+
+	// TraceSampleShift enables the flight recorder's packet spans: 0 (the
+	// default) disables sampling entirely; a value s ≥ 1 samples 1 in 2^s
+	// injected packets and records per-hop timestamps into pooled spans
+	// (see trace.go). Disabled, the hot path stays zero-atomic and
+	// zero-allocation.
+	TraceSampleShift int
+	// TraceSpoolSize is the completed-span spool capacity and the number
+	// of preallocated span slabs (rounded up to a power of two; 0 takes
+	// 1024). Overflow drops are counted, never blocked on.
+	TraceSpoolSize int
+	// DecisionJournalSize is the control-plane decision journal capacity
+	// (0 takes 1024; negative disables the journal). The journal records
+	// every backpressure, weight and supervision decision with its cause;
+	// query it with Engine.Decisions or over HTTP via AddDebugEndpoints.
+	DecisionJournalSize int
 }
 
 // DefaultConfig mirrors the paper's platform parameters (1 ms load
@@ -202,6 +223,10 @@ func (cfg Config) Validate() error {
 		return errors.New("dataplane: LowFrac must be in [0, 1]")
 	case cfg.HighFrac > 0 && cfg.LowFrac > 0 && cfg.LowFrac > cfg.HighFrac:
 		return errors.New("dataplane: LowFrac must not exceed HighFrac")
+	case cfg.TraceSampleShift < 0 || cfg.TraceSampleShift > 32:
+		return errors.New("dataplane: TraceSampleShift must be in [0, 32]")
+	case cfg.TraceSpoolSize < 0:
+		return errors.New("dataplane: TraceSpoolSize must be >= 0")
 	}
 	return nil
 }
@@ -385,13 +410,27 @@ type Engine struct {
 	moverWg   sync.WaitGroup
 
 	// drainBuf is the shutdown drain's tx scratch (the serial moveAll);
-	// over/under, wLoads and wTotals are control-loop scratch, all hoisted
-	// out of the steady-state loops so they allocate once.
+	// over/under, depths, wLoads and wTotals are control-loop scratch, all
+	// hoisted out of the steady-state loops so they allocate once.
 	drainBuf []*Packet
 	over     []bool
 	under    []bool
+	depths   []int
 	wLoads   []float64
 	wTotals  []float64
+
+	// rec is the flight recorder's span machinery (nil unless
+	// Config.TraceSampleShift > 0); spanSink optionally receives completed
+	// spans on the control goroutine; hopService/hopWait are the per-stage
+	// per-hop latency histograms created by RegisterMetrics.
+	rec        *recorder
+	spanSink   func(*Span)
+	hopService []*telemetry.Histogram
+	hopWait    []*telemetry.Histogram
+
+	// journal is the control-plane decision journal (nil when
+	// Config.DecisionJournalSize < 0).
+	journal *DecisionJournal
 
 	// latHist, when registered via RegisterMetrics, observes per-packet
 	// end-to-end latency in nanoseconds.
@@ -458,6 +497,9 @@ func New(cfg Config) *Engine {
 	if cfg.JitterSeed == 0 {
 		cfg.JitterSeed = def.JitterSeed
 	}
+	if cfg.TraceSpoolSize == 0 {
+		cfg.TraceSpoolSize = 1024
+	}
 	high, low := ring.ClampWatermarks(cfg.RingSize, cfg.HighFrac, cfg.LowFrac)
 	e := &Engine{
 		cfg:        cfg,
@@ -467,6 +509,16 @@ func New(cfg Config) *Engine {
 		free:       ring.NewMPMC[*Packet](cfg.PoolSize),
 		drainBuf:   make([]*Packet, cfg.BatchSize),
 		jitterRand: rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+	if cfg.TraceSampleShift > 0 {
+		e.rec = newRecorder(cfg.TraceSampleShift, cfg.TraceSpoolSize)
+	}
+	if cfg.DecisionJournalSize >= 0 {
+		size := cfg.DecisionJournalSize
+		if size == 0 {
+			size = 1024
+		}
+		e.journal = NewDecisionJournal(size)
 	}
 	// TX shards exist from construction so RegisterMetrics can expose
 	// their counters; Run partitions the stages across them.
@@ -629,6 +681,11 @@ func (e *Engine) Inject(p *Packet) bool {
 		return false
 	}
 	p.enqueuedNanos = e.coarseNanos.Load()
+	// Spans attach before the enqueue publishes the packet: once it is in
+	// the ring a worker may already be reading it.
+	if e.rec != nil {
+		e.sampleInject(p)
+	}
 	if !entry.rx.Enqueue(p) {
 		e.RingDrops.Add(1)
 		entry.drops.Add(1)
@@ -666,6 +723,11 @@ func (e *Engine) InjectBatch(ps []*Packet) int {
 	}
 	now := time.Now().UnixNano()
 	e.coarseNanos.Store(now)
+	// Sample the whole batch up front (one atomic add); packets the loop
+	// below sheds abort their spans through freePacket.
+	if e.rec != nil {
+		e.sampleBatch(ps, now)
+	}
 	accepted := 0
 	for i := 0; i < len(ps); {
 		p := ps[i]
@@ -774,6 +836,7 @@ func (e *Engine) Run(ctx context.Context) {
 	e.startWall = time.Now()
 	e.over = make([]bool, len(e.stages))
 	e.under = make([]bool, len(e.stages))
+	e.depths = make([]int, len(e.stages))
 	e.wLoads = make([]float64, len(e.stages))
 	e.wTotals = make([]float64, e.cfg.Cores)
 	e.moverStop = make(chan struct{})
@@ -966,7 +1029,16 @@ func (e *Engine) runChunk(s *stage, w *workerCtx, k int) (live, done int, panick
 		if debug && atomic.LoadInt32(&pkt.poolState) != 0 {
 			panic("dataplane: stage " + s.name + " processing a recycled packet (use-after-PutPacket)")
 		}
+		// Flight recorder: unsampled packets (all of them when the recorder
+		// is off) pay one predicted-not-taken branch per stamp site.
+		sp := pkt.span
+		if sp != nil {
+			sp.stampEnter(s.id, time.Now().UnixNano())
+		}
 		s.fn(pkt)
+		if sp != nil {
+			sp.stampExit(time.Now().UnixNano())
+		}
 		if pkt.Drop {
 			pkt.Drop = false
 			// Claim the single unit back; if the scheduler detached us it
@@ -1098,6 +1170,13 @@ func (e *Engine) moveStages(stages []*stage, buf []*Packet) int {
 				// loop below oblivious to faults.
 				e.bypassFailedHops(buf[:k])
 			}
+			if e.rec != nil {
+				// Flight recorder: stamp sampled packets' move times with a
+				// fresh clock read (the lazy `now` above can lag a worker's
+				// exit stamp and break hop monotonicity) and complete spans
+				// whose packet is about to be delivered below.
+				e.stampSpans(buf[:k])
+			}
 			sinkFrom = 0
 			for i := 0; i < k; {
 				pkt := buf[i]
@@ -1228,18 +1307,27 @@ func (e *Engine) flushSink(run []*Packet) {
 // entry while any of its stages' receive queues is above the high watermark,
 // and clears when all are below the low one. Upstream yield flags follow the
 // same rule as the simulator: set only when every chain through the stage is
-// throttled and the stage sits upstream of a bottleneck.
+// throttled and the stage sits upstream of a bottleneck. Every throttle edge
+// is journaled and logged with its cause — the queue depth observed against
+// the watermarks at decision time.
 func (e *Engine) updateBackpressure() {
-	over, under := e.over, e.under
+	over, under, depths := e.over, e.under, e.depths
 	for i, s := range e.stages {
 		l := s.rx.Len()
+		depths[i] = l
 		over[i] = l >= e.highWater
 		under[i] = l < e.lowWater
 	}
 	for ci, chain := range e.chains {
 		if e.throttled[ci].Load() {
 			all := true
+			// deepest tracks the fullest queue on the chain so the bp_off
+			// record names where the pressure drained from.
+			deepest := chain[0]
 			for _, sid := range chain {
+				if depths[sid] > depths[deepest] {
+					deepest = sid
+				}
 				if !under[sid] {
 					all = false
 					break
@@ -1247,9 +1335,15 @@ func (e *Engine) updateBackpressure() {
 			}
 			if all {
 				e.throttled[ci].Store(false)
+				e.record(Decision{Kind: DecisionBPOff, Chain: ci,
+					Stage: e.stages[deepest].name, QueueDepth: depths[deepest],
+					HighWater: e.highWater, LowWater: e.lowWater})
 				if e.events != nil {
 					e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelInfo,
-						"backpressure", telemetry.F("chain", ci), telemetry.F("state", "clear"))
+						"bp_off", telemetry.F("chain", ci),
+						telemetry.F("stage", e.stages[deepest].name),
+						telemetry.F("qdepth", depths[deepest]),
+						telemetry.F("low_water", e.lowWater))
 				}
 			}
 		} else {
@@ -1257,10 +1351,15 @@ func (e *Engine) updateBackpressure() {
 				if over[sid] {
 					e.throttled[ci].Store(true)
 					e.ThrottleEvents.Add(1)
+					e.record(Decision{Kind: DecisionBPOn, Chain: ci,
+						Stage: e.stages[sid].name, QueueDepth: depths[sid],
+						HighWater: e.highWater, LowWater: e.lowWater})
 					if e.events != nil {
 						e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelInfo,
-							"backpressure", telemetry.F("chain", ci), telemetry.F("state", "throttle"),
-							telemetry.F("stage", e.stages[sid].name))
+							"bp_on", telemetry.F("chain", ci),
+							telemetry.F("stage", e.stages[sid].name),
+							telemetry.F("qdepth", depths[sid]),
+							telemetry.F("high_water", e.highWater))
 					}
 					break
 				}
@@ -1334,9 +1433,14 @@ func (e *Engine) updateWeights() {
 		if w < scale/100 {
 			w = scale / 100
 		}
-		if s.weight.Swap(w) != w && e.events != nil {
-			e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelDebug,
-				"weight", telemetry.F("stage", s.name), telemetry.F("weight", w))
+		if old := s.weight.Swap(w); old != w {
+			e.record(Decision{Kind: DecisionWeight, Chain: -1, Stage: s.name,
+				Load: loads[i], CostNanos: math.Float64frombits(s.estCost.Load()),
+				OldWeight: old, NewWeight: w})
+			if e.events != nil {
+				e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelDebug,
+					"weight", telemetry.F("stage", s.name), telemetry.F("weight", w))
+			}
 		}
 	}
 }
@@ -1447,8 +1551,44 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 		e.ShutdownDrops.Load)
 	reg.CounterFunc("dataplane_late_drops_total",
 		"Inject attempts rejected because Run had exited.", e.LateDrops.Load)
+	reg.GaugeFunc("dataplane_watermark_packets",
+		"Backpressure high watermark in packets.",
+		func() float64 { return float64(e.highWater) }, telemetry.L("level", "high"))
+	reg.GaugeFunc("dataplane_watermark_packets",
+		"Backpressure low watermark in packets.",
+		func() float64 { return float64(e.lowWater) }, telemetry.L("level", "low"))
 	e.latHist = reg.Histogram("dataplane_latency_nanoseconds",
 		"End-to-end sojourn time of delivered packets.")
+	if r := e.rec; r != nil {
+		reg.CounterFunc("dataplane_spans_sampled_total",
+			"Flight-recorder spans started at inject.", r.sampled.Load)
+		reg.CounterFunc("dataplane_spans_completed_total",
+			"Flight-recorder spans that reached the output boundary.", r.completed.Load)
+		reg.CounterFunc("dataplane_spans_aborted_total",
+			"Flight-recorder spans whose packet was dropped mid-flight.", r.aborted.Load)
+		reg.CounterFunc("dataplane_span_starved_total",
+			"Sampler hits skipped because every span slab was in flight.", r.starved.Load)
+		reg.CounterFunc("dataplane_span_spool_drops_total",
+			"Completed spans discarded at a full spool.", r.spoolDrops.Load)
+		e.hopService = make([]*telemetry.Histogram, len(e.stages))
+		e.hopWait = make([]*telemetry.Histogram, len(e.stages))
+		for _, s := range e.stages {
+			lbl := []telemetry.Label{
+				telemetry.L("stage", s.name),
+				telemetry.L("id", strconv.Itoa(s.id)),
+			}
+			e.hopService[s.id] = reg.Histogram("dataplane_hop_service_nanoseconds",
+				"Per-hop handler time of sampled packets.", lbl...)
+			e.hopWait[s.id] = reg.Histogram("dataplane_hop_wait_nanoseconds",
+				"Per-hop ring wait of sampled packets (previous move to dequeue).", lbl...)
+		}
+	}
+	if j := e.journal; j != nil {
+		reg.CounterFunc("dataplane_decisions_total",
+			"Control-plane decisions appended to the journal.", j.Total)
+		reg.CounterFunc("dataplane_decision_drops_total",
+			"Journal records overwritten by ring wrap.", j.Dropped)
+	}
 }
 
 // SetEventLog attaches a structured event log receiving backpressure

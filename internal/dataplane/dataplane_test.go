@@ -3,6 +3,7 @@ package dataplane
 import (
 	"context"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -440,19 +441,26 @@ func TestMultiCoreChainsProgress(t *testing.T) {
 	defer cancel()
 	done := make(chan struct{})
 	go func() { e.Run(ctx); close(done) }()
-	got := 0
+	var got atomic.Int64
 	recv := make(chan struct{})
 	go func() {
 		for range e.Output() {
-			got++
-			if got == 500 {
+			if got.Add(1) == 500 {
 				close(recv)
 				return
 			}
 		}
 	}()
+	// Closed loop: cap in-flight packets well below the output channel's
+	// RingSize capacity, because delivery is a non-blocking send — a burst
+	// while this consumer goroutine is descheduled would overflow the
+	// channel and count OutputDrops instead of deliveries.
 	sent := 0
 	for sent < 500 {
+		if sent-int(got.Load()) >= 128 {
+			runtime.Gosched()
+			continue
+		}
 		if e.Inject(&Packet{FlowID: 0}) {
 			sent++
 		} else {
@@ -462,7 +470,7 @@ func TestMultiCoreChainsProgress(t *testing.T) {
 	select {
 	case <-recv:
 	case <-time.After(10 * time.Second):
-		t.Fatalf("cross-core chain delivered only %d/500", got)
+		t.Fatalf("cross-core chain delivered only %d/500", got.Load())
 	}
 	st := e.Stats()
 	if st[0].Processed < 500 || st[1].Processed < 500 {

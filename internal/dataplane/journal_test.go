@@ -1,0 +1,200 @@
+package dataplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestDecisionJournalRing(t *testing.T) {
+	j := NewDecisionJournal(16)
+	for i := 0; i < 40; i++ {
+		j.Append(Decision{Kind: DecisionWeight, Chain: i})
+	}
+	if j.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", j.Total())
+	}
+	if j.Dropped() != 24 {
+		t.Fatalf("Dropped = %d, want 24 (40 appends into 16 slots)", j.Dropped())
+	}
+	tail := j.Tail(0)
+	if len(tail) != 16 {
+		t.Fatalf("Tail(0) holds %d, want 16", len(tail))
+	}
+	// Oldest-first, contiguous, ending at the newest append (Seq 39).
+	for i, d := range tail {
+		if want := uint64(24 + i); d.Seq != want {
+			t.Fatalf("tail[%d].Seq = %d, want %d", i, d.Seq, want)
+		}
+		if d.TimeUnixNanos == 0 {
+			t.Fatalf("tail[%d] missing timestamp", i)
+		}
+	}
+	if got := j.Tail(4); len(got) != 4 || got[3].Seq != 39 {
+		t.Fatalf("Tail(4) = %d entries ending Seq %d, want 4 ending 39", len(got), got[len(got)-1].Seq)
+	}
+}
+
+func TestDecisionJournalFilter(t *testing.T) {
+	j := NewDecisionJournal(64)
+	for i := 0; i < 30; i++ {
+		k := DecisionBPOn
+		if i%3 == 0 {
+			k = DecisionBPOff
+		}
+		j.Append(Decision{Kind: k, Chain: i % 2, Stage: fmt.Sprintf("s%d", i%2)})
+	}
+	got := j.Filter(0, func(d Decision) bool {
+		return d.Kind == DecisionBPOff && d.Chain == 0
+	})
+	want := 0
+	for i := 0; i < 30; i++ {
+		if i%3 == 0 && i%2 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Filter matched %d, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("filtered results not in append order: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+// TestDecisionJournalConcurrent hammers Append from many writers while
+// readers Tail/Filter/serve concurrently; run under -race this is the
+// journal's thread-safety proof.
+func TestDecisionJournalConcurrent(t *testing.T) {
+	j := NewDecisionJournal(128)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tail := j.Tail(32)
+				for i := 1; i < len(tail); i++ {
+					if tail[i].Seq <= tail[i-1].Seq {
+						t.Errorf("tail out of order: %d then %d", tail[i-1].Seq, tail[i].Seq)
+						return
+					}
+				}
+				j.Filter(16, func(d Decision) bool { return d.Kind == DecisionBPOn })
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Append(Decision{Kind: DecisionBPOn, Chain: w, QueueDepth: i})
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	const total = writers * perWriter
+	if j.Total() != total {
+		t.Fatalf("Total = %d, want %d", j.Total(), total)
+	}
+	if j.Dropped() != total-128 {
+		t.Fatalf("Dropped = %d, want %d", j.Dropped(), total-128)
+	}
+}
+
+func TestDecisionEndpoint(t *testing.T) {
+	e := New(Config{RingSize: 64})
+	e.record(Decision{Kind: DecisionBPOn, Chain: 2, Stage: "nat", QueueDepth: 51, HighWater: 48, LowWater: 32})
+	e.record(Decision{Kind: DecisionBPOff, Chain: 2, Stage: "nat", QueueDepth: 7, HighWater: 48, LowWater: 32})
+	e.record(Decision{Kind: DecisionWeight, Chain: -1, Stage: "fw", OldWeight: 100, NewWeight: 180})
+
+	mux := http.NewServeMux()
+	e.AddDebugEndpoints(mux)
+
+	get := func(url string) (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, rec.Body.String())
+		}
+		return rec.Code, body
+	}
+
+	code, body := get("/debug/decisions")
+	if code != 200 {
+		t.Fatalf("/debug/decisions -> %d", code)
+	}
+	if body["total"].(float64) != 3 {
+		t.Fatalf("total = %v, want 3", body["total"])
+	}
+	if n := len(body["decisions"].([]any)); n != 3 {
+		t.Fatalf("got %d decisions, want 3", n)
+	}
+
+	_, body = get("/debug/decisions?kind=bp_on")
+	ds := body["decisions"].([]any)
+	if len(ds) != 1 {
+		t.Fatalf("kind=bp_on matched %d, want 1", len(ds))
+	}
+	d := ds[0].(map[string]any)
+	if d["kind"] != "bp_on" || d["qdepth"].(float64) != 51 || d["high_water"].(float64) != 48 {
+		t.Fatalf("bp_on record lost its cause: %v", d)
+	}
+
+	_, body = get("/debug/decisions?chain=2&n=1")
+	ds = body["decisions"].([]any)
+	if len(ds) != 1 || ds[0].(map[string]any)["kind"] != "bp_off" {
+		t.Fatalf("chain=2&n=1 should return the newest chain-2 record, got %v", ds)
+	}
+
+	_, body = get("/debug/decisions?stage=fw")
+	ds = body["decisions"].([]any)
+	if len(ds) != 1 || ds[0].(map[string]any)["kind"] != "weight" {
+		t.Fatalf("stage=fw should match the weight record, got %v", ds)
+	}
+
+	// /debug/spans mounts when sampling is on.
+	e2 := New(Config{TraceSampleShift: 4})
+	mux2 := http.NewServeMux()
+	e2.AddDebugEndpoints(mux2)
+	rec := httptest.NewRecorder()
+	mux2.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/spans -> %d", rec.Code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/debug/spans bad JSON: %v", err)
+	}
+}
+
+func TestJournalDisabled(t *testing.T) {
+	e := New(Config{DecisionJournalSize: -1})
+	if e.Decisions() != nil {
+		t.Fatal("journal allocated despite DecisionJournalSize=-1")
+	}
+	e.record(Decision{Kind: DecisionBPOn}) // must not panic
+	mux := http.NewServeMux()
+	e.AddDebugEndpoints(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/decisions", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/decisions should be unmounted when disabled, got %d", rec.Code)
+	}
+}

@@ -226,6 +226,9 @@ func (e *Engine) controlLoop(ctx context.Context) {
 			e.updateBackpressure()
 			lastBP = now
 		}
+		// Flight recorder: completed spans drain here, off the hot path —
+		// the histogram observes and the span sink run on this goroutine.
+		e.drainSpool()
 		e.supervise(now.UnixNano())
 		if e.cfg.WeightPeriod > 0 && now.Sub(lastW) >= e.cfg.WeightPeriod {
 			e.updateWeights()

@@ -55,6 +55,11 @@ func (e *Engine) GetPacket() *Packet {
 // cleared (so the freelist never pins user objects); if the freelist is full
 // the packet is left to the garbage collector. Safe from any goroutine.
 func (e *Engine) PutPacket(p *Packet) {
+	if p.span != nil {
+		// A rejected-Inject packet surrendered with its span still attached
+		// (delivered packets had theirs completed by the mover).
+		e.abortSpan(p)
+	}
 	if e.cfg.DebugPool {
 		debugPut(p)
 	}
@@ -67,6 +72,11 @@ func (e *Engine) PutPacket(p *Packet) {
 // freePacket is the engine-internal recycle for packets dropped in flight,
 // honouring the NoRecycle opt-out.
 func (e *Engine) freePacket(p *Packet) {
+	if p.span != nil {
+		// Dropped in flight: the span aborts (and its slab recycles) even
+		// when NoRecycle leaves the descriptor itself to the caller.
+		e.abortSpan(p)
+	}
 	if e.cfg.NoRecycle {
 		return
 	}
@@ -119,6 +129,9 @@ func (c *PacketCache) Get() *Packet {
 // Put recycles a descriptor, spilling half the cache to the shared freelist
 // when the local slab is full.
 func (c *PacketCache) Put(p *Packet) {
+	if p.span != nil {
+		c.e.abortSpan(p)
+	}
 	if c.e.cfg.DebugPool {
 		debugPut(p)
 	}

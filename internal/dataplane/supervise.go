@@ -33,6 +33,7 @@ package dataplane
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -197,7 +198,16 @@ func (e *Engine) emit(lvl telemetry.Level, typ string, fields ...telemetry.Field
 
 // setHealth transitions a stage's health state, emitting the change.
 func (e *Engine) setHealth(s *stage, h Health) {
-	if Health(s.health.Swap(int32(h))) != h {
+	e.setHealthNote(s, h, "")
+}
+
+// setHealthNote is setHealth with a cause note (panic message, stall) that
+// rides along in the decision journal.
+func (e *Engine) setHealthNote(s *stage, h Health, note string) {
+	if from := Health(s.health.Swap(int32(h))); from != h {
+		e.record(Decision{Kind: DecisionHealth, Chain: -1, Stage: s.name,
+			From: from.String(), To: h.String(),
+			Failures: int(s.consecFails.Load()), Note: note})
 		e.emit(telemetry.LevelInfo, "stage_health",
 			telemetry.F("stage", s.name), telemetry.F("state", h.String()))
 	}
@@ -236,12 +246,14 @@ func (e *Engine) failStage(s *stage, kind, msg string) {
 	e.anyFaulty.Store(true)
 	if e.cfg.MaxRestarts >= 0 && fails > e.cfg.MaxRestarts {
 		s.restartAtNanos.Store(restartNever)
+		e.record(Decision{Kind: DecisionCircuitOpen, Chain: -1, Stage: s.name,
+			Failures: fails, Note: kind + ": " + msg})
 		e.emit(telemetry.LevelWarn, "stage_circuit_open",
 			telemetry.F("stage", s.name), telemetry.F("failures", fails))
 	} else {
 		s.restartAtNanos.Store(time.Now().UnixNano() + e.restartBackoff(fails).Nanoseconds())
 	}
-	e.setHealth(s, Failed)
+	e.setHealthNote(s, Failed, kind+": "+msg)
 	e.recomputeChainsDown()
 	e.emit(telemetry.LevelWarn, "stage_fault",
 		telemetry.F("stage", s.name), telemetry.F("kind", kind),
@@ -270,6 +282,9 @@ func (e *Engine) restartBackoff(fails int) time.Duration {
 // stale incarnation.
 func (e *Engine) restartStage(s *stage) {
 	s.restarts.Add(1)
+	e.record(Decision{Kind: DecisionRestart, Chain: -1, Stage: s.name,
+		Failures: int(s.consecFails.Load()),
+		Note:     "attempt " + strconv.FormatUint(s.restarts.Load(), 10)})
 	e.spawnWorker(s)
 	e.setHealth(s, Restarting)
 	e.recomputeChainsDown()
@@ -294,9 +309,12 @@ func (e *Engine) recomputeChainsDown() {
 		}
 		if e.chainDown[ci].Swap(down) != down {
 			state := "up"
+			kind := DecisionChainUp
 			if down {
 				state = "down"
+				kind = DecisionChainDown
 			}
+			e.record(Decision{Kind: kind, Chain: ci})
 			e.emit(telemetry.LevelInfo, "chain_failclosed",
 				telemetry.F("chain", ci), telemetry.F("state", state))
 		}
@@ -444,12 +462,18 @@ func (e *Engine) shutdown(timer *time.Timer) {
 		e.sweepRing(s.rx, &e.ShutdownDrops)
 		e.sweepRing(s.tx, &e.ShutdownDrops)
 	}
+	// Flush spans completed by the final moveAll; the control loop that
+	// normally drains the spool has already exited.
+	e.drainSpool()
 }
 
 // HealthSnapshot reports every stage's supervision state, restart count and
-// failure streak — the /healthz payload (see telemetry.AddHealthz).
+// failure streak, followed by one row per TX shard carrying the mover's
+// drain telemetry (parks, wakes, park ratio, drain efficiency) in Detail —
+// the /healthz payload (see telemetry.AddHealthz). Stage rows always come
+// first, in stage-id order, so indexing by stage id keeps working.
 func (e *Engine) HealthSnapshot() []telemetry.ComponentHealth {
-	out := make([]telemetry.ComponentHealth, len(e.stages))
+	out := make([]telemetry.ComponentHealth, len(e.stages), len(e.stages)+len(e.movers))
 	for i, s := range e.stages {
 		h := Health(s.health.Load())
 		out[i] = telemetry.ComponentHealth{
@@ -459,6 +483,25 @@ func (e *Engine) HealthSnapshot() []telemetry.ComponentHealth {
 			Restarts:  s.restarts.Load(),
 			Failures:  uint64(s.consecFails.Load()),
 		}
+	}
+	for _, ms := range e.MoverStats() {
+		detail := map[string]float64{
+			"stages": float64(ms.Stages),
+			"sweeps": float64(ms.Sweeps),
+			"moved":  float64(ms.Moved),
+			"parks":  float64(ms.Parks),
+			"wakes":  float64(ms.Wakes),
+		}
+		if ms.Sweeps > 0 {
+			detail["park_ratio"] = float64(ms.Parks) / float64(ms.Sweeps)
+			detail["drain_per_sweep"] = float64(ms.Moved) / float64(ms.Sweeps)
+		}
+		out = append(out, telemetry.ComponentHealth{
+			Component: "mover/" + strconv.Itoa(len(out)-len(e.stages)),
+			State:     "active",
+			Healthy:   true,
+			Detail:    detail,
+		})
 	}
 	return out
 }

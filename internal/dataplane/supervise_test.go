@@ -3,6 +3,7 @@ package dataplane
 import (
 	"context"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -82,7 +83,11 @@ func TestPanicIsolationAndRestart(t *testing.T) {
 
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if e.Stats()[1].Restarts >= 3 && e.Delivered.Load() > 1000 {
+		// Keep driving until every asserted-on counter has fired: a
+		// fail-closed entry drop needs an Inject to land inside a restart
+		// window, which fast restarts can make narrow.
+		if e.Stats()[1].Restarts >= 3 && e.Delivered.Load() > 1000 &&
+			e.FaultEntryDrops.Load() > 0 {
 			break
 		}
 		if !e.Inject(&Packet{FlowID: 0}) {
@@ -133,14 +138,31 @@ func TestPanicIsolationAndRestart(t *testing.T) {
 			sawFault, sawRestart, sawRecovered)
 	}
 
-	// /healthz surface: every stage reports, and the flaky stage's history
-	// shows its restarts.
+	// /healthz surface: every stage reports first (in stage-id order), the
+	// flaky stage's history shows its restarts, and the TX shards append
+	// rows carrying their drain telemetry.
 	snap := e.HealthSnapshot()
-	if len(snap) != 3 {
-		t.Fatalf("HealthSnapshot returned %d components, want 3", len(snap))
+	if len(snap) < 3 {
+		t.Fatalf("HealthSnapshot returned %d components, want >= 3 stages", len(snap))
 	}
 	if snap[1].Restarts == 0 {
 		t.Error("HealthSnapshot shows no restarts for the flaky stage")
+	}
+	var moverRows int
+	for _, c := range snap[3:] {
+		if !strings.HasPrefix(c.Component, "mover/") {
+			t.Errorf("unexpected non-mover component %q after the stage rows", c.Component)
+			continue
+		}
+		moverRows++
+		if c.Detail == nil {
+			t.Errorf("%s row has no detail map", c.Component)
+		} else if c.Detail["sweeps"] == 0 {
+			t.Errorf("%s reports zero sweeps after a full run", c.Component)
+		}
+	}
+	if moverRows == 0 {
+		t.Error("HealthSnapshot has no mover rows")
 	}
 }
 

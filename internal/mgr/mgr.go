@@ -151,6 +151,11 @@ type Manager struct {
 	// OnThrottle, when set, observes backpressure enable/disable edges
 	// per NF (tracing).
 	OnThrottle func(nfID int, enabled bool, now simtime.Cycles)
+	// OnBPTransition, when set, observes every Figure-4 state-machine edge
+	// with its cause (watermark conditions and time-above-high at decision
+	// time) — finer-grained than OnThrottle, which only sees the
+	// enable/disable edges. Decision-journal provenance.
+	OnBPTransition func(nfID int, tr bp.Transition)
 	// OnECNMark, when set, observes every CE mark applied at an NF's queue
 	// (telemetry). Set before AddNF calls take effect on later NFs; the
 	// platform wires it before any packet flows.
@@ -184,7 +189,12 @@ func (m *Manager) AddNF(n *nf.NF) {
 		panic(fmt.Sprintf("mgr: NF %q has id %d, want %d (dense registration)", n.Name, n.ID, len(m.nfs)))
 	}
 	m.nfs = append(m.nfs, n)
-	m.bpStates = append(m.bpStates, bp.NFState{})
+	nfIdx := n.ID
+	m.bpStates = append(m.bpStates, bp.NFState{Observer: func(tr bp.Transition) {
+		if m.OnBPTransition != nil {
+			m.OnBPTransition(nfIdx, tr)
+		}
+	}})
 	m.throttledBy = append(m.throttledBy, nil)
 	marker := bp.NewECNMarker(m.Params.ECNThreshold)
 	nfID := n.ID

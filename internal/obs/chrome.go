@@ -34,6 +34,7 @@ type ChromeWriter struct {
 	mu     sync.Mutex
 	w      io.Writer
 	enc    *json.Encoder
+	unit   TimeUnit
 	n      int
 	err    error
 	closed bool
@@ -44,6 +45,24 @@ func NewChromeWriter(w io.Writer) *ChromeWriter {
 	cw := &ChromeWriter{w: w, enc: json.NewEncoder(w)}
 	cw.enc.SetEscapeHTML(false)
 	return cw
+}
+
+// SetUnit selects the timestamp base for subsequent events (the zero value
+// is UnitCycles, the simulator's clock; the live dataplane sets UnitNanos
+// and passes wall-clock nanoseconds cast to simtime.Cycles). Returns the
+// writer for chaining: obs.NewChromeWriter(f).SetUnit(obs.UnitNanos).
+func (c *ChromeWriter) SetUnit(u TimeUnit) *ChromeWriter {
+	c.mu.Lock()
+	c.unit = u
+	c.mu.Unlock()
+	return c
+}
+
+// timeUnit reads the configured unit under the lock.
+func (c *ChromeWriter) timeUnit() TimeUnit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.unit
 }
 
 func (c *ChromeWriter) emit(e event) {
@@ -75,12 +94,13 @@ func (c *ChromeWriter) RunSpan(core int, task string, start, end simtime.Cycles)
 	if end <= start {
 		return
 	}
+	u := c.timeUnit()
 	c.emit(event{
 		Name: task,
 		Cat:  "run",
 		Ph:   "X",
-		TS:   us(start),
-		Dur:  us(end - start),
+		TS:   u.toUS(start),
+		Dur:  u.toUS(end - start),
 		PID:  0,
 		TID:  core,
 	})
@@ -92,7 +112,7 @@ func (c *ChromeWriter) Instant(name string, now simtime.Cycles, args map[string]
 		Name: name,
 		Cat:  "control",
 		Ph:   "i",
-		TS:   us(now),
+		TS:   c.timeUnit().toUS(now),
 		PID:  0,
 		TID:  1000,
 		S:    "g",
@@ -105,7 +125,7 @@ func (c *ChromeWriter) Counter(name string, now simtime.Cycles, value float64) {
 	c.emit(event{
 		Name: name,
 		Ph:   "C",
-		TS:   us(now),
+		TS:   c.timeUnit().toUS(now),
 		PID:  0,
 		TID:  0,
 		Args: map[string]any{"value": value},

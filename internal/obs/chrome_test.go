@@ -130,3 +130,34 @@ func TestChromeWriterConcurrent(t *testing.T) {
 		t.Errorf("decoded %d events, want 800", len(evs))
 	}
 }
+
+// TestChromeWriterUnitNanos pins the wall-clock mode used by the live
+// dataplane's flight recorder: with UnitNanos, timestamps fed as nanoseconds
+// come out as microseconds in the trace (ts/dur are µs by Chrome convention).
+func TestChromeWriterUnitNanos(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf).SetUnit(UnitNanos)
+	cw.RunSpan(0, "hop", 1000, 3000) // 1 µs .. 3 µs wall clock
+	cw.Instant("deliver", 3000, nil)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, buf.Bytes())
+	if len(evs) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(evs))
+	}
+	if ts, dur := evs[0]["ts"], evs[0]["dur"]; ts != float64(1) || dur != float64(2) {
+		t.Errorf("nanos span ts=%v dur=%v, want 1 and 2 µs", ts, dur)
+	}
+	if ts := evs[1]["ts"]; ts != float64(3) {
+		t.Errorf("nanos instant ts=%v, want 3 µs", ts)
+	}
+	// The zero value stays cycle-denominated (simulator compatibility).
+	var buf2 bytes.Buffer
+	cw2 := NewChromeWriter(&buf2)
+	cw2.RunSpan(0, "hop", 0, 2600)
+	cw2.Close()
+	if evs := decodeTrace(t, buf2.Bytes()); evs[0]["dur"] != float64(1) {
+		t.Errorf("default unit dur=%v, want 1 µs for 2600 cycles", evs[0]["dur"])
+	}
+}

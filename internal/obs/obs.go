@@ -14,6 +14,29 @@ import (
 	"nfvnice/internal/simtime"
 )
 
+// TimeUnit scales a sink's raw timestamps into the trace format's
+// microseconds. Producers hand in either simulated cycles (the simulator's
+// simtime.Cycles, the zero-value default) or wall-clock nanoseconds (the
+// live dataplane's flight recorder: cast the int64 nanos to simtime.Cycles
+// and set UnitNanos on the sink). One writer therefore serves both sides.
+type TimeUnit float64
+
+const (
+	// UnitCycles interprets timestamps as simtime.Cycles (the default; the
+	// zero TimeUnit behaves identically).
+	UnitCycles = TimeUnit(1) / TimeUnit(simtime.Microsecond)
+	// UnitNanos interprets timestamps as wall-clock nanoseconds.
+	UnitNanos TimeUnit = 1.0 / 1000
+)
+
+// toUS converts a raw timestamp to trace microseconds under the unit.
+func (u TimeUnit) toUS(c simtime.Cycles) float64 {
+	if u == 0 {
+		u = UnitCycles
+	}
+	return float64(c) * float64(u)
+}
+
 // event is one Chrome trace event (subset of the spec we emit).
 type event struct {
 	Name string         `json:"name"`
@@ -38,6 +61,10 @@ type Trace struct {
 
 	// Dropped counts events discarded past Cap.
 	Dropped uint64
+
+	// Unit selects the timestamp base (zero value = UnitCycles). Set it
+	// before recording: events store converted microseconds.
+	Unit TimeUnit
 }
 
 // New returns an empty trace.
@@ -59,10 +86,6 @@ func (t *Trace) add(e event) {
 	t.evs = append(t.evs, e)
 }
 
-func us(c simtime.Cycles) float64 {
-	return float64(c) / float64(simtime.Microsecond)
-}
-
 // RunSpan records a task executing on a core from start to end.
 func (t *Trace) RunSpan(core int, task string, start, end simtime.Cycles) {
 	if end <= start {
@@ -72,8 +95,8 @@ func (t *Trace) RunSpan(core int, task string, start, end simtime.Cycles) {
 		Name: task,
 		Cat:  "run",
 		Ph:   "X",
-		TS:   us(start),
-		Dur:  us(end - start),
+		TS:   t.Unit.toUS(start),
+		Dur:  t.Unit.toUS(end - start),
 		PID:  0,
 		TID:  core,
 	})
@@ -85,7 +108,7 @@ func (t *Trace) Instant(name string, now simtime.Cycles, args map[string]any) {
 		Name: name,
 		Cat:  "control",
 		Ph:   "i",
-		TS:   us(now),
+		TS:   t.Unit.toUS(now),
 		PID:  0,
 		TID:  1000, // control-plane lane
 		S:    "g",
@@ -98,7 +121,7 @@ func (t *Trace) Counter(name string, now simtime.Cycles, value float64) {
 	t.add(event{
 		Name: name,
 		Ph:   "C",
-		TS:   us(now),
+		TS:   t.Unit.toUS(now),
 		PID:  0,
 		TID:  0,
 		Args: map[string]any{"value": value},

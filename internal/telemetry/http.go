@@ -52,6 +52,9 @@ type ComponentHealth struct {
 	Healthy   bool   `json:"healthy"`
 	Restarts  uint64 `json:"restarts"`
 	Failures  uint64 `json:"failures"`
+	// Detail carries component-specific numeric telemetry (e.g. a TX
+	// shard's park ratio and drain efficiency); omitted when empty.
+	Detail map[string]float64 `json:"detail,omitempty"`
 }
 
 // AddHealthz mounts a /healthz endpoint on the mux. Each request calls src
@@ -62,6 +65,15 @@ type ComponentHealth struct {
 // Status is 200 when every component is healthy, 503 otherwise — so plain
 // HTTP probes (load balancers, uptime checks) work without parsing.
 func AddHealthz(mux *http.ServeMux, src func() []ComponentHealth) {
+	AddHealthzDetail(mux, src, nil)
+}
+
+// AddHealthzDetail is AddHealthz with a degradation-context hook: when any
+// component is unhealthy (the 503 reply) and detail is non-nil, its return
+// value is included as a "detail" field — the dataplane passes the tail of
+// its decision journal here, so a failing probe carries the recent
+// control-plane decisions that explain it without a second round trip.
+func AddHealthzDetail(mux *http.ServeMux, src func() []ComponentHealth, detail func() any) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		comps := src()
 		healthy := true
@@ -72,13 +84,18 @@ func AddHealthz(mux *http.ServeMux, src func() []ComponentHealth) {
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if !healthy {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		json.NewEncoder(w).Encode(struct {
+		body := struct {
 			Healthy    bool              `json:"healthy"`
 			Components []ComponentHealth `json:"components"`
-		}{healthy, comps})
+			Detail     any               `json:"detail,omitempty"`
+		}{Healthy: healthy, Components: comps}
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if detail != nil {
+				body.Detail = detail()
+			}
+		}
+		json.NewEncoder(w).Encode(body)
 	})
 }
 

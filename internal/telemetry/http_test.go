@@ -124,3 +124,51 @@ func TestHealthzEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestHealthzDetail pins the degradation-context hook: the detail payload is
+// attached only to 503 replies, so healthy probes stay small and a failing
+// probe carries its explanation.
+func TestHealthzDetail(t *testing.T) {
+	comps := []ComponentHealth{{Component: "fw", State: "healthy", Healthy: true}}
+	mux := NewMux(NewRegistry(), nil)
+	calls := 0
+	AddHealthzDetail(mux, func() []ComponentHealth { return comps }, func() any {
+		calls++
+		return map[string]any{"last_decision": "bp_on chain=2"}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != http.StatusOK || strings.Contains(body, "last_decision") {
+		t.Errorf("healthy reply should omit detail: code=%d body=%q", code, body)
+	}
+	if calls != 0 {
+		t.Errorf("detail hook called %d times on healthy probes", calls)
+	}
+
+	comps[0] = ComponentHealth{Component: "fw", State: "failed",
+		Detail: map[string]float64{"park_ratio": 0.25}}
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded: code = %d, want 503", code)
+	}
+	for _, want := range []string{`"last_decision":"bp_on chain=2"`, `"park_ratio":0.25`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("degraded reply missing %s: %q", want, body)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("detail hook called %d times, want 1", calls)
+	}
+}

@@ -3,6 +3,7 @@ package nfvnice
 import (
 	"strconv"
 
+	"nfvnice/internal/bp"
 	"nfvnice/internal/cpusched"
 	"nfvnice/internal/obs"
 	"nfvnice/internal/simtime"
@@ -130,6 +131,13 @@ func (p *Platform) EnableTelemetry() *Telemetry {
 		t.Events.Emit(now.Seconds(), lvl, "backpressure",
 			telemetry.F("nf", p.nfs[nfID].Name), telemetry.F("state", state))
 	})
+	p.addBPTransitionHook(func(nfID int, tr bp.Transition) {
+		t.Events.Emit(p.Eng.Now().Seconds(), telemetry.LevelDebug, "bp_state",
+			telemetry.F("nf", p.nfs[nfID].Name),
+			telemetry.F("from", tr.From.String()), telemetry.F("to", tr.To.String()),
+			telemetry.F("above_high", tr.AboveHigh), telemetry.F("below_low", tr.BelowLow),
+			telemetry.F("time_above_us", float64(tr.TimeAbove)/float64(simtime.Microsecond)))
+	})
 	p.addSharesHook(func(nfID, shares int, now Cycles) {
 		t.Events.Emit(now.Seconds(), telemetry.LevelDebug, "cpu.shares",
 			telemetry.F("nf", p.nfs[nfID].Name), telemetry.F("shares", shares))
@@ -187,6 +195,18 @@ func (t *Telemetry) AttachTrace(sink obs.Sink) {
 			sink.Counter("shares:"+name, now, float64(shares))
 		}
 	})
+}
+
+// addBPTransitionHook chains a Figure-4 state-machine observer onto the
+// manager without displacing previously registered ones.
+func (p *Platform) addBPTransitionHook(fn func(nfID int, tr bp.Transition)) {
+	prev := p.Mgr.OnBPTransition
+	p.Mgr.OnBPTransition = func(nfID int, tr bp.Transition) {
+		if prev != nil {
+			prev(nfID, tr)
+		}
+		fn(nfID, tr)
+	}
 }
 
 // addThrottleHook chains a backpressure observer onto the manager without
