@@ -3,7 +3,7 @@
 GO      ?= go
 COMMIT  := $(shell git rev-parse --short HEAD 2>/dev/null)
 
-.PHONY: all build vet test race bench-dataplane bench-alloc-gate bench-compare bench-movers
+.PHONY: all build vet test race bench-dataplane bench-alloc-gate bench-compare bench-movers bench-scaling profile-dataplane
 
 all: build vet test
 
@@ -28,15 +28,17 @@ bench-dataplane:
 		$(GO) run ./cmd/benchdataplane -out BENCH_dataplane.json -commit "$(COMMIT)"
 
 # The allocation gate CI enforces: steady-state packet flow must not allocate.
-# Matches both the serial gate and the Movers=2 sharded-path gate.
+# Matches the serial gate and the Movers=2/Movers=4 sharded-path gates.
 bench-alloc-gate:
 	$(GO) test -run=TestSteadyStateZeroAllocs -count=1 -v ./internal/dataplane/
 
 # Before/after comparison: benchmark the tree, diff against the last saved
 # run, then save this run as the new reference. Uses benchstat when it is on
-# PATH (statistical, needs BENCH_COUNT >= 10 for tight CIs); falls back to
-# the builtin averaging comparator otherwise.
-BENCH_COUNT ?= 5
+# PATH (statistical, needs BENCH_COUNT >= 10 for tight CIs) for the report;
+# the builtin comparator always runs as the gate and fails the target when
+# any ns/pkt regresses more than BENCH_THRESHOLD percent.
+BENCH_COUNT     ?= 5
+BENCH_THRESHOLD ?= 5
 bench-compare:
 	@mkdir -p results
 	$(GO) test -run='^$$' -bench='SteadyState|Chain3' -benchtime=1s \
@@ -44,9 +46,10 @@ bench-compare:
 	@if [ -f results/bench_old.txt ]; then \
 		if command -v benchstat >/dev/null 2>&1; then \
 			benchstat results/bench_old.txt results/bench_new.txt; \
-		else \
-			$(GO) run ./cmd/benchdataplane -compare results/bench_old.txt results/bench_new.txt; \
 		fi; \
+		$(GO) run ./cmd/benchdataplane -compare -threshold $(BENCH_THRESHOLD) \
+			results/bench_old.txt results/bench_new.txt || \
+			{ rm -f results/bench_new.txt; exit 1; }; \
 	else \
 		echo "no results/bench_old.txt — this run saved as the reference"; \
 	fi
@@ -58,3 +61,20 @@ bench-compare:
 bench-movers:
 	$(GO) run ./cmd/benchdataplane -movers 1,2,4 -benchtime 2s \
 		-out BENCH_dataplane.json -commit "$(COMMIT)" < /dev/null
+
+# Core-count scaling sweep: each point pins GOMAXPROCS, runs one mover per
+# core with the chain's stages spread across cores, and injects through a
+# producer lane. Rewrites the "scaling" section of BENCH_dataplane.json.
+# Meaningful on a runner with >= 4 CPUs; a 1-CPU host records a flat curve
+# (maxprocs_host in the JSON says which happened).
+bench-scaling:
+	$(GO) run ./cmd/benchdataplane -cores 1,2,4,8 -benchtime 2s \
+		-out BENCH_dataplane.json -commit "$(COMMIT)" < /dev/null
+
+# CPU + mutex-contention profiles of the in-process Movers=4 sweep, for
+# chasing hot-path and lock regressions. Inspect with `go tool pprof`.
+profile-dataplane:
+	@mkdir -p results
+	$(GO) run ./cmd/benchdataplane -movers 4 -benchtime 5s -out '' \
+		-cpuprofile results/dataplane_cpu.pprof \
+		-mutexprofile results/dataplane_mutex.pprof < /dev/null

@@ -15,8 +15,13 @@
 //	# In-process movers sweep (no `go test` needed), merged into the JSON:
 //	go run ./cmd/benchdataplane -movers 1,2,4 -benchtime 2s -out BENCH_dataplane.json
 //
-//	# Compare two saved runs (fallback when benchstat is not installed):
-//	go run ./cmd/benchdataplane -compare old.txt new.txt
+//	# Core-count scaling sweep: pins GOMAXPROCS per point, Movers = Cores,
+//	# lane-path injection; writes the "scaling" section of the JSON:
+//	go run ./cmd/benchdataplane -cores 1,2,4,8 -benchtime 2s -out BENCH_dataplane.json
+//
+//	# Compare two saved runs (fallback when benchstat is not installed);
+//	# -threshold N makes it exit nonzero when any ns/pkt regresses > N%:
+//	go run ./cmd/benchdataplane -compare -threshold 5 old.txt new.txt
 package main
 
 import (
@@ -26,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,29 +53,56 @@ type Section struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// File is the whole BENCH_dataplane.json document.
-type File struct {
-	Baseline Section `json:"baseline"`
-	Current  Section `json:"current"`
+// ScalingPoint is one core-count sweep measurement. Speedup is the PPS ratio
+// against the sweep's first (cores=1) point.
+type ScalingPoint struct {
+	Cores    int     `json:"cores"`
+	Movers   int     `json:"movers"`
+	NsPerPkt float64 `json:"ns_per_pkt"`
+	PPS      float64 `json:"pps"`
+	Speedup  float64 `json:"speedup"`
 }
 
-const currentNote = "sharded TX path: parallel movers with stage affinity, " +
-	"decoupled control plane (single-CPU runner: movers time-share)"
+// ScalingSection records a -cores sweep: the commit it measured, the host's
+// CPU count (a 1-CPU host time-shares every point, flattening the curve),
+// and the per-core-count points.
+type ScalingSection struct {
+	Commit       string         `json:"commit,omitempty"`
+	HostMaxProcs int            `json:"maxprocs_host"`
+	Points       []ScalingPoint `json:"points"`
+}
+
+// File is the whole BENCH_dataplane.json document. Previous holds the
+// last epoch's current section (rotated by hand when a PR re-measures) so
+// the JSON keeps one generation of history beyond the fixed baseline.
+type File struct {
+	Baseline Section         `json:"baseline"`
+	Current  Section         `json:"current"`
+	Previous *Section        `json:"previous,omitempty"`
+	Scaling  *ScalingSection `json:"scaling,omitempty"`
+}
+
+const currentNote = "per-producer inject lanes, padded ring indices, adaptive " +
+	"mover batching (single-CPU runner: movers time-share)"
 
 func main() {
-	out := flag.String("out", "BENCH_dataplane.json", "JSON file to update in place")
+	out := flag.String("out", "BENCH_dataplane.json", "JSON file to update in place (empty to skip writing)")
 	commit := flag.String("commit", "", "commit hash to record in the current section")
 	movers := flag.String("movers", "", "comma-separated mover counts to sweep in-process (e.g. 1,2,4)")
+	cores := flag.String("cores", "", "comma-separated core counts to sweep, pinning GOMAXPROCS per point (e.g. 1,2,4,8)")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "measurement window per sweep point")
 	compare := flag.Bool("compare", false, "compare two benchmark output files: -compare old.txt new.txt")
+	threshold := flag.Float64("threshold", -1, "with -compare: exit nonzero when any shared benchmark's ns/pkt regresses more than this percentage (negative disables the gate)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the in-process sweeps to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile of the in-process sweeps to this file")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchdataplane -compare old.txt new.txt")
+			fmt.Fprintln(os.Stderr, "usage: benchdataplane -compare [-threshold pct] old.txt new.txt")
 			os.Exit(2)
 		}
-		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1)))
+		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *threshold))
 	}
 
 	results := make(map[string]Result)
@@ -78,6 +112,8 @@ func main() {
 			results[k] = v
 		}
 	}
+
+	stopProfiles := startProfiles(*cpuprofile, *mutexprofile)
 	if *movers != "" {
 		counts, err := parseMovers(*movers)
 		if err != nil {
@@ -92,13 +128,41 @@ func main() {
 				name, r.NsPerPkt, r.PPS, r.AllocsPerOp)
 		}
 	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdataplane: no benchmark lines on stdin and no -movers sweep")
+	var scaling *ScalingSection
+	if *cores != "" {
+		counts, err := parseMovers(*cores)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+			os.Exit(2)
+		}
+		scaling = &ScalingSection{Commit: *commit, HostMaxProcs: runtime.NumCPU()}
+		var base float64
+		for _, c := range counts {
+			r := sweepCores(c, *benchtime)
+			pt := ScalingPoint{Cores: c, Movers: c, NsPerPkt: r.NsPerPkt, PPS: r.PPS}
+			if base == 0 {
+				base = r.PPS
+			}
+			if base > 0 {
+				pt.Speedup = r.PPS / base
+			}
+			scaling.Points = append(scaling.Points, pt)
+			fmt.Printf("scaling cores=%-2d %10.1f ns/pkt %12.0f pps %6.2fx %6.2f allocs/op\n",
+				c, r.NsPerPkt, r.PPS, pt.Speedup, r.AllocsPerOp)
+		}
+	}
+	stopProfiles()
+
+	if len(results) == 0 && scaling == nil {
+		fmt.Fprintln(os.Stderr, "benchdataplane: no benchmark lines on stdin and no -movers/-cores sweep")
 		os.Exit(1)
+	}
+	if *out == "" {
+		return
 	}
 
 	var doc File
-	if raw, err := os.ReadFile(*out); err == nil {
+	if raw, err := os.ReadFile(*out); err == nil && len(raw) > 0 {
 		if err := json.Unmarshal(raw, &doc); err != nil {
 			fmt.Fprintf(os.Stderr, "benchdataplane: %s is not valid JSON: %v\n", *out, err)
 			os.Exit(1)
@@ -116,6 +180,9 @@ func main() {
 		doc.Current.Commit = *commit
 	}
 	doc.Current.Note = currentNote
+	if scaling != nil {
+		doc.Scaling = scaling
+	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -127,6 +194,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// startProfiles arms the requested profilers around the in-process sweeps and
+// returns the function that stops them and writes the files. Mutex profiling
+// samples 1-in-5 contention events — enough to rank hot locks without
+// perturbing the sweep.
+func startProfiles(cpuPath, mutexPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Println("wrote CPU profile:", cpuPath)
+		}
+		if mutexPath != "" {
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+				os.Exit(1)
+			}
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdataplane:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Println("wrote mutex profile:", mutexPath)
+		}
+	}
 }
 
 // parseMovers parses "1,2,4" into mover counts.
@@ -200,8 +310,11 @@ func parseBench(f io.Reader) map[string]Result {
 }
 
 // compareFiles prints an old-vs-new delta table for two benchmark output
-// files (the builtin fallback for benchstat). Returns the process exit code.
-func compareFiles(oldPath, newPath string) int {
+// files (the builtin fallback for benchstat). With a non-negative threshold
+// it becomes a regression gate: any benchmark present in both files whose
+// ns/pkt grew by more than threshold percent makes it return 1. Returns the
+// process exit code.
+func compareFiles(oldPath, newPath string, threshold float64) int {
 	read := func(path string) map[string]Result {
 		f, err := os.Open(path)
 		if err != nil {
@@ -219,6 +332,7 @@ func compareFiles(oldPath, newPath string) int {
 	}
 	sort.Strings(names)
 
+	worstName, worstPct := "", 0.0
 	fmt.Printf("%-42s %12s %12s %8s\n", "benchmark", "old ns/pkt", "new ns/pkt", "delta")
 	for _, name := range names {
 		n := newR[name]
@@ -229,7 +343,11 @@ func compareFiles(oldPath, newPath string) int {
 		}
 		delta := "~"
 		if o.NsPerPkt > 0 {
-			delta = fmt.Sprintf("%+.1f%%", (n.NsPerPkt-o.NsPerPkt)/o.NsPerPkt*100)
+			pct := (n.NsPerPkt - o.NsPerPkt) / o.NsPerPkt * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if pct > worstPct {
+				worstName, worstPct = name, pct
+			}
 		}
 		fmt.Printf("%-42s %12.1f %12.1f %8s\n", name, o.NsPerPkt, n.NsPerPkt, delta)
 	}
@@ -237,6 +355,11 @@ func compareFiles(oldPath, newPath string) int {
 		if _, ok := newR[name]; !ok {
 			fmt.Printf("%-42s %12.1f %12s %8s\n", name, oldR[name].NsPerPkt, "-", "gone")
 		}
+	}
+	if threshold >= 0 && worstPct > threshold {
+		fmt.Fprintf(os.Stderr, "benchdataplane: %s regressed %+.1f%% ns/pkt (threshold %.1f%%)\n",
+			worstName, worstPct, threshold)
+		return 1
 	}
 	return 0
 }

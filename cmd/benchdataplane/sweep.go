@@ -37,6 +37,36 @@ func sweepMovers(movers int, window time.Duration) Result {
 	for i := range ids {
 		ids[i] = e.AddStage("nf"+string(rune('a'+i)), 1024, func(p *dataplane.Packet) {})
 	}
+	return runSweep(e, ids, window, false)
+}
+
+// sweepCores is the core-count scaling point: GOMAXPROCS is pinned to the
+// core count for the whole measurement, the engine runs one mover per core
+// with the chain's stages spread across the cores, and injection goes
+// through a producer lane (the parallel-producer fast path) instead of the
+// shared entry ring. On a host with fewer physical CPUs than the pinned
+// count the movers time-share and the curve flattens — the recorded
+// maxprocs_host makes that visible next to the points.
+func sweepCores(cores int, window time.Duration) Result {
+	prev := runtime.GOMAXPROCS(cores)
+	defer runtime.GOMAXPROCS(prev)
+	e := dataplane.New(dataplane.Config{
+		RingSize:  4096,
+		BatchSize: 256,
+		Cores:     cores,
+		Movers:    cores,
+	})
+	ids := make([]int, sweepStages)
+	for i := range ids {
+		ids[i] = e.AddStageOn("nf"+string(rune('a'+i)), 1024, i%cores, func(p *dataplane.Packet) {})
+	}
+	return runSweep(e, ids, window, true)
+}
+// runSweep drives the prepared engine closed-loop for the warmup plus the
+// measurement window. With lanes set, injection goes through a registered
+// ProducerHandle (per-producer SPSC lane); otherwise through the shared
+// entry ring via Engine.InjectBatch.
+func runSweep(e *dataplane.Engine, ids []int, window time.Duration, lanes bool) Result {
 	ch, err := e.AddChain(ids...)
 	if err != nil {
 		panic(err)
@@ -44,16 +74,18 @@ func sweepMovers(movers int, window time.Duration) Result {
 	e.MapFlow(0, ch)
 	var received atomic.Int64
 	e.SetSink(func(ps []*dataplane.Packet) {
-		for _, p := range ps {
-			e.PutPacket(p)
-		}
 		received.Add(int64(len(ps)))
+		e.PutPacketBatch(ps)
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan struct{})
 	go func() { e.Run(ctx); close(done) }()
 
+	var lane *dataplane.ProducerHandle
+	if lanes {
+		lane = e.ProducerHandle(0)
+	}
 	cache := e.NewPacketCache(2 * sweepBatch)
 	batch := make([]*dataplane.Packet, sweepBatch)
 	// injected is cumulative across the warmup and measured phases — the
@@ -68,7 +100,16 @@ func sweepMovers(movers int, window time.Duration) Result {
 					p.Size = 64
 					batch[i] = p
 				}
-				injected += int64(e.InjectBatch(batch))
+				if lane != nil {
+					k := lane.InjectBatch(batch)
+					injected += int64(k)
+					// Lane full: the rejected tail stays ours — recycle it.
+					for _, p := range batch[k:] {
+						cache.Put(p)
+					}
+				} else {
+					injected += int64(e.InjectBatch(batch))
+				}
 			} else {
 				runtime.Gosched()
 			}
@@ -96,7 +137,7 @@ func sweepMovers(movers int, window time.Duration) Result {
 		return Result{}
 	}
 	if os.Getenv("SWEEP_DEBUG") != "" {
-		fmt.Printf("debug: movers=%d stats=%+v moverstats=%+v\n", movers, e.Stats(), e.MoverStats())
+		fmt.Printf("debug: stats=%+v moverstats=%+v\n", e.Stats(), e.MoverStats())
 	}
 	return Result{
 		NsPerPkt:    float64(elapsed.Nanoseconds()) / float64(n),

@@ -117,6 +117,15 @@ type Config struct {
 	RingSize int
 	// BatchSize bounds packets processed per grant between yield checks.
 	BatchSize int
+	// MoverBatchMin and MoverBatchMax bound the movers' adaptive sweep
+	// batch: each TX shard grows its per-sweep drain batch toward
+	// MoverBatchMax while its drain-per-sweep EWMA shows sustained backlog
+	// and shrinks it toward MoverBatchMin when sweeps come up light, so
+	// loaded shards get deep batch amortization without idle shards walking
+	// oversized buffers. Defaults: min(32, BatchSize) and
+	// max(256, BatchSize). Setting both to the same value pins the batch.
+	MoverBatchMin int
+	MoverBatchMax int
 	// HighFrac and LowFrac are the backpressure watermarks.
 	HighFrac, LowFrac float64
 	// WeightPeriod is the weight-push cadence: how often the rate-cost
@@ -213,6 +222,12 @@ func (cfg Config) Validate() error {
 		return errors.New("dataplane: RingSize must be >= 0")
 	case cfg.BatchSize < 0:
 		return errors.New("dataplane: BatchSize must be >= 0")
+	case cfg.MoverBatchMin < 0:
+		return errors.New("dataplane: MoverBatchMin must be >= 0")
+	case cfg.MoverBatchMax < 0:
+		return errors.New("dataplane: MoverBatchMax must be >= 0")
+	case cfg.MoverBatchMin > 0 && cfg.MoverBatchMax > 0 && cfg.MoverBatchMin > cfg.MoverBatchMax:
+		return errors.New("dataplane: MoverBatchMin must not exceed MoverBatchMax")
 	case cfg.BackpressurePeriod < 0:
 		return errors.New("dataplane: BackpressurePeriod must be >= 0")
 	case cfg.WeightPeriod < 0:
@@ -292,13 +307,21 @@ type stage struct {
 	restartAtNanos atomic.Int64
 	restarts       atomic.Uint64
 
-	processed  atomic.Uint64
-	busyNanos  atomic.Int64
-	arrivals   atomic.Uint64
-	drops      atomic.Uint64 // packets lost at this stage's full rx ring
-	wasted     atomic.Uint64 // packets processed here that died downstream
-	faultDrops atomic.Uint64 // packets lost to this stage's crashes/stalls
-	nfDrops    atomic.Uint64 // packets the handler discarded via Packet.Drop
+	// Hot counters, grouped by writer with cache-line pads between groups
+	// (the ring.Pad contract): the stage's worker hammering processed can
+	// never invalidate the line carrying the injectors' arrivals, and
+	// vice versa. Within a group the writers are the same goroutine (or
+	// rare cold paths), so sharing a line is free.
+	_          ring.Pad
+	processed  atomic.Uint64 // worker-written
+	busyNanos  atomic.Int64  // worker-written
+	nfDrops    atomic.Uint64 // worker-written: handler discards via Packet.Drop
+	_          ring.Pad
+	arrivals   atomic.Uint64 // injector/mover-written: offered load
+	drops      atomic.Uint64 // injector/mover-written: full-rx-ring losses
+	wasted     atomic.Uint64 // mover-written: processed here, died downstream
+	faultDrops atomic.Uint64 // supervisor-written: crash/stall/drain losses
+	_          ring.Pad
 
 	pass float64 // WFQ virtual time, owned by the scheduler goroutine
 	// estCost is the smoothed ns/packet estimate as Float64bits: written
@@ -366,7 +389,12 @@ type Engine struct {
 	// coarseNanos is the engine clock: unix nanos refreshed once per
 	// scheduler iteration, grant and moved batch. Injection stamps and
 	// latency measurements read it instead of calling time.Now per packet.
+	// It is written by several planes (control loop, schedulers, movers,
+	// batch injectors), so it gets a cache line to itself: a clock store
+	// must not invalidate any counter's line.
+	_           ring.Pad
 	coarseNanos atomic.Int64
+	_           ring.Pad
 
 	// Injected counts packets accepted into a chain entry ring; Delivered,
 	// EntryDrops, RingDrops and OutputDrops count packet outcomes;
@@ -385,22 +413,28 @@ type Engine struct {
 	//
 	//	Injected == Delivered + RingDrops(mid-chain) + OutputDrops
 	//	          + NFDrops + FaultDrops + ShutdownDrops
-	Injected        atomic.Uint64
-	Delivered       atomic.Uint64
-	EntryDrops      atomic.Uint64
-	RingDrops       atomic.Uint64
-	OutputDrops     atomic.Uint64
-	ThrottleEvents  atomic.Uint64
-	FaultEntryDrops atomic.Uint64
-	NFDrops         atomic.Uint64
-	FaultDrops      atomic.Uint64
-	ShutdownDrops   atomic.Uint64
-	LateDrops       atomic.Uint64
-
-	// latNanos accumulates end-to-end sojourn time of delivered packets
-	// (owned by the control goroutine; read via LatencyStats).
+	//
+	// Layout: the counters are grouped by their steady-state writers —
+	// producer-side (injector goroutines), delivery-side (movers), and
+	// worker/control — with a cache-line pad between groups so a producer
+	// bumping Injected never bounces the line the movers bump Delivered on.
+	Injected        atomic.Uint64 // producer-written
+	EntryDrops      atomic.Uint64 // producer-written
+	FaultEntryDrops atomic.Uint64 // producer-written
+	LateDrops       atomic.Uint64 // producer-written
+	RingDrops       atomic.Uint64 // producer- and mover-written (entry vs mid-chain)
+	_               ring.Pad
+	Delivered       atomic.Uint64 // mover-written
+	OutputDrops     atomic.Uint64 // mover-written
+	// latSumNanos/latMaxNanos accumulate end-to-end sojourn time of
+	// delivered packets (mover-written; read via LatencyStats).
 	latSumNanos atomic.Int64
 	latMaxNanos atomic.Int64
+	_           ring.Pad
+	ThrottleEvents atomic.Uint64 // control-written
+	NFDrops        atomic.Uint64 // worker-written
+	FaultDrops     atomic.Uint64 // worker/supervisor-written
+	ShutdownDrops  atomic.Uint64 // shutdown/worker-written
 
 	// movers are the TX shards (see mover.go); moverStop ends them after
 	// the scheduler loops join, and moverWg waits for their exit before
@@ -408,6 +442,23 @@ type Engine struct {
 	movers    []*mover
 	moverStop chan struct{}
 	moverWg   sync.WaitGroup
+
+	// laneMu guards lane registration/retirement (the COW writes to each
+	// mover's lane list and the engine-wide lanes slice); laneRR spreads
+	// new lanes across movers round-robin. The per-packet lane paths never
+	// take it (see lanes.go).
+	laneMu sync.Mutex
+	lanes  []*injectLane
+	laneRR int
+
+	// lateMu serializes the post-stop rescue sweeps (lateSweep, lane
+	// shutdown sweeps) so a producer racing Run's exit can't double-drain
+	// a ring against another late producer.
+	lateMu sync.Mutex
+
+	// drainRC batches freelist recycling for the serial shutdown drain
+	// (movers carry their own; see recycler in pool.go).
+	drainRC *recycler
 
 	// drainBuf is the shutdown drain's tx scratch (the serial moveAll);
 	// over/under, depths, wLoads and wTotals are control-loop scratch, all
@@ -454,6 +505,21 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = def.BatchSize
+	}
+	if cfg.MoverBatchMin == 0 {
+		cfg.MoverBatchMin = 32
+		if cfg.BatchSize < 32 {
+			cfg.MoverBatchMin = cfg.BatchSize
+		}
+	}
+	if cfg.MoverBatchMax == 0 {
+		cfg.MoverBatchMax = 256
+		if cfg.BatchSize > 256 {
+			cfg.MoverBatchMax = cfg.BatchSize
+		}
+	}
+	if cfg.MoverBatchMax < cfg.MoverBatchMin {
+		cfg.MoverBatchMax = cfg.MoverBatchMin
 	}
 	if cfg.HighFrac == 0 {
 		cfg.HighFrac = def.HighFrac
@@ -521,15 +587,32 @@ func New(cfg Config) *Engine {
 		e.journal = NewDecisionJournal(size)
 	}
 	// TX shards exist from construction so RegisterMetrics can expose
-	// their counters; Run partitions the stages across them.
+	// their counters and ProducerHandle can bind lanes to them before Run
+	// partitions the stages across them. The sweep scratch is sized for
+	// the adaptive batch ceiling; the starting batch is BatchSize clamped
+	// into the adaptive window.
+	startBatch := cfg.BatchSize
+	if startBatch < cfg.MoverBatchMin {
+		startBatch = cfg.MoverBatchMin
+	}
+	if startBatch > cfg.MoverBatchMax {
+		startBatch = cfg.MoverBatchMax
+	}
 	e.movers = make([]*mover, cfg.Movers)
 	for i := range e.movers {
-		e.movers[i] = &mover{
+		m := &mover{
 			id:     i,
-			buf:    make([]*Packet, cfg.BatchSize),
+			buf:    make([]*Packet, cfg.MoverBatchMax),
 			wakeCh: make(chan struct{}, 1),
+			batch:  startBatch,
+			ewma:   float64(startBatch),
+			rc:     e.newRecycler(cfg.MoverBatchMax),
 		}
+		m.curBatch.Store(int32(startBatch))
+		m.lanes.Store(&[]*injectLane{})
+		e.movers[i] = m
 	}
+	e.drainRC = e.newRecycler(cfg.BatchSize)
 	e.coarseNanos.Store(time.Now().UnixNano())
 	return e
 }
@@ -696,9 +779,29 @@ func (e *Engine) Inject(p *Packet) bool {
 		// Run exited between the first check and the enqueue: the final
 		// sweep may already have run, so sweep this ring ourselves. The
 		// packet counts as accepted-then-shutdown-dropped.
-		e.sweepRing(entry.rx, &e.ShutdownDrops)
+		e.lateSweep(entry)
 	}
 	return true
+}
+
+// lateSweep rescues packets enqueued by an Inject/InjectBatch that raced
+// Run's stop gate: it drains the stage's rx ring into ShutdownDrops. The
+// empty-ring fast path makes the sweep effectively one-shot — once some
+// racer (or the final shutdown sweep) has drained the ring, later late
+// calls see it empty and pay two atomic loads instead of re-sweeping, so a
+// lingering producer can't spin on sweeps. A strict once-per-stage latch
+// would be unsound: a second racer can enqueue after the first racer's
+// sweep, and its packet still needs rescuing for conservation to hold. The
+// mutex serializes concurrent racers (sweepRing tolerates concurrency; the
+// lock just keeps the accounting ordering obvious and covers the lane
+// sweeps sharing it).
+func (e *Engine) lateSweep(s *stage) {
+	if s.rx.Len() == 0 {
+		return
+	}
+	e.lateMu.Lock()
+	e.sweepRing(s.rx, &e.ShutdownDrops)
+	e.lateMu.Unlock()
 }
 
 // InjectBatch offers every packet in ps, sampling the engine clock once and
@@ -728,12 +831,43 @@ func (e *Engine) InjectBatch(ps []*Packet) int {
 	if e.rec != nil {
 		e.sampleBatch(ps, now)
 	}
+	accepted := e.enqueueRouted(ps, now, nil)
+	if accepted > 0 {
+		e.Injected.Add(uint64(accepted))
+	}
+	if e.stopped.Load() && accepted > 0 {
+		// Run exited mid-batch: the final sweep may have missed what we
+		// just enqueued, so sweep the entry rings ourselves (lateSweep
+		// skips the untouched ones on the empty-ring fast path).
+		for _, s := range e.stages {
+			e.lateSweep(s)
+		}
+	}
+	return accepted
+}
+
+// enqueueRouted routes every packet in ps to its chain's entry ring,
+// publishing each run of same-flow packets with a single ring reservation:
+// one routing lookup, one counter update, one reservation per run. Packets
+// shed by backpressure, a down chain, a full entry ring or a missing route
+// are recycled (through rc when non-nil, so movers batch the freelist
+// returns) and charged to their drop classes. Reports how many packets were
+// accepted; the caller owns adding them to Injected. Shared by InjectBatch
+// and the mover-side inject-lane drain.
+func (e *Engine) enqueueRouted(ps []*Packet, now int64, rc *recycler) int {
+	drop := func(p *Packet) {
+		if rc != nil {
+			rc.put(p)
+		} else {
+			e.freePacket(p)
+		}
+	}
 	accepted := 0
 	for i := 0; i < len(ps); {
 		p := ps[i]
 		chainID, ok := e.routeOf(p.FlowID)
 		if !ok {
-			e.freePacket(p)
+			drop(p)
 			i++
 			continue
 		}
@@ -752,12 +886,12 @@ func (e *Engine) InjectBatch(ps []*Packet) int {
 		if e.throttled[chainID].Load() {
 			e.EntryDrops.Add(uint64(len(run)))
 			for _, q := range run {
-				e.freePacket(q)
+				drop(q)
 			}
 		} else if e.chainDown[chainID].Load() {
 			e.FaultEntryDrops.Add(uint64(len(run)))
 			for _, q := range run {
-				e.freePacket(q)
+				drop(q)
 			}
 		} else {
 			n := entry.rx.EnqueueBatch(run)
@@ -767,21 +901,11 @@ func (e *Engine) InjectBatch(ps []*Packet) int {
 				e.RingDrops.Add(d)
 				entry.drops.Add(d)
 				for _, q := range run[n:] {
-					e.freePacket(q)
+					drop(q)
 				}
 			}
 		}
 		i = j
-	}
-	if accepted > 0 {
-		e.Injected.Add(uint64(accepted))
-	}
-	if e.stopped.Load() && accepted > 0 {
-		// Run exited mid-batch: the final sweep may have missed what we
-		// just enqueued, so sweep the entry rings ourselves.
-		for _, s := range e.stages {
-			e.sweepRing(s.rx, &e.ShutdownDrops)
-		}
 	}
 	return accepted
 }
@@ -868,9 +992,9 @@ func (e *Engine) Run(ctx context.Context) {
 		}(core)
 	}
 	for _, m := range e.movers {
-		if len(m.stages) == 0 {
-			continue // more shards than stages: nothing to own
-		}
+		// Every shard runs, even with an empty stage partition: inject
+		// lanes may bind to it mid-run, and an idle shard parks on its
+		// wake channel for near-nothing.
 		e.moverWg.Add(1)
 		go e.runMover(m)
 	}
@@ -1129,7 +1253,7 @@ func (e *Engine) grantStage(pick *stage, timer *time.Timer, core int) {
 
 // moveAll serially drains every stage's tx ring — the shutdown drain's
 // single-threaded mover, run only after the TX shards have exited.
-func (e *Engine) moveAll() { e.moveStages(e.stages, e.drainBuf) }
+func (e *Engine) moveAll() { e.moveStages(e.stages, e.drainBuf, e.drainRC) }
 
 // moveStages drains each given stage's tx ring toward the next hop, the
 // sink or the output channel (the paper's TX-thread role), in batches: runs
@@ -1138,8 +1262,11 @@ func (e *Engine) moveAll() { e.moveStages(e.stages, e.drainBuf) }
 // (add-N, not N adds). Every piece of scratch state — the drain buffer, the
 // latency run-length encoder, the counter accumulators — is local to the
 // call, so concurrent movers over disjoint partitions share nothing but
-// the rings and the final atomic adds. Reports how many packets it moved.
-func (e *Engine) moveStages(stages []*stage, buf []*Packet) int {
+// the rings and the final atomic adds. Packets dropped in flight are
+// recycled through rc — buffered locally and returned to the shared
+// freelist with one batch reservation per sweep instead of one CAS each.
+// Reports how many packets it moved.
+func (e *Engine) moveStages(stages []*stage, buf []*Packet, rc *recycler) int {
 	// The clock is read lazily, once per sweep that actually drains
 	// packets: idle movers sweep dry partitions thousands of times per
 	// millisecond, and a vDSO clock call per dry sweep is the single
@@ -1227,7 +1354,7 @@ func (e *Engine) moveStages(stages []*stage, buf []*Packet) int {
 					default:
 						outDrops++ // consumer not draining
 						wastedHere++
-						e.freePacket(pkt)
+						rc.put(pkt)
 					}
 					i++
 					continue
@@ -1259,7 +1386,7 @@ func (e *Engine) moveStages(stages []*stage, buf []*Packet) int {
 					dst.drops.Add(d)
 					wastedHere += d
 					for _, q := range run[n:] {
-						e.freePacket(q)
+						rc.put(q)
 					}
 				}
 				i = j
@@ -1292,6 +1419,7 @@ func (e *Engine) moveStages(stages []*stage, buf []*Packet) int {
 	if ringDrops > 0 {
 		e.RingDrops.Add(ringDrops)
 	}
+	rc.flush()
 	return moved
 }
 
@@ -1497,6 +1625,14 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 			"Times the idle TX shard parked awaiting a wake signal.", m.parks.Load, lbl...)
 		reg.CounterFunc("dataplane_mover_wakes_total",
 			"Enqueue-side wake signals delivered to the parked TX shard.", m.wakes.Load, lbl...)
+		reg.CounterFunc("dataplane_mover_lane_moved_total",
+			"Packets the TX shard drained from its bound inject lanes.", m.laneMoved.Load, lbl...)
+		reg.GaugeFunc("dataplane_mover_lanes",
+			"Inject lanes currently bound to the TX shard.",
+			func() float64 { return float64(len(*m.lanes.Load())) }, lbl...)
+		reg.GaugeFunc("dataplane_mover_batch",
+			"Current adaptive sweep batch of the TX shard.",
+			func() float64 { return float64(m.curBatch.Load()) }, lbl...)
 		reg.GaugeFunc("dataplane_mover_park_ratio",
 			"Fraction of the TX shard's sweeps that ended in a park.",
 			func() float64 {

@@ -1,0 +1,424 @@
+package dataplane
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// laneOutcomes sums every terminal class a lane-accepted packet can reach:
+// delivery plus each drop ledger, whether the shed happened at drain time
+// (entry classes), mid-chain, or at shutdown. For any quiesced engine,
+// lane-accepted == delivered + laneOutcomes-drops.
+func laneDrops(e *Engine) uint64 {
+	return e.EntryDrops.Load() + e.FaultEntryDrops.Load() + e.RingDrops.Load() +
+		e.LateDrops.Load() + e.NFDrops.Load() + e.FaultDrops.Load() +
+		e.ShutdownDrops.Load() + e.OutputDrops.Load()
+}
+
+// TestLaneDeliversInOrder is the basic lane path: one registered producer,
+// one chain; deliveries are a strictly increasing subsequence of the
+// injected sequence (drain-time shedding may thin it under load, so
+// conservation — not losslessness — is the delivery-count check).
+func TestLaneDeliversInOrder(t *testing.T) {
+	e := New(Config{RingSize: 256, WeightPeriod: 0, DrainTimeout: 2 * time.Second})
+	a := e.AddStage("a", 1024, func(p *Packet) {})
+	ch, _ := e.AddChain(a)
+	e.MapFlow(1, ch)
+	h := e.ProducerHandle(0)
+	lastSeq := -1
+	var reorders uint64
+	var delivered atomic.Uint64
+	e.SetSink(func(ps []*Packet) {
+		for _, p := range ps {
+			if p.Userdata.(int) <= lastSeq {
+				reorders++
+			}
+			lastSeq = p.Userdata.(int)
+		}
+		delivered.Add(uint64(len(ps)))
+		e.PutPacketBatch(ps)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { e.Run(ctx); close(runDone) }()
+
+	const total = 5000
+	sent := 0
+	for sent < total {
+		p := e.GetPacket()
+		p.FlowID = 1
+		p.Userdata = sent
+		if h.Inject(p) {
+			sent++
+		} else {
+			e.PutPacket(p)
+			runtime.Gosched()
+		}
+	}
+	// Quiesce (lanes drained, chain flushed) before stopping.
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load()+laneDrops(e) < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-runDone
+	if reorders > 0 {
+		t.Fatalf("%d per-producer FIFO violations on the lane path", reorders)
+	}
+	if got := delivered.Load() + laneDrops(e); got != total {
+		t.Fatalf("conservation: accepted %d, outcomes %d (delivered %d)", total, got, delivered.Load())
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("nothing delivered through the lane")
+	}
+}
+
+// TestLanePerProducerFIFO drives several registered producers (distinct
+// flows) concurrently — including handles registered mid-run, so the lane
+// count changes under traffic — and checks every flow's delivery sequence
+// is strictly FIFO.
+func TestLanePerProducerFIFO(t *testing.T) {
+	e := New(Config{RingSize: 512, Movers: 3, WeightPeriod: 0})
+	a := e.AddStage("a", 1024, func(p *Packet) {})
+	b := e.AddStage("b", 1024, func(p *Packet) {})
+	ch, _ := e.AddChain(a, b)
+
+	const producers = 6
+	const perProducer = 4000
+	for f := 0; f < producers; f++ {
+		e.MapFlow(f, ch)
+	}
+
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	var violations atomic.Uint64
+	var delivered atomic.Uint64
+	var mu sync.Mutex // sink may run on several movers
+	e.SetSink(func(ps []*Packet) {
+		mu.Lock()
+		for _, p := range ps {
+			seq := p.Userdata.(int)
+			if seq <= lastSeq[p.FlowID] {
+				violations.Add(1)
+			}
+			lastSeq[p.FlowID] = seq
+		}
+		mu.Unlock()
+		delivered.Add(uint64(len(ps)))
+		e.PutPacketBatch(ps)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+
+	var wg sync.WaitGroup
+	for f := 0; f < producers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			// Half the handles register before traffic, half mid-run, so
+			// the movers' lane lists change while draining.
+			if f%2 == 1 {
+				time.Sleep(time.Duration(f) * 2 * time.Millisecond)
+			}
+			h := e.ProducerHandle(128)
+			defer h.Close()
+			cache := e.NewPacketCache(64)
+			sent := 0
+			for sent < perProducer {
+				p := cache.Get()
+				p.FlowID = f
+				p.Userdata = sent
+				if h.Inject(p) {
+					sent++
+				} else {
+					cache.Put(p)
+					runtime.Gosched()
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	const total = producers * perProducer
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load()+laneDrops(e) < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := delivered.Load() + laneDrops(e); got != total {
+		t.Fatalf("conservation: accepted %d, outcomes %d (delivered %d)", total, got, delivered.Load())
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d per-producer FIFO violations", v)
+	}
+}
+
+// TestLaneConservationChurn registers and closes producer handles
+// continuously while the engine runs, with backpressure-inducing load, and
+// checks exact producer-side conservation after shutdown: every packet a
+// lane accepted is either Injected or charged to a pre-acceptance drop
+// class (entry/fault-entry shedding happens at drain time on the lane
+// path; LateDrops absorbs lane leftovers at shutdown), and the engine-side
+// invariant reconciles as usual.
+func TestLaneConservationChurn(t *testing.T) {
+	e := New(Config{RingSize: 128, Movers: 2, BatchSize: 16, WeightPeriod: 0,
+		HighFrac: 0.5, LowFrac: 0.25, DrainTimeout: 2 * time.Second})
+	slow := e.AddStage("slow", 1024, func(p *Packet) { time.Sleep(2 * time.Microsecond) })
+	ch, _ := e.AddChain(slow)
+
+	const producers = 8
+	const perProducer = 3000
+	for f := 0; f < producers; f++ {
+		e.MapFlow(f, ch)
+	}
+	var delivered atomic.Uint64
+	e.SetSink(func(ps []*Packet) {
+		delivered.Add(uint64(len(ps)))
+		e.PutPacketBatch(ps)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { e.Run(ctx); close(runDone) }()
+
+	var accepted atomic.Uint64 // packets lanes took ownership of
+	var wg sync.WaitGroup
+	for f := 0; f < producers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(f) + 1))
+			sent := 0
+			for sent < perProducer {
+				// Churn: every producer reopens its handle repeatedly, so
+				// lanes register and retire mid-run under load.
+				h := e.ProducerHandle(64)
+				burst := 100 + rng.Intn(400)
+				for i := 0; i < burst && sent < perProducer; {
+					p := e.GetPacket()
+					p.FlowID = f
+					p.Userdata = nil
+					if h.Inject(p) {
+						accepted.Add(1)
+						sent++
+						i++
+					} else {
+						e.PutPacket(p)
+						runtime.Gosched()
+					}
+				}
+				h.Close()
+			}
+		}(f)
+	}
+	wg.Wait()
+	// Let the movers drain the closed lanes, then stop.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	<-runDone
+
+	inj := e.Injected.Load()
+	entry := e.EntryDrops.Load()
+	late := e.LateDrops.Load()
+	fentry := e.FaultEntryDrops.Load()
+	// RingDrops on a 1-stage chain are all entry-side (charged against
+	// lane-accepted packets); there is no mid-chain ring.
+	ringDrops := e.RingDrops.Load()
+	if got := inj + entry + fentry + ringDrops + late; got != accepted.Load() {
+		t.Fatalf("lane-accepted packets unaccounted: accepted=%d injected=%d entry=%d faultEntry=%d ring=%d late=%d (sum %d)",
+			accepted.Load(), inj, entry, fentry, ringDrops, late, got)
+	}
+	outcome := delivered.Load() + e.NFDrops.Load() + e.FaultDrops.Load() +
+		e.ShutdownDrops.Load() + e.OutputDrops.Load()
+	if inj != outcome {
+		t.Fatalf("engine invariant broken: injected=%d outcomes=%d", inj, outcome)
+	}
+	if len(e.lanes) != 0 {
+		t.Fatalf("%d lanes leaked past shutdown retirement", len(e.lanes))
+	}
+}
+
+// TestLaneCloseRetires checks a closed lane is drained (its packets still
+// delivered) and unlinked from its mover.
+func TestLaneCloseRetires(t *testing.T) {
+	e := New(Config{RingSize: 256, WeightPeriod: 0})
+	a := e.AddStage("a", 1024, func(p *Packet) {})
+	ch, _ := e.AddChain(a)
+	e.MapFlow(1, ch)
+	var delivered atomic.Uint64
+	e.SetSink(func(ps []*Packet) {
+		delivered.Add(uint64(len(ps)))
+		e.PutPacketBatch(ps)
+	})
+	h := e.ProducerHandle(256)
+	// Fill the lane before Run so the drain happens after Close.
+	const total = 100
+	for i := 0; i < total; i++ {
+		p := e.GetPacket()
+		p.FlowID = 1
+		if !h.Inject(p) {
+			t.Fatal("pre-run lane inject rejected")
+		}
+	}
+	h.Close()
+	if h.Inject(e.GetPacket()) {
+		t.Fatal("inject on a closed handle succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered.Load() < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if delivered.Load() != total {
+		t.Fatalf("delivered %d of %d packets from a closed lane", delivered.Load(), total)
+	}
+	for time.Now().Before(deadline) {
+		if st := e.MoverStats(); st[0].Lanes == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, st := range e.MoverStats() {
+		if st.Lanes != 0 {
+			t.Fatal("closed lane not retired from its mover")
+		}
+	}
+}
+
+// TestLaneBatchInject covers the batch enqueue path and its
+// caller-keeps-the-tail contract.
+func TestLaneBatchInject(t *testing.T) {
+	e := New(Config{RingSize: 256, WeightPeriod: 0})
+	a := e.AddStage("a", 1024, func(p *Packet) {})
+	ch, _ := e.AddChain(a)
+	e.MapFlow(1, ch)
+	h := e.ProducerHandle(16) // tiny lane: forces partial accepts
+	var delivered atomic.Uint64
+	e.SetSink(func(ps []*Packet) {
+		delivered.Add(uint64(len(ps)))
+		e.PutPacketBatch(ps)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+
+	const total = 2000
+	batch := make([]*Packet, 0, 64)
+	sent := 0
+	for sent < total {
+		for len(batch) < cap(batch) && sent+len(batch) < total {
+			p := e.GetPacket()
+			p.FlowID = 1
+			batch = append(batch, p)
+		}
+		n := h.InjectBatch(batch)
+		sent += n
+		// The rejected tail stays ours: shift it down and retry.
+		copy(batch, batch[n:])
+		batch = batch[:len(batch)-n]
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if delivered.Load() != total {
+		t.Fatalf("delivered %d, want %d", delivered.Load(), total)
+	}
+}
+
+// TestLaneAfterStopCountsLate checks the stop gate on the lane path.
+func TestLaneAfterStopCountsLate(t *testing.T) {
+	e := New(Config{RingSize: 64, WeightPeriod: 0, DrainTimeout: 50 * time.Millisecond})
+	a := e.AddStage("a", 1024, func(p *Packet) {})
+	ch, _ := e.AddChain(a)
+	e.MapFlow(1, ch)
+	h := e.ProducerHandle(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+	cancel()
+	<-done
+	p := e.GetPacket()
+	p.FlowID = 1
+	if h.Inject(p) {
+		t.Fatal("lane inject accepted after Run exited")
+	}
+	if e.LateDrops.Load() == 0 {
+		t.Fatal("late lane inject not counted in LateDrops")
+	}
+	ps := []*Packet{e.GetPacket(), e.GetPacket()}
+	for _, q := range ps {
+		q.FlowID = 1
+	}
+	if h.InjectBatch(ps) != 0 {
+		t.Fatal("lane batch inject accepted after Run exited")
+	}
+	if e.LateDrops.Load() < 3 {
+		t.Fatalf("LateDrops %d, want >= 3", e.LateDrops.Load())
+	}
+}
+
+// TestAdaptiveBatchBounds checks the adaptive mover batch stays inside the
+// configured window and grows under sustained backlog.
+func TestAdaptiveBatchBounds(t *testing.T) {
+	e := New(Config{RingSize: 4096, MoverBatchMin: 16, MoverBatchMax: 128,
+		BatchSize: 64, WeightPeriod: 0})
+	a := e.AddStage("a", 1024, func(p *Packet) {})
+	ch, _ := e.AddChain(a)
+	e.MapFlow(1, ch)
+	var delivered atomic.Uint64
+	e.SetSink(func(ps []*Packet) {
+		delivered.Add(uint64(len(ps)))
+		e.PutPacketBatch(ps)
+	})
+	h := e.ProducerHandle(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx)
+
+	grew := false
+	const total = 200000
+	sent := 0
+	batch := make([]*Packet, 0, 256)
+	deadline := time.Now().Add(10 * time.Second)
+	for sent < total && time.Now().Before(deadline) {
+		for len(batch) < cap(batch) && sent+len(batch) < total {
+			p := e.GetPacket()
+			p.FlowID = 1
+			batch = append(batch, p)
+		}
+		n := h.InjectBatch(batch)
+		sent += n
+		copy(batch, batch[n:])
+		batch = batch[:len(batch)-n]
+		for _, st := range e.MoverStats() {
+			if st.Batch < 16 || st.Batch > 128 {
+				t.Fatalf("adaptive batch %d escaped [16, 128]", st.Batch)
+			}
+			if st.Batch > 64 {
+				grew = true
+			}
+		}
+	}
+	if sent < total {
+		t.Fatalf("sent only %d of %d", sent, total)
+	}
+	if !grew {
+		t.Log("adaptive batch never exceeded its start; acceptable on an unloaded run, but unusual")
+	}
+}

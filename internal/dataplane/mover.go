@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"nfvnice/internal/ring"
 )
 
 // Idle-ladder tuning. Spin sweeps are nearly free (one atomic load per
@@ -44,36 +46,71 @@ const (
 )
 
 // mover is one TX shard: a goroutine draining its partition of stage tx
-// rings toward next hops, the sink, or the output channel.
+// rings (and its bound inject lanes) toward next hops, the sink, or the
+// output channel.
 type mover struct {
 	id     int
 	stages []*stage  // static partition, fixed before Run spawns workers
-	buf    []*Packet // sweep scratch, one BatchSize slab per shard
+	buf    []*Packet // sweep scratch, one MoverBatchMax slab per shard
+	rc     *recycler // shard-local freelist batcher for in-flight drops
 	// nstages mirrors len(stages) for MoverStats, which may race Run's
 	// partition assignment.
 	nstages atomic.Int32
+
+	// lanes is the COW list of inject lanes bound to this shard (writers
+	// serialize on Engine.laneMu; the sweep just loads the pointer), and
+	// laneRR rotates the drain start index so one saturated lane cannot
+	// starve the others. Owned by the mover goroutine except the pointer.
+	lanes  atomic.Pointer[[]*injectLane]
+	laneRR int
+
+	// batch is the adaptive sweep batch: it tracks the drain-per-sweep
+	// EWMA between Config.MoverBatchMin and MoverBatchMax, growing under
+	// sustained backlog and shrinking when sweeps come up light. batch and
+	// ewma are owned by the mover goroutine; curBatch mirrors batch for
+	// MoverStats.
+	batch    int
+	ewma     float64
+	curBatch atomic.Int32
+
+	// Externally-touched hot fields get their own cache line: workers on
+	// other cores hit state (maybeWake's load) and wakeCh on every publish
+	// into a parked shard, and must not bounce the line carrying the
+	// mover's own accumulators below.
+	_     ring.Pad
+	state atomic.Int32
+	wakes atomic.Uint64 // worker-written: wake tokens delivered
 	// wakeCh carries at most one pending wake token; workers publishing
 	// into a parked mover's tx ring send into it without blocking.
 	wakeCh chan struct{}
-	state  atomic.Int32
 
-	// Telemetry: sweeps counts drain passes over the partition, moved the
-	// packets those sweeps drained, parks the descents into a blocking
-	// wait, and wakes the enqueue-side wake tokens actually delivered.
-	sweeps atomic.Uint64
-	moved  atomic.Uint64
-	parks  atomic.Uint64
-	wakes  atomic.Uint64
+	// Mover-written telemetry: sweeps counts drain passes over the
+	// partition, moved the packets those sweeps drained from tx rings,
+	// laneMoved the packets drained from inject lanes, and parks the
+	// descents into a blocking wait.
+	_         ring.Pad
+	sweeps    atomic.Uint64
+	moved     atomic.Uint64
+	laneMoved atomic.Uint64
+	parks     atomic.Uint64
+	_         ring.Pad
 }
 
 // MoverStats is a snapshot of one TX shard's counters.
 type MoverStats struct {
-	// Stages is how many stages' tx rings the shard owns.
+	// Stages is how many stages' tx rings the shard owns; Lanes is how
+	// many inject lanes are currently bound to it.
 	Stages int
-	// Sweeps counts drain passes; Moved counts packets drained across all
-	// sweeps (Moved/Sweeps is the drain efficiency).
-	Sweeps uint64
-	Moved  uint64
+	Lanes  int
+	// Batch is the shard's current adaptive sweep batch (between
+	// Config.MoverBatchMin and MoverBatchMax).
+	Batch int
+	// Sweeps counts drain passes; Moved counts packets drained from tx
+	// rings across all sweeps (Moved/Sweeps is the drain efficiency);
+	// LaneMoved counts packets drained from inject lanes.
+	Sweeps    uint64
+	Moved     uint64
+	LaneMoved uint64
 	// Parks counts blocking idle waits; Parks/Sweeps is the park ratio.
 	Parks uint64
 	// Wakes counts enqueue-side wake signals delivered to this shard.
@@ -85,11 +122,14 @@ func (e *Engine) MoverStats() []MoverStats {
 	out := make([]MoverStats, len(e.movers))
 	for i, m := range e.movers {
 		out[i] = MoverStats{
-			Stages: int(m.nstages.Load()),
-			Sweeps: m.sweeps.Load(),
-			Moved:  m.moved.Load(),
-			Parks:  m.parks.Load(),
-			Wakes:  m.wakes.Load(),
+			Stages:    int(m.nstages.Load()),
+			Lanes:     len(*m.lanes.Load()),
+			Batch:     int(m.curBatch.Load()),
+			Sweeps:    m.sweeps.Load(),
+			Moved:     m.moved.Load(),
+			LaneMoved: m.laneMoved.Load(),
+			Parks:     m.parks.Load(),
+			Wakes:     m.wakes.Load(),
 		}
 	}
 	return out
@@ -108,11 +148,16 @@ func (m *mover) maybeWake() {
 	}
 }
 
-// pending reports whether any owned tx ring holds packets — the post-park
-// re-check that closes the wake race window.
+// pending reports whether any owned tx ring or bound inject lane holds
+// packets — the post-park re-check that closes the wake race window.
 func (m *mover) pending() bool {
 	for _, s := range m.stages {
 		if s.tx.Len() > 0 {
+			return true
+		}
+	}
+	for _, ln := range *m.lanes.Load() {
+		if ln.ring.Len() > 0 || ln.closed.Load() {
 			return true
 		}
 	}
@@ -136,8 +181,35 @@ func (e *Engine) assignMovers() {
 	}
 }
 
-// runMover is one TX shard's loop: sweep the partition, and when a sweep
-// comes up dry descend the spin → yield → park ladder. Exits when Run
+// adaptBatch retunes the shard's sweep batch from the drain-per-sweep
+// EWMA: sustained sweeps that fill most of the batch double it (deeper
+// amortization while backlogged) and sweeps that drain only a sliver halve
+// it (smaller walks, fresher latency stamps, less scratch traffic while
+// idle-ish), clamped to [min, max]. The EWMA's 1/8 gain makes the batch
+// react within a few tens of sweeps — fast against the 1 ms control
+// cadence, slow against per-sweep noise. Owned by the mover goroutine;
+// curBatch mirrors the choice for MoverStats.
+func (m *mover) adaptBatch(drained, min, max int) {
+	m.ewma += (float64(drained) - m.ewma) / 8
+	switch {
+	case m.ewma > 0.75*float64(m.batch) && m.batch < max:
+		m.batch *= 2
+		if m.batch > max {
+			m.batch = max
+		}
+		m.curBatch.Store(int32(m.batch))
+	case m.ewma < 0.25*float64(m.batch) && m.batch > min:
+		m.batch /= 2
+		if m.batch < min {
+			m.batch = min
+		}
+		m.curBatch.Store(int32(m.batch))
+	}
+}
+
+// runMover is one TX shard's loop: drain the bound inject lanes, sweep the
+// stage partition, adapt the sweep batch to the observed drain, and when a
+// sweep comes up dry descend the spin → yield → park ladder. Exits when Run
 // closes moverStop (movers keep draining through the cancel-to-join window
 // so the graceful drain starts from near-empty tx rings).
 func (e *Engine) runMover(m *mover) {
@@ -151,10 +223,18 @@ func (e *Engine) runMover(m *mover) {
 			return
 		default:
 		}
-		n := e.moveStages(m.stages, m.buf)
+		// Lanes first: lane packets feed entry rings, so the stage sweep
+		// that follows can already forward what the lanes just delivered.
+		// (drainLanes accounts laneMoved itself.)
+		n := e.drainLanes(m)
+		sm := e.moveStages(m.stages, m.buf[:m.batch], m.rc)
+		n += sm
 		m.sweeps.Add(1)
+		m.adaptBatch(n, e.cfg.MoverBatchMin, e.cfg.MoverBatchMax)
+		if sm > 0 {
+			m.moved.Add(uint64(sm))
+		}
 		if n > 0 {
-			m.moved.Add(uint64(n))
 			idle = 0
 			continue
 		}

@@ -69,6 +69,83 @@ func (e *Engine) PutPacket(p *Packet) {
 	e.free.Enqueue(p)
 }
 
+// PutPacketBatch recycles a slice of descriptors the caller owns with one
+// freelist reservation for the whole batch — the delivery-side mirror of
+// InjectBatch, for sinks and output consumers that retire packets in
+// bursts. Descriptors that do not fit the freelist are left to the garbage
+// collector. Safe from any goroutine; the slice itself is not retained.
+func (e *Engine) PutPacketBatch(ps []*Packet) {
+	for _, p := range ps {
+		if p.span != nil {
+			e.abortSpan(p)
+		}
+		if e.cfg.DebugPool {
+			debugPut(p)
+		}
+		p.Userdata = nil
+		p.Hop = 0
+		p.Drop = false
+	}
+	// Surplus beyond the freelist capacity is GC'd with the caller's refs.
+	e.free.EnqueueBatch(ps)
+}
+
+// recycler batches the engine-internal recycling of packets dropped in
+// flight: drops accumulate in a local slab and return to the shared
+// freelist with one batch reservation per flush (once per mover sweep)
+// instead of one CAS-reserve Enqueue per packet — the same lane treatment
+// the inject path got, applied to the freelist's producer side, so movers
+// recycling drops stop CASing against GetPacket's consumers. Each mover
+// owns one; the serial shutdown drain owns another. Not safe for
+// concurrent use.
+type recycler struct {
+	e   *Engine
+	buf []*Packet
+	n   int
+}
+
+func (e *Engine) newRecycler(size int) *recycler {
+	if size < 1 {
+		size = 1
+	}
+	return &recycler{e: e, buf: make([]*Packet, size)}
+}
+
+// put readies a dropped packet for reuse and buffers it for the next flush,
+// honouring the NoRecycle opt-out (spans still abort so slabs recycle).
+func (r *recycler) put(p *Packet) {
+	if p.span != nil {
+		r.e.abortSpan(p)
+	}
+	if r.e.cfg.NoRecycle {
+		return
+	}
+	if r.e.cfg.DebugPool {
+		debugPut(p)
+	}
+	p.Userdata = nil
+	p.Hop = 0
+	p.Drop = false
+	if r.n == len(r.buf) {
+		r.flush()
+	}
+	r.buf[r.n] = p
+	r.n++
+}
+
+// flush returns the buffered packets to the shared freelist in one batch
+// reservation; whatever does not fit is surplus and left to the GC.
+func (r *recycler) flush() {
+	if r.n == 0 {
+		return
+	}
+	r.e.free.EnqueueBatch(r.buf[:r.n])
+	for i := 0; i < r.n; i++ {
+		r.buf[i] = nil
+	}
+	r.n = 0
+}
+
 // freePacket is the engine-internal recycle for packets dropped in flight,
 // honouring the NoRecycle opt-out.
 func (e *Engine) freePacket(p *Packet) {

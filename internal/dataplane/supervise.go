@@ -396,6 +396,19 @@ func (e *Engine) idleRings() bool {
 	return true
 }
 
+// idleLanes reports whether every registered inject lane is empty (the
+// shutdown drain's companion to idleRings).
+func (e *Engine) idleLanes() bool {
+	e.laneMu.Lock()
+	defer e.laneMu.Unlock()
+	for _, ln := range e.lanes {
+		if ln.ring.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // shutdown is Run's wind-down: bounded drain, stop gate, bounded worker
 // join, final sweep. After it returns, every accepted packet is delivered
 // or charged to a drop class — the reconciliation invariant holds for the
@@ -407,6 +420,13 @@ func (e *Engine) shutdown(timer *time.Timer) {
 		deadline := time.Now().Add(e.cfg.DrainTimeout)
 		for time.Now().Before(deadline) {
 			e.coarseNanos.Store(time.Now().UnixNano())
+			// The movers have exited, so their lane-consumer role passes
+			// to this goroutine: drain registered lanes into the chain so
+			// in-lane packets get their delivery chance before the sweep.
+			laneBacklog := 0
+			for _, m := range e.movers {
+				laneBacklog += e.drainLanes(m)
+			}
 			ran := false
 			for _, s := range e.stages {
 				if !s.schedulable() || s.rx.Len() == 0 {
@@ -422,8 +442,8 @@ func (e *Engine) shutdown(timer *time.Timer) {
 			}
 			e.moveAll()
 			e.supervise(time.Now().UnixNano())
-			if !ran {
-				if e.idleRings() {
+			if !ran && laneBacklog == 0 {
+				if e.idleRings() && e.idleLanes() {
 					break
 				}
 				time.Sleep(50 * time.Microsecond)
@@ -462,6 +482,13 @@ func (e *Engine) shutdown(timer *time.Timer) {
 		e.sweepRing(s.rx, &e.ShutdownDrops)
 		e.sweepRing(s.tx, &e.ShutdownDrops)
 	}
+	// Inject lanes still holding packets are swept into LateDrops (their
+	// packets were never counted Injected), serialized with any producer
+	// racing the stop gate via lateMu.
+	e.sweepLanes()
+	// The shutdown recycler may hold the last drops; return them to the
+	// freelist so a post-Run GetPacket still finds them.
+	e.drainRC.flush()
 	// Flush spans completed by the final moveAll; the control loop that
 	// normally drains the spool has already exited.
 	e.drainSpool()
@@ -486,11 +513,14 @@ func (e *Engine) HealthSnapshot() []telemetry.ComponentHealth {
 	}
 	for _, ms := range e.MoverStats() {
 		detail := map[string]float64{
-			"stages": float64(ms.Stages),
-			"sweeps": float64(ms.Sweeps),
-			"moved":  float64(ms.Moved),
-			"parks":  float64(ms.Parks),
-			"wakes":  float64(ms.Wakes),
+			"stages":     float64(ms.Stages),
+			"lanes":      float64(ms.Lanes),
+			"batch":      float64(ms.Batch),
+			"sweeps":     float64(ms.Sweeps),
+			"moved":      float64(ms.Moved),
+			"lane_moved": float64(ms.LaneMoved),
+			"parks":      float64(ms.Parks),
+			"wakes":      float64(ms.Wakes),
 		}
 		if ms.Sweeps > 0 {
 			detail["park_ratio"] = float64(ms.Parks) / float64(ms.Sweeps)

@@ -1,0 +1,42 @@
+package ring
+
+import "sync/atomic"
+
+// Cache-line layout helpers shared by the rings and the dataplane's hot
+// structs.
+//
+// The contract these helpers give is deliberately weaker than "aligned to a
+// cache line" — Go's allocator guarantees only size-class alignment — but
+// still sufficient to kill false sharing: two fields separated by at least
+// CacheLine bytes of padding can never occupy the same CacheLine-sized line,
+// regardless of where the enclosing struct starts. Group fields by writer,
+// put a Pad between groups, and a core hammering one group's line never
+// invalidates another group's.
+//
+// CacheLine is 64 bytes: the coherence-granule size on every amd64 part and
+// on most arm64 server parts. Some arm64 (and Apple) designs prefetch line
+// pairs, for which 128 would be safer; 64 is kept because the padded structs
+// here are replicated per stage/mover and doubling them measurably grows the
+// working set. The false-sharing microbenchmark (BenchmarkFalseSharing)
+// validates the choice on the host it runs on.
+const CacheLine = 64
+
+// Pad is one cache line of dead space. Embed it (as an anonymous `_` field)
+// between groups of fields written by different goroutines.
+type Pad [CacheLine]byte
+
+// PaddedUint64 is an atomic.Uint64 alone on its cache line(s): the value
+// plus trailing padding spans a full line, so two adjacent PaddedUint64s in
+// an array or struct never share one. Use it for per-worker counters that
+// sit in arrays; for struct fields, grouping with Pad separators is usually
+// cheaper.
+type PaddedUint64 struct {
+	atomic.Uint64
+	_ [CacheLine - 8]byte
+}
+
+// PaddedInt64 is the signed counterpart of PaddedUint64.
+type PaddedInt64 struct {
+	atomic.Int64
+	_ [CacheLine - 8]byte
+}

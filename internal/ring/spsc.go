@@ -24,19 +24,19 @@ type SPSC[T any] struct {
 	buf  []T
 	mask uint64
 
-	_    [64]byte // keep producer and consumer state on separate cache lines
+	_    Pad // keep producer and consumer state on separate cache lines
 	head atomic.Uint64
 	// ctail is the consumer's cached copy of tail; chead mirrors head without
 	// the atomic load. Both are touched only by the consumer goroutine.
 	chead, ctail uint64
 
-	_    [64]byte
+	_    Pad
 	tail atomic.Uint64
 	// phead is the producer's cached copy of head; ptail mirrors tail.
 	// Both are touched only by the producer goroutine.
 	ptail, phead uint64
 
-	_ [64]byte
+	_ Pad
 }
 
 // NewSPSC returns a ring with capacity rounded up to the next power of two
