@@ -395,6 +395,31 @@ func min(a, b int) int {
 	return b
 }
 
+// retryBackoff returns how long to wait before the fails-th consecutive
+// reconnect attempt (fails >= 1): the poll interval doubled per failure and
+// capped at 10s, so a bounced peer is re-acquired within one interval while
+// a dead one is not hammered.
+func retryBackoff(fails int, base time.Duration) time.Duration {
+	const max = 10 * time.Second
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < fails && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// staleBanner is the header shown while the peer is unreachable and the
+// last good frame is being re-rendered.
+func staleBanner(addr string, fails int, err error) string {
+	return fmt.Sprintf("nfvtop: STALE (reconnecting to %s, attempt %d: %v)", addr, fails, err)
+}
+
 func fetchSnapshot(client *http.Client, base string) (snapshot, error) {
 	resp, err := client.Get(base + "/snapshot")
 	if err != nil {
@@ -432,12 +457,29 @@ func main() {
 
 	var prev snapshot
 	var prevAt time.Time
+	fails := 0
 	for {
 		cur, err := fetchSnapshot(client, base)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nfvtop: %v\n", err)
-			os.Exit(1)
+			// -once keeps the scripting contract: one shot, hard failure.
+			if *once {
+				fmt.Fprintf(os.Stderr, "nfvtop: %v\n", err)
+				os.Exit(1)
+			}
+			// Live mode survives peer restarts: mark the frame stale, keep
+			// the last good numbers on screen, and retry under a capped
+			// backoff until the peer answers again.
+			fails++
+			fmt.Print("\033[2J\033[H")
+			fmt.Println(staleBanner(*addr, fails, err))
+			fmt.Println()
+			if prev != nil {
+				render(os.Stdout, prev, nil, 0, nil, *tail)
+			}
+			time.Sleep(retryBackoff(fails, *interval))
+			continue
 		}
+		fails = 0
 		now := time.Now()
 		decs := fetchDecisions(client, base, *tail)
 		if !*once {

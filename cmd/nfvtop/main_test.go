@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -163,5 +164,40 @@ func TestRenderFrame(t *testing.T) {
 	render(&b2, cur, nil, 0, nil, 8)
 	if !strings.Contains(b2.String(), "inject 0pps") {
 		t.Errorf("first frame should show zero rates:\n%s", b2.String())
+	}
+}
+
+// TestRetryBackoff pins the reconnect schedule: interval-doubling per
+// consecutive failure, capped at 10s, with a sane default for a zero base.
+func TestRetryBackoff(t *testing.T) {
+	base := 500 * time.Millisecond
+	cases := []struct {
+		fails int
+		base  time.Duration
+		want  time.Duration
+	}{
+		{1, base, 500 * time.Millisecond},
+		{2, base, time.Second},
+		{3, base, 2 * time.Second},
+		{5, base, 8 * time.Second},
+		{6, base, 10 * time.Second},   // capped
+		{100, base, 10 * time.Second}, // stays capped, no overflow
+		{1, 0, 500 * time.Millisecond},
+		{3, 0, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := retryBackoff(tc.fails, tc.base); got != tc.want {
+			t.Errorf("retryBackoff(%d, %v) = %v, want %v", tc.fails, tc.base, got, tc.want)
+		}
+	}
+}
+
+// TestStaleBanner pins the marker live mode shows while the peer is away.
+func TestStaleBanner(t *testing.T) {
+	b := staleBanner("localhost:9090", 3, errors.New("connection refused"))
+	for _, want := range []string{"STALE", "reconnecting", "localhost:9090", "attempt 3", "connection refused"} {
+		if !strings.Contains(b, want) {
+			t.Errorf("banner missing %q: %s", want, b)
+		}
 	}
 }

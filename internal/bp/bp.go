@@ -202,3 +202,60 @@ func (m *ECNMarker) OnEnqueue(qlen int, pkt *packet.Packet) {
 
 // Average reports the smoothed queue length.
 func (m *ECNMarker) Average() float64 { return m.avg.Value() }
+
+// ECNObserver is the receive side of the cross-host ECN loop: it turns a
+// stream of ack-carried CE echoes (see internal/remote) into a sustained
+// congestion on/off signal with hysteresis. Congestion asserts on the first
+// echo in an observation window and clears only after QuietWindows
+// consecutive windows without one — ECN operates at longer timescales than
+// local watermark backpressure, matching the EWMA marker on the send side.
+// Call Observe once per control-plane window (the engine's backpressure
+// cadence) with the echo count since the last call; not safe for concurrent
+// use (own it from one control goroutine).
+type ECNObserver struct {
+	// QuietWindows is how many consecutive echo-free windows clear the
+	// signal (0 takes DefaultECNQuietWindows).
+	QuietWindows int
+
+	// Asserts counts off→on transitions.
+	Asserts uint64
+
+	active bool
+	quiet  int
+}
+
+// DefaultECNQuietWindows is the default clear hysteresis: with the paper's
+// 1 ms backpressure cadence, 8 quiet windows ≈ 8 ms of silence before the
+// origin stops throttling.
+const DefaultECNQuietWindows = 8
+
+// Observe feeds one window's echo count and reports whether the congestion
+// signal changed edge.
+func (o *ECNObserver) Observe(echoes uint64) (changed bool) {
+	if echoes > 0 {
+		o.quiet = 0
+		if !o.active {
+			o.active = true
+			o.Asserts++
+			return true
+		}
+		return false
+	}
+	if !o.active {
+		return false
+	}
+	o.quiet++
+	q := o.QuietWindows
+	if q <= 0 {
+		q = DefaultECNQuietWindows
+	}
+	if o.quiet >= q {
+		o.active = false
+		o.quiet = 0
+		return true
+	}
+	return false
+}
+
+// Active reports the current congestion signal.
+func (o *ECNObserver) Active() bool { return o.active }

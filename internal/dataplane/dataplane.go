@@ -289,7 +289,13 @@ type stage struct {
 	tx *ring.MPMC[*Packet]
 	// mov is the TX shard owning this stage's tx ring (the wake target for
 	// workers publishing into it); assigned by Run before workers spawn.
-	mov    *mover
+	mov *mover
+	// rem, when non-nil, marks a remote stage: the handler ships packets to
+	// a peer engine over rem.client instead of processing them (remote.go).
+	// The scheduler gates grants on the link's credit, the backpressure pass
+	// folds the link's ECN signal into the stage's watermark state, and the
+	// link's state machine — not grant probation — owns the stage's health.
+	rem    *remoteLink
 	weight atomic.Int64
 	yield  atomic.Bool
 
@@ -408,11 +414,17 @@ type Engine struct {
 	// accepted packets swept out of rings when Run winds down; LateDrops
 	// counts Inject attempts rejected after Run exited (pre-acceptance).
 	//
+	// Cross-host classes: packets a remote stage hands to its link leave
+	// the local classes and settle in exactly one of RemoteDelivered (the
+	// peer acknowledged the frame) or RemoteDrops (the link died with the
+	// packet queued or in flight, refused it, or was closed holding it).
+	//
 	// Reconciliation: once the pipeline quiesces — and, with the shutdown
 	// drain, after Run returns —
 	//
 	//	Injected == Delivered + RingDrops(mid-chain) + OutputDrops
 	//	          + NFDrops + FaultDrops + ShutdownDrops
+	//	          + RemoteDelivered + RemoteDrops
 	//
 	// Layout: the counters are grouped by their steady-state writers —
 	// producer-side (injector goroutines), delivery-side (movers), and
@@ -428,13 +440,21 @@ type Engine struct {
 	OutputDrops     atomic.Uint64 // mover-written
 	// latSumNanos/latMaxNanos accumulate end-to-end sojourn time of
 	// delivered packets (mover-written; read via LatencyStats).
-	latSumNanos atomic.Int64
-	latMaxNanos atomic.Int64
-	_           ring.Pad
+	latSumNanos    atomic.Int64
+	latMaxNanos    atomic.Int64
+	_              ring.Pad
 	ThrottleEvents atomic.Uint64 // control-written
 	NFDrops        atomic.Uint64 // worker-written
 	FaultDrops     atomic.Uint64 // worker/supervisor-written
 	ShutdownDrops  atomic.Uint64 // shutdown/worker-written
+	// RemoteDelivered/RemoteDrops are written from remote-link callback
+	// goroutines (ack-rate and transition-rate, never per local grant).
+	RemoteDelivered atomic.Uint64
+	RemoteDrops     atomic.Uint64
+
+	// remotes lists the remote links behind StageRemote stages (remote.go);
+	// fixed before Run, so the slice itself needs no lock.
+	remotes []*remoteLink
 
 	// movers are the TX shards (see mover.go); moverStop ends them after
 	// the scheduler loops join, and moverWg waits for their exit before
@@ -967,6 +987,9 @@ func (e *Engine) Run(ctx context.Context) {
 	// Partition the stages across the TX shards before any worker can
 	// publish into a tx ring (workers wake their stage's owning mover).
 	e.assignMovers()
+	// Remote links start dialing now, not at AddRemoteStage: their state
+	// callbacks touch supervision structures that must not race setup.
+	e.startRemotes()
 	for _, s := range e.stages {
 		e.spawnWorker(s)
 	}
@@ -1166,8 +1189,11 @@ func (e *Engine) runChunk(s *stage, w *workerCtx, k int) (live, done int, panick
 		if pkt.Drop {
 			pkt.Drop = false
 			// Claim the single unit back; if the scheduler detached us it
-			// already charged this packet as a fault drop instead.
-			if decInflight(&w.inflight) {
+			// already charged this packet as a fault drop instead. Remote
+			// stages consume every packet this way, but their units belong
+			// to the transport ledger (RemoteDelivered/RemoteDrops), not
+			// NFDrops — the handler already charged any refusal.
+			if decInflight(&w.inflight) && w.kind == workerLocal {
 				s.nfDrops.Add(1)
 				e.NFDrops.Add(1)
 			}
@@ -1194,6 +1220,12 @@ func (e *Engine) scheduleCore(core int, timer *time.Timer) bool {
 		}
 		if s.tx.Len() >= e.cfg.RingSize-1-e.cfg.BatchSize {
 			continue // local backpressure: tx nearly full
+		}
+		if s.rem != nil && !s.rem.grantable(e.cfg.BatchSize) {
+			// Remote credit exhausted (window full, link down, or send
+			// queue at capacity): leave the packets in rx so the watermark
+			// machine sees the pressure and throttles the chain at entry.
+			continue
 		}
 		if pick == nil || s.pass < pick.pass {
 			pick = s
@@ -1237,7 +1269,12 @@ func (e *Engine) grantStage(pick *stage, timer *time.Timer, core int) {
 		}
 	}
 	// Probation: a restarted stage earns Healthy back by completing clean
-	// grants under real traffic.
+	// grants under real traffic. Remote stages are exempt — their health
+	// tracks the link state machine (remoteLinkState), and a clean grant
+	// only proves the send queue had room, not that the peer is reachable.
+	if w.kind == workerRemote {
+		return
+	}
 	switch Health(pick.health.Load()) {
 	case Restarting:
 		w.okGrants = 1
@@ -1445,6 +1482,15 @@ func (e *Engine) updateBackpressure() {
 		depths[i] = l
 		over[i] = l >= e.highWater
 		under[i] = l < e.lowWater
+		if s.rem != nil && s.rem.ecnActive.Load() {
+			// The peer engine is congested (sustained ECN echoes): treat the
+			// remote stage as over watermark regardless of local depth, so
+			// the chain throttles at its origin before the pipe fills — the
+			// paper's §3.4 cross-host backpressure. The signal also holds
+			// the throttle (under stays false) until the echoes quiesce.
+			over[i] = true
+			under[i] = false
+		}
 	}
 	for ci, chain := range e.chains {
 		if e.throttled[ci].Load() {
@@ -1477,17 +1523,32 @@ func (e *Engine) updateBackpressure() {
 		} else {
 			for _, sid := range chain {
 				if over[sid] {
+					st := e.stages[sid]
+					// A remote stage's throttle edge names its cause: the
+					// link condition (credit exhaustion, peer ECN, outage)
+					// behind the pressure, or "" for a plain deep queue.
+					note := ""
+					if st.rem != nil {
+						note = st.rem.bpCause()
+					}
 					e.throttled[ci].Store(true)
 					e.ThrottleEvents.Add(1)
 					e.record(Decision{Kind: DecisionBPOn, Chain: ci,
-						Stage: e.stages[sid].name, QueueDepth: depths[sid],
-						HighWater: e.highWater, LowWater: e.lowWater})
+						Stage: st.name, QueueDepth: depths[sid],
+						HighWater: e.highWater, LowWater: e.lowWater,
+						Note: note})
 					if e.events != nil {
-						e.events.Emit(time.Since(e.startWall).Seconds(), telemetry.LevelInfo,
-							"bp_on", telemetry.F("chain", ci),
-							telemetry.F("stage", e.stages[sid].name),
+						fields := []telemetry.Field{
+							telemetry.F("chain", ci),
+							telemetry.F("stage", st.name),
 							telemetry.F("qdepth", depths[sid]),
-							telemetry.F("high_water", e.highWater))
+							telemetry.F("high_water", e.highWater),
+						}
+						if note != "" {
+							fields = append(fields, telemetry.F("cause", note))
+						}
+						e.events.Emit(time.Since(e.startWall).Seconds(),
+							telemetry.LevelInfo, "bp_on", fields...)
 					}
 					break
 				}
@@ -1725,6 +1786,7 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 		reg.CounterFunc("dataplane_decision_drops_total",
 			"Journal records overwritten by ring wrap.", j.Dropped)
 	}
+	e.registerRemoteMetrics(reg)
 }
 
 // SetEventLog attaches a structured event log receiving backpressure

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -47,6 +48,12 @@ const (
 	// gate edges for chains through a Failed stage.
 	DecisionChainDown
 	DecisionChainUp
+	// DecisionRemoteReconnect is a remote link recovering after an outage:
+	// the record carries the peer address and how many dials it took.
+	DecisionRemoteReconnect
+	// DecisionRemoteCircuitOpen is a remote link declared dead after
+	// MaxDials consecutive failed dials.
+	DecisionRemoteCircuitOpen
 )
 
 func (k DecisionKind) String() string {
@@ -67,6 +74,10 @@ func (k DecisionKind) String() string {
 		return "chain_down"
 	case DecisionChainUp:
 		return "chain_up"
+	case DecisionRemoteReconnect:
+		return "remote_reconnect"
+	case DecisionRemoteCircuitOpen:
+		return "remote_circuit_open"
 	default:
 		return "?"
 	}
@@ -109,6 +120,9 @@ type Decision struct {
 	To       string `json:"to,omitempty"`
 	Failures int    `json:"failures,omitempty"`
 	Note     string `json:"note,omitempty"`
+
+	// Peer is the remote link's peer address on remote_* records.
+	Peer string `json:"peer,omitempty"`
 }
 
 // DecisionJournal is a bounded, overwrite-oldest ring of decisions.
@@ -208,8 +222,9 @@ func (e *Engine) Decisions() *DecisionJournal { return e.journal }
 //	GET /debug/decisions?chain=2&stage=nat&kind=bp_on&n=50
 //
 // All parameters are optional filters; n bounds the reply to the most
-// recent matches. The reply is {"total":…,"dropped":…,"decisions":[…]},
-// oldest first.
+// recent matches. kind matches exactly or as an underscore-delimited prefix,
+// so kind=remote selects remote_reconnect and remote_circuit_open together.
+// The reply is {"total":…,"dropped":…,"decisions":[…]}, oldest first.
 func (j *DecisionJournal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	chain, haveChain := -1, false
@@ -233,8 +248,11 @@ func (j *DecisionJournal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if stage != "" && d.Stage != stage {
 			return false
 		}
-		if kind != "" && d.Kind.String() != kind {
-			return false
+		if kind != "" {
+			k := d.Kind.String()
+			if k != kind && !strings.HasPrefix(k, kind+"_") {
+				return false
+			}
 		}
 		return true
 	})

@@ -300,7 +300,11 @@ func TestLaneCloseRetires(t *testing.T) {
 // TestLaneBatchInject covers the batch enqueue path and its
 // caller-keeps-the-tail contract.
 func TestLaneBatchInject(t *testing.T) {
-	e := New(Config{RingSize: 256, WeightPeriod: 0})
+	// The ring exceeds the total packet count so neither the watermark
+	// throttle nor a full entry ring can ever shed a lane-accepted packet
+	// at drain time (sheds are accounted, not retried — the test counts on
+	// delivery). The tiny lane below is the subject: partial accepts.
+	e := New(Config{RingSize: 4096, WeightPeriod: 0})
 	a := e.AddStage("a", 1024, func(p *Packet) {})
 	ch, _ := e.AddChain(a)
 	e.MapFlow(1, ch)

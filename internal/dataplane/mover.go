@@ -303,6 +303,11 @@ func (e *Engine) controlLoop(ctx context.Context) {
 		now := time.Now()
 		e.coarseNanos.Store(now.UnixNano())
 		if now.Sub(lastBP) >= e.cfg.BackpressurePeriod {
+			// Fold remote ECN echoes into their observers first so the
+			// backpressure pass sees fresh cross-host congestion signals.
+			if len(e.remotes) > 0 {
+				e.updateRemoteECN()
+			}
 			e.updateBackpressure()
 			lastBP = now
 		}

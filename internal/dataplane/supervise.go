@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nfvnice/internal/remote"
 	"nfvnice/internal/ring"
 	"nfvnice/internal/telemetry"
 )
@@ -94,6 +95,20 @@ const probationGrants = 8
 // restartNever marks a circuit-open stage: no restart will be scheduled.
 const restartNever = int64(math.MaxInt64)
 
+// workerKind distinguishes worker incarnations by what their stage's
+// handler does with packets.
+type workerKind uint8
+
+const (
+	// workerLocal runs an ordinary NF handler.
+	workerLocal workerKind = iota
+	// workerRemote ships packets onto a remote link (see remote.go). Remote
+	// incarnations skip grant probation — the link state machine, not clean
+	// grants, decides the stage's health — and their handler never blocks,
+	// so the grant-deadline detach path is effectively unreachable for them.
+	workerRemote
+)
+
 // workerCtx is one worker incarnation. Restart replaces the whole context,
 // so a stale worker can never share channels, scratch or the inflight
 // counter with its replacement.
@@ -101,6 +116,8 @@ type workerCtx struct {
 	// epoch identifies the incarnation; stage.epoch moves past it when
 	// the incarnation is detached.
 	epoch uint64
+	// kind is the incarnation's handler class (local NF or remote link).
+	kind workerKind
 	// grant carries the batch budget; closed on shutdown.
 	grant chan int
 	// done reports grant completion; cap 1 so a worker finishing after
@@ -132,8 +149,13 @@ type grantResult struct {
 // bump precedes the pointer swap so any previous incarnation that wakes
 // later observes it is stale before it can signal anyone.
 func (e *Engine) spawnWorker(s *stage) {
+	kind := workerLocal
+	if s.rem != nil {
+		kind = workerRemote
+	}
 	w := &workerCtx{
 		epoch: s.epoch.Add(1),
+		kind:  kind,
 		grant: make(chan int),
 		done:  make(chan grantResult, 1),
 		batch: make([]*Packet, e.cfg.BatchSize),
@@ -321,6 +343,55 @@ func (e *Engine) recomputeChainsDown() {
 	}
 }
 
+// remoteLinkState maps a remote link's transport transitions onto its
+// stage's supervision state — the link's reconnect loop plays the role the
+// restart/backoff schedule plays for local workers. Called from the client's
+// connection-manager goroutine; everything it touches is atomic- or
+// mutex-guarded.
+//
+//   - Connected: the stage is Healthy again immediately (no probation — the
+//     handshake itself is the proof). A recovery after an outage journals
+//     remote_reconnect with the peer address and how many dials it took.
+//   - Reconnecting: the stage degrades but stays schedulable; packets keep
+//     flowing into the send queue until Space() runs out and the watermark
+//     machine throttles the chain.
+//   - CircuitOpen: the link is dead for good. The stage fails permanently
+//     (restartNever, like a local circuit breaker) and the chain policies
+//     take over; the journal records remote_circuit_open with the peer.
+//   - Closed: engine shutdown; nothing to transition.
+func (e *Engine) remoteLinkState(l *remoteLink, st remote.State, attempt int) {
+	s := l.stage
+	switch st {
+	case remote.StateConnected:
+		if attempt > 0 {
+			e.record(Decision{Kind: DecisionRemoteReconnect, Chain: -1,
+				Stage: s.name, Peer: l.addr, Failures: attempt})
+			e.emit(telemetry.LevelInfo, "remote_reconnect",
+				telemetry.F("stage", s.name), telemetry.F("peer", l.addr),
+				telemetry.F("attempts", attempt))
+		}
+		s.consecFails.Store(0)
+		e.setHealthNote(s, Healthy, "remote: connected "+l.addr)
+		e.recomputeChainsDown()
+	case remote.StateReconnecting:
+		s.consecFails.Store(int32(attempt))
+		e.setHealthNote(s, Degraded, "remote: reconnecting "+l.addr)
+	case remote.StateCircuitOpen:
+		s.consecFails.Store(int32(attempt))
+		s.restartAtNanos.Store(restartNever)
+		e.anyFaulty.Store(true)
+		e.record(Decision{Kind: DecisionRemoteCircuitOpen, Chain: -1,
+			Stage: s.name, Peer: l.addr, Failures: attempt})
+		e.setHealthNote(s, Failed, "remote: circuit open "+l.addr)
+		e.recomputeChainsDown()
+		e.emit(telemetry.LevelWarn, "remote_circuit_open",
+			telemetry.F("stage", s.name), telemetry.F("peer", l.addr),
+			telemetry.F("failures", attempt))
+	case remote.StateClosed:
+		// Engine shutdown owns the final accounting; no health transition.
+	}
+}
+
 // supervise is the control loop's restart pass: respawn Failed stages whose
 // backoff elapsed and keep circuit-open stages' queues from stranding
 // accepted packets. Gated on anyFaulty so the all-healthy steady state pays
@@ -435,6 +506,9 @@ func (e *Engine) shutdown(timer *time.Timer) {
 				if s.tx.Len() >= e.cfg.RingSize-1-e.cfg.BatchSize {
 					continue
 				}
+				if s.rem != nil && !s.rem.grantable(e.cfg.BatchSize) {
+					continue // link out of credit: let acks (or the timeout) decide
+				}
 				// Yield flags are ignored: the goal is flushing, not
 				// fairness.
 				e.grantStage(s, timer, s.core)
@@ -443,7 +517,7 @@ func (e *Engine) shutdown(timer *time.Timer) {
 			e.moveAll()
 			e.supervise(time.Now().UnixNano())
 			if !ran && laneBacklog == 0 {
-				if e.idleRings() && e.idleLanes() {
+				if e.idleRings() && e.idleLanes() && e.idleRemotes() {
 					break
 				}
 				time.Sleep(50 * time.Microsecond)
@@ -486,6 +560,9 @@ func (e *Engine) shutdown(timer *time.Timer) {
 	// packets were never counted Injected), serialized with any producer
 	// racing the stop gate via lateMu.
 	e.sweepLanes()
+	// Settle the remote links: whatever the peers never acknowledged is
+	// surrendered into RemoteDrops, closing the cross-host ledger.
+	e.closeRemotes()
 	// The shutdown recycler may hold the last drops; return them to the
 	// freelist so a post-Run GetPacket still finds them.
 	e.drainRC.flush()
@@ -531,6 +608,24 @@ func (e *Engine) HealthSnapshot() []telemetry.ComponentHealth {
 			State:     "active",
 			Healthy:   true,
 			Detail:    detail,
+		})
+	}
+	for _, rs := range e.RemoteStats() {
+		out = append(out, telemetry.ComponentHealth{
+			Component: "remote/" + rs.Stage,
+			State:     rs.State,
+			Healthy:   rs.State != "circuit_open" && rs.State != "closed",
+			Restarts:  rs.Reconnects,
+			Failures:  rs.DialFails,
+			Detail: map[string]float64{
+				"queued":        float64(rs.Queued),
+				"inflight":      float64(rs.Inflight),
+				"sent":          float64(rs.Sent),
+				"acked":         float64(rs.Acked),
+				"retries":       float64(rs.Retries),
+				"window_stalls": float64(rs.WindowStalls),
+				"ecn_echoes":    float64(rs.ECNEchoes),
+			},
 		})
 	}
 	return out

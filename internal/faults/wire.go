@@ -1,0 +1,248 @@
+package faults
+
+// The wire layer: seeded fault injection for net.Conn transports, the
+// network-side sibling of the handler injector above. A WireInjector wraps
+// connections (or a dialer) and evaluates its rules against a per-injector
+// *write* counter — writes, not packets, because the transport's framing is
+// what crosses the wire. The schedule is a pure function of (seed, rule,
+// write index), so a chaos soak that kills and heals links replays
+// byte-for-byte from its seed.
+//
+//	wire := faults.NewWire(42,
+//	    faults.ConnDropOn(faults.EveryNth(200)),   // kill the conn every 200 writes
+//	    faults.CorruptOn(faults.Prob(0.001)),      // flip a bit, exercise the CRC
+//	)
+//	client, _ := remote.New(remote.Config{Addr: addr, Dial: wire.Dial(nil)})
+//
+// PartitionFor is the exception to statelessness: when it fires it opens a
+// wall-clock window during which every wrapped connection errors and every
+// dial fails — a two-sided network partition that heals by itself.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// WireKind is what a firing wire rule does to the connection.
+type WireKind uint8
+
+const (
+	// WireDrop closes the connection mid-write — an abrupt link loss; the
+	// write errors and the transport's reconnect path takes over.
+	WireDrop WireKind = iota
+	// WireDelay sleeps before the write — added one-way latency.
+	WireDelay
+	// WireCorrupt flips one deterministic bit in the written bytes —
+	// exercises the receiver's CRC and the sender's retransmit.
+	WireCorrupt
+	// WirePartition opens a timed window during which this injector's
+	// connections all fail and dials are refused.
+	WirePartition
+)
+
+func (k WireKind) String() string {
+	switch k {
+	case WireDrop:
+		return "conn_drop"
+	case WireDelay:
+		return "wire_delay"
+	case WireCorrupt:
+		return "corrupt"
+	case WirePartition:
+		return "partition"
+	default:
+		return "?"
+	}
+}
+
+// WireRule pairs a trigger with a wire action.
+type WireRule struct {
+	Trigger Trigger
+	Kind    WireKind
+	// Dur is the delay length (WireDelay) or partition window (WirePartition).
+	Dur time.Duration
+}
+
+// ConnDropOn closes the connection when t fires (evaluated per write).
+func ConnDropOn(t Trigger) WireRule { return WireRule{Trigger: t, Kind: WireDrop} }
+
+// WireDelayOn sleeps d before the write when t fires. (Named apart from the
+// handler-level DelayOn: this one stalls bytes, not packets.)
+func WireDelayOn(t Trigger, d time.Duration) WireRule {
+	return WireRule{Trigger: t, Kind: WireDelay, Dur: d}
+}
+
+// CorruptOn flips one seed-determined bit in the written bytes when t fires.
+func CorruptOn(t Trigger) WireRule { return WireRule{Trigger: t, Kind: WireCorrupt} }
+
+// PartitionFor starts a d-long partition when t fires: every connection
+// wrapped by the injector errors and every dial is refused until it heals.
+func PartitionFor(t Trigger, d time.Duration) WireRule {
+	return WireRule{Trigger: t, Kind: WirePartition, Dur: d}
+}
+
+// ErrInjected is the error surfaced by injected connection kills, partition
+// refusals, and dials attempted during a partition.
+var ErrInjected = errors.New("faults: injected wire fault")
+
+// WireStats counts the faults a WireInjector has actually applied.
+type WireStats struct {
+	Drops       uint64 // connections killed mid-write
+	Delays      uint64 // delayed writes
+	Corruptions uint64 // corrupted writes
+	Partitions  uint64 // partition windows opened
+	DialRefused uint64 // dials refused while partitioned
+}
+
+// WireInjector evaluates wire rules against a per-injector write counter.
+// Safe for concurrent use across any number of wrapped connections — they
+// share one schedule, like stages sharing a handler Injector.
+type WireInjector struct {
+	seed  uint64
+	rules []WireRule
+
+	mu        sync.Mutex
+	idx       uint64
+	partUntil time.Time
+	stats     WireStats
+}
+
+// NewWire builds a wire injector with the given seed and rules (at most 32).
+func NewWire(seed uint64, rules ...WireRule) *WireInjector {
+	if len(rules) > maxRules {
+		panic("faults: too many wire rules")
+	}
+	return &WireInjector{seed: seed, rules: rules}
+}
+
+// Stats snapshots the applied-fault counters.
+func (w *WireInjector) Stats() WireStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Seen returns how many writes the injector has evaluated.
+func (w *WireInjector) Seen() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.idx
+}
+
+// Partitioned reports whether a partition window is currently open.
+func (w *WireInjector) Partitioned() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Now().Before(w.partUntil)
+}
+
+// Conn wraps a connection with the injector's schedule.
+func (w *WireInjector) Conn(c net.Conn) net.Conn {
+	return &wireConn{Conn: c, in: w}
+}
+
+// Dial wraps a dialer: dials fail while partitioned, and successful
+// connections come back wrapped. A nil base uses net.Dial("tcp", addr).
+func (w *WireInjector) Dial(base func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if base == nil {
+		base = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		if w.Partitioned() {
+			w.mu.Lock()
+			w.stats.DialRefused++
+			w.mu.Unlock()
+			return nil, ErrInjected
+		}
+		c, err := base(addr)
+		if err != nil {
+			return nil, err
+		}
+		return w.Conn(c), nil
+	}
+}
+
+// step advances the write counter and returns the firing-rule bitmask.
+func (w *WireInjector) step() (uint32, uint64) {
+	w.mu.Lock()
+	idx := w.idx
+	w.idx++
+	w.mu.Unlock()
+	var mask uint32
+	for i, r := range w.rules {
+		if r.Trigger != nil && r.Trigger.Fires(w.seed, i, idx) {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask, idx
+}
+
+// wireConn applies the injector's schedule to writes; reads pass through
+// (and fail naturally once the underlying conn is killed) except during a
+// partition, which severs both directions.
+type wireConn struct {
+	net.Conn
+	in *WireInjector
+}
+
+func (c *wireConn) Write(b []byte) (int, error) {
+	in := c.in
+	if in.Partitioned() {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	mask, idx := in.step()
+	if mask != 0 {
+		corrupt := false
+		for i, r := range in.rules {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			switch r.Kind {
+			case WirePartition:
+				in.mu.Lock()
+				in.partUntil = time.Now().Add(r.Dur)
+				in.stats.Partitions++
+				in.mu.Unlock()
+				c.Conn.Close()
+				return 0, ErrInjected
+			case WireDrop:
+				in.mu.Lock()
+				in.stats.Drops++
+				in.mu.Unlock()
+				c.Conn.Close()
+				return 0, ErrInjected
+			case WireDelay:
+				in.mu.Lock()
+				in.stats.Delays++
+				in.mu.Unlock()
+				time.Sleep(r.Dur)
+			case WireCorrupt:
+				corrupt = true
+			}
+		}
+		if corrupt && len(b) > 0 {
+			in.mu.Lock()
+			in.stats.Corruptions++
+			in.mu.Unlock()
+			// Flip one seed-determined bit in a copy (never scribble on the
+			// caller's buffer).
+			mangled := make([]byte, len(b))
+			copy(mangled, b)
+			pos := mix(in.seed^idx) % uint64(len(mangled))
+			mangled[pos] ^= 1 << (mix(idx) % 8)
+			return c.Conn.Write(mangled)
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *wireConn) Read(b []byte) (int, error) {
+	if c.in.Partitioned() {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(b)
+}

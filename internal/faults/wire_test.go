@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// discardConn is a net.Conn that swallows writes — enough to drive the wire
+// injector's schedule without a network.
+type discardConn struct {
+	net.Conn
+	wrote  bytes.Buffer
+	closed bool
+}
+
+func (c *discardConn) Write(b []byte) (int, error) { return c.wrote.Write(b) }
+func (c *discardConn) Read(b []byte) (int, error)  { select {} }
+func (c *discardConn) Close() error                { c.closed = true; return nil }
+
+// TestWireDropDeterministic replays the same seed twice and expects kills at
+// identical write indices.
+func TestWireDropDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		w := NewWire(99, ConnDropOn(EveryNth(10)), CorruptOn(Prob(0.2)))
+		var kills []uint64
+		for i := 0; i < 100; i++ {
+			raw := &discardConn{}
+			conn := w.Conn(raw)
+			if _, err := conn.Write([]byte("frame")); err != nil {
+				kills = append(kills, w.Seen()-1)
+				if !raw.closed {
+					t.Fatalf("injected drop left the conn open")
+				}
+			}
+		}
+		return kills
+	}
+	a, b := run(), run()
+	if len(a) != 10 || len(a) != len(b) {
+		t.Fatalf("kill counts differ: %d vs %d (want 10)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("kill %d at write %d vs %d — schedule not replayable", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWireCorruptFlipsOneBit(t *testing.T) {
+	w := NewWire(3, CorruptOn(OnceAt(0)))
+	raw := &discardConn{}
+	conn := w.Conn(raw)
+	orig := []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := conn.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	got := raw.wrote.Bytes()
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption touched %d bytes, want exactly 1", diff)
+	}
+	for _, b := range orig {
+		if b != 0 {
+			t.Fatalf("caller's buffer was scribbled on")
+		}
+	}
+	if w.Stats().Corruptions != 1 {
+		t.Fatalf("corruptions = %d", w.Stats().Corruptions)
+	}
+}
+
+func TestWirePartitionWindow(t *testing.T) {
+	w := NewWire(1, PartitionFor(OnceAt(0), 50*time.Millisecond))
+	conn := w.Conn(&discardConn{})
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatalf("partition trigger did not kill the write")
+	}
+	if !w.Partitioned() {
+		t.Fatalf("partition window not open")
+	}
+	dial := w.Dial(func(string) (net.Conn, error) { return &discardConn{}, nil })
+	if _, err := dial("anywhere"); err == nil {
+		t.Fatalf("dial succeeded during partition")
+	}
+	if w.Stats().DialRefused != 1 {
+		t.Fatalf("dial refusals = %d", w.Stats().DialRefused)
+	}
+	deadline := time.Now().Add(time.Second)
+	for w.Partitioned() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w.Partitioned() {
+		t.Fatalf("partition never healed")
+	}
+	if _, err := dial("anywhere"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+func TestWireDelay(t *testing.T) {
+	w := NewWire(1, WireDelayOn(OnceAt(0), 20*time.Millisecond))
+	conn := w.Conn(&discardConn{})
+	start := time.Now()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delayed write took only %v", d)
+	}
+	if w.Stats().Delays != 1 {
+		t.Fatalf("delays = %d", w.Stats().Delays)
+	}
+}

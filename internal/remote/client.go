@@ -1,0 +1,575 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is the client link state, driven by the connection lifecycle.
+type State int32
+
+const (
+	// StateConnecting is the initial state before the first dial completes.
+	StateConnecting State = iota
+	// StateConnected means a connection is established and framing flows.
+	StateConnected
+	// StateReconnecting means the link is down and dials are being retried
+	// under exponential backoff. Offers still buffer (the send queue absorbs
+	// the outage) until the buffer fills.
+	StateReconnecting
+	// StateCircuitOpen means MaxDials consecutive dials failed: the link is
+	// declared dead, buffered and unacked packets are surrendered to
+	// OnDropped, and no further dials are attempted.
+	StateCircuitOpen
+	// StateClosed means Close was called.
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateConnected:
+		return "connected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateCircuitOpen:
+		return "circuit_open"
+	case StateClosed:
+		return "closed"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// Addr is the peer listener address ("host:port"). Required.
+	Addr string
+	// Window is the maximum number of unacknowledged DATA frames in flight
+	// (default 32). When the window is full, framing stalls and the send
+	// queue backs up — the credit that turns a slow peer into upstream
+	// backpressure instead of unbounded memory.
+	Window int
+	// FrameBatch is the maximum packets per DATA frame (default 64).
+	FrameBatch int
+	// SendBuf is the packet capacity of the send queue ahead of framing
+	// (default Window*FrameBatch). Offer rejects packets beyond it.
+	SendBuf int
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 5ms, 1s).
+	// Each failed dial doubles the delay, with ±20% seeded jitter.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// MaxDials is the number of consecutive failed dials in one outage
+	// before the circuit opens (default 16; negative = retry forever).
+	MaxDials int
+	// DialTimeout bounds each dial attempt (default 2s) when the default
+	// dialer is used.
+	DialTimeout time.Duration
+	// Seed drives the backoff jitter; same seed, same retry schedule.
+	Seed int64
+	// Dial overrides the dialer — the hook where tests wrap the connection
+	// in a wire-fault injector. Defaults to net.DialTimeout("tcp", ...).
+	Dial func(addr string) (net.Conn, error)
+
+	// OnState fires on every link state transition. For StateConnected,
+	// attempt is 0 on the first-ever connect and otherwise the number of
+	// dials the outage took; for StateReconnecting and StateCircuitOpen it
+	// is the consecutive failed-dial count so far.
+	OnState func(s State, attempt int)
+	// OnDelivered fires with the packet count covered by each advancing
+	// cumulative ack — confirmed received by the peer.
+	OnDelivered func(n int)
+	// OnDropped fires with the packet count surrendered when the link dies
+	// for good (circuit open) or the client closes with traffic still
+	// queued or unacked.
+	OnDropped func(n int)
+	// OnECN fires for each ack carrying the peer's congestion mark.
+	OnECN func()
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Addr == "" {
+		return errors.New("remote: Addr required")
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("remote: Window %d negative", c.Window)
+	}
+	if c.FrameBatch < 0 {
+		return fmt.Errorf("remote: FrameBatch %d negative", c.FrameBatch)
+	}
+	if c.SendBuf < 0 {
+		return fmt.Errorf("remote: SendBuf %d negative", c.SendBuf)
+	}
+	if c.BackoffMin < 0 || c.BackoffMax < 0 {
+		return errors.New("remote: negative backoff")
+	}
+	if c.BackoffMin > 0 && c.BackoffMax > 0 && c.BackoffMin > c.BackoffMax {
+		return fmt.Errorf("remote: BackoffMin %v > BackoffMax %v", c.BackoffMin, c.BackoffMax)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.FrameBatch == 0 {
+		c.FrameBatch = 64
+	}
+	if c.SendBuf == 0 {
+		c.SendBuf = c.Window * c.FrameBatch
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = 5 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.BackoffMin > c.BackoffMax {
+		c.BackoffMin = c.BackoffMax
+	}
+	if c.MaxDials == 0 {
+		c.MaxDials = 16
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.Dial == nil {
+		to := c.DialTimeout
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, to)
+		}
+	}
+	return c
+}
+
+// Stats is a snapshot of the client's transport counters. Packets counts
+// except Retries, Reconnects, WindowStalls, ECNEchoes, Dials and DialFails,
+// which count frames/events.
+type Stats struct {
+	Sent         uint64 // packets framed and written (incl. later-retried)
+	Acked        uint64 // packets covered by cumulative acks
+	Retries      uint64 // frames retransmitted after a reconnect
+	Reconnects   uint64 // successful re-dials after a connection loss
+	WindowStalls uint64 // stall episodes: send queue ready, window full
+	ECNEchoes    uint64 // acks carrying the peer's congestion mark
+	Dials        uint64 // dial attempts
+	DialFails    uint64 // dial attempts that failed
+}
+
+type frameRec struct {
+	seq   uint64
+	npkts int
+	enc   []byte
+}
+
+// Client is the dial side of a remote link. Create with New, start with
+// Start, feed with Offer, and Close to surrender whatever the peer never
+// acknowledged.
+type Client struct {
+	cfg     Config
+	session uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sendq   []Pkt // circular, capacity SendBuf
+	head, n int
+	unacked []*frameRec
+	nextSeq uint64
+	epoch   int
+	conn    net.Conn
+	closed  bool
+	circuit bool
+	stalled bool
+
+	closedCh chan struct{}
+	wg       sync.WaitGroup
+
+	state    atomic.Int32
+	queued   atomic.Int64 // mirrors n for lock-free Space
+	inflight atomic.Int64 // mirrors len(unacked)
+
+	sent, acked, retries, reconnects atomic.Uint64
+	windowStalls, ecnEchoes          atomic.Uint64
+	dials, dialFails                 atomic.Uint64
+	rng                              *rand.Rand // run-goroutine only
+}
+
+var sessionCounter atomic.Uint64
+
+// New builds an unstarted client. Call Start to begin dialing.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cfg: cfg,
+		// Session identity must be unique per client instance so the peer
+		// never merges two senders' sequence spaces.
+		session:  uint64(time.Now().UnixNano()) ^ (sessionCounter.Add(1) << 48),
+		sendq:    make([]Pkt, cfg.SendBuf),
+		closedCh: make(chan struct{}),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.state.Store(int32(StateConnecting))
+	return c, nil
+}
+
+// Start launches the connection manager. Idempotence is the caller's job.
+func (c *Client) Start() {
+	c.wg.Add(1)
+	go c.run()
+}
+
+// Offer enqueues up to len(ps) packets for transmission, returning how many
+// were accepted. Never blocks: packets beyond the send buffer — or any
+// packet once the circuit is open or the client closed — are refused.
+func (c *Client) Offer(ps []Pkt) int {
+	if len(ps) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	if c.closed || c.circuit {
+		c.mu.Unlock()
+		return 0
+	}
+	k := len(c.sendq) - c.n
+	if k > len(ps) {
+		k = len(ps)
+	}
+	for i := 0; i < k; i++ {
+		c.sendq[(c.head+c.n+i)%len(c.sendq)] = ps[i]
+	}
+	c.n += k
+	c.queued.Store(int64(c.n))
+	c.mu.Unlock()
+	if k > 0 {
+		c.cond.Signal()
+	}
+	return k
+}
+
+// Space reports how many packets Offer would currently accept. Lock-free.
+func (c *Client) Space() int {
+	switch State(c.state.Load()) {
+	case StateCircuitOpen, StateClosed:
+		return 0
+	}
+	s := c.cfg.SendBuf - int(c.queued.Load())
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// Queued reports packets buffered ahead of framing.
+func (c *Client) Queued() int { return int(c.queued.Load()) }
+
+// Inflight reports DATA frames sent but not yet acknowledged.
+func (c *Client) Inflight() int { return int(c.inflight.Load()) }
+
+// State reports the current link state.
+func (c *Client) State() State { return State(c.state.Load()) }
+
+// Stats snapshots the transport counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Sent:         c.sent.Load(),
+		Acked:        c.acked.Load(),
+		Retries:      c.retries.Load(),
+		Reconnects:   c.reconnects.Load(),
+		WindowStalls: c.windowStalls.Load(),
+		ECNEchoes:    c.ecnEchoes.Load(),
+		Dials:        c.dials.Load(),
+		DialFails:    c.dialFails.Load(),
+	}
+}
+
+// Close stops the client, waits for its goroutines, and surrenders whatever
+// is still queued or unacknowledged to OnDropped — after Close returns, every
+// offered packet has been reported exactly once as delivered or dropped
+// (modulo the two-generals caveat: a packet whose final ack was lost with the
+// link is reported dropped even though the peer delivered it).
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conn := c.conn
+	close(c.closedCh)
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	c.cond.Broadcast()
+	c.wg.Wait()
+	c.mu.Lock()
+	dropped := c.drainLocked()
+	c.mu.Unlock()
+	c.setState(StateClosed, 0)
+	if dropped > 0 && c.cfg.OnDropped != nil {
+		c.cfg.OnDropped(dropped)
+	}
+}
+
+// drainLocked empties the send queue and unacked window, returning the
+// packet count surrendered. Caller holds mu.
+func (c *Client) drainLocked() int {
+	dropped := c.n
+	c.head, c.n = 0, 0
+	for _, f := range c.unacked {
+		dropped += f.npkts
+	}
+	c.unacked = nil
+	c.queued.Store(0)
+	c.inflight.Store(0)
+	return dropped
+}
+
+func (c *Client) setState(s State, attempt int) {
+	c.state.Store(int32(s))
+	if c.cfg.OnState != nil {
+		c.cfg.OnState(s, attempt)
+	}
+}
+
+// jitter spreads a backoff delay ±20% so a fleet of links does not thunder
+// back in lockstep (mirrors the supervisor's restartBackoff).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*c.rng.Float64()))
+}
+
+// sleep waits d or until Close, reporting whether the client is still open.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.closedCh:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// run is the connection manager: dial with backoff, handshake, then pump
+// frames until the connection dies, and repeat. It exits on Close or when
+// the circuit opens.
+func (c *Client) run() {
+	defer c.wg.Done()
+	connectedBefore := false
+	fails := 0 // consecutive failed dials this outage
+	backoff := c.cfg.BackoffMin
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		c.dials.Add(1)
+		conn, err := c.connect()
+		if err != nil {
+			c.dialFails.Add(1)
+			fails++
+			if c.cfg.MaxDials >= 0 && fails >= c.cfg.MaxDials {
+				c.openCircuit(fails)
+				return
+			}
+			c.setState(StateReconnecting, fails)
+			if !c.sleep(c.jitter(backoff)) {
+				return
+			}
+			backoff *= 2
+			if backoff > c.cfg.BackoffMax {
+				backoff = c.cfg.BackoffMax
+			}
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.epoch++
+		ep := c.epoch
+		c.conn = conn
+		c.mu.Unlock()
+		if connectedBefore {
+			c.reconnects.Add(1)
+			c.setState(StateConnected, fails+1)
+		} else {
+			connectedBefore = true
+			c.setState(StateConnected, 0)
+		}
+		fails = 0
+		backoff = c.cfg.BackoffMin
+		var rwg sync.WaitGroup
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			c.readLoop(conn, ep)
+		}()
+		c.writeLoop(conn, ep)
+		conn.Close()
+		rwg.Wait()
+		c.mu.Lock()
+		if c.conn == conn {
+			c.conn = nil
+		}
+		closed = c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		c.setState(StateReconnecting, 0)
+	}
+}
+
+// connect dials and completes the HELLO handshake.
+func (c *Client) connect() (net.Conn, error) {
+	conn, err := c.cfg.Dial(c.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeRaw(conn, encodeHello(c.session)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// openCircuit declares the link dead: no more dials, and everything queued
+// or in flight is surrendered to OnDropped.
+func (c *Client) openCircuit(fails int) {
+	c.mu.Lock()
+	c.circuit = true
+	dropped := c.drainLocked()
+	c.mu.Unlock()
+	c.setState(StateCircuitOpen, fails)
+	if dropped > 0 && c.cfg.OnDropped != nil {
+		c.cfg.OnDropped(dropped)
+	}
+}
+
+// writeLoop retransmits the unacked window, then frames the send queue for
+// as long as the window has credit. Returns when the connection dies (write
+// error or the reader bumping the epoch) or the client closes.
+func (c *Client) writeLoop(conn net.Conn, ep int) {
+	// Retransmit first: the peer dedups by sequence, so resending is always
+	// safe, and it is the only way frames swallowed by a dying connection
+	// ever arrive.
+	c.mu.Lock()
+	resend := make([][]byte, len(c.unacked))
+	for i, f := range c.unacked {
+		resend[i] = f.enc
+	}
+	c.mu.Unlock()
+	for _, enc := range resend {
+		if writeRaw(conn, enc) != nil {
+			return
+		}
+		c.retries.Add(1)
+	}
+	for {
+		c.mu.Lock()
+		for {
+			if c.closed || c.epoch != ep {
+				c.mu.Unlock()
+				return
+			}
+			if c.n > 0 && len(c.unacked) < c.cfg.Window {
+				break
+			}
+			if c.n > 0 && !c.stalled {
+				// Queue has traffic but the window is out of credit: one
+				// stall episode (cleared when an ack restores credit).
+				c.stalled = true
+				c.windowStalls.Add(1)
+			}
+			c.cond.Wait()
+		}
+		c.stalled = false
+		k := c.n
+		if k > c.cfg.FrameBatch {
+			k = c.cfg.FrameBatch
+		}
+		pkts := make([]Pkt, k)
+		for i := 0; i < k; i++ {
+			pkts[i] = c.sendq[(c.head+i)%len(c.sendq)]
+		}
+		c.head = (c.head + k) % len(c.sendq)
+		c.n -= k
+		c.queued.Store(int64(c.n))
+		seq := c.nextSeq
+		c.nextSeq++
+		fr := &frameRec{seq: seq, npkts: k, enc: encodeData(seq, pkts)}
+		c.unacked = append(c.unacked, fr)
+		c.inflight.Store(int64(len(c.unacked)))
+		c.mu.Unlock()
+		if writeRaw(conn, fr.enc) != nil {
+			return
+		}
+		c.sent.Add(uint64(k))
+	}
+}
+
+// readLoop consumes acks: advancing the cumulative ack releases window
+// credit and reports delivery; the ECN flag is surfaced per ack. Any read or
+// framing error kills the connection (bumping the epoch so the writer
+// notices) and lets run reconnect.
+func (c *Client) readLoop(conn net.Conn, ep int) {
+	br := newReader(conn)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			break
+		}
+		if typ != typeAck {
+			break // only acks flow client-ward
+		}
+		next, flags, err := decodeAck(payload)
+		if err != nil {
+			break
+		}
+		delivered := 0
+		c.mu.Lock()
+		for len(c.unacked) > 0 && c.unacked[0].seq < next {
+			delivered += c.unacked[0].npkts
+			c.unacked[0] = nil
+			c.unacked = c.unacked[1:]
+		}
+		c.inflight.Store(int64(len(c.unacked)))
+		c.mu.Unlock()
+		if delivered > 0 {
+			c.acked.Add(uint64(delivered))
+			if c.cfg.OnDelivered != nil {
+				c.cfg.OnDelivered(delivered)
+			}
+			c.cond.Broadcast()
+		}
+		if flags&ackFlagECN != 0 {
+			c.ecnEchoes.Add(1)
+			if c.cfg.OnECN != nil {
+				c.cfg.OnECN()
+			}
+		}
+	}
+	conn.Close()
+	c.mu.Lock()
+	if c.epoch == ep {
+		c.epoch++
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}

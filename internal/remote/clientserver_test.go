@@ -1,0 +1,394 @@
+package remote_test
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nfvnice/internal/faults"
+	"nfvnice/internal/remote"
+)
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// offerAll pushes every packet, retrying refused tails (backpressure).
+func offerAll(t *testing.T, c *remote.Client, ps []remote.Pkt) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(ps) > 0 {
+		n := c.Offer(ps)
+		ps = ps[n:]
+		if len(ps) > 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out offering: %d packets refused", len(ps))
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func TestClientServerDelivery(t *testing.T) {
+	var got atomic.Uint64
+	var flowSum atomic.Int64
+	srv, err := remote.Listen("127.0.0.1:0", remote.ServerConfig{
+		OnBatch: func(ps []remote.Pkt) {
+			got.Add(uint64(len(ps)))
+			for _, p := range ps {
+				flowSum.Add(p.Flow)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var delivered atomic.Uint64
+	cl, err := remote.New(remote.Config{
+		Addr:        srv.Addr(),
+		Window:      4,
+		FrameBatch:  8,
+		OnDelivered: func(n int) { delivered.Add(uint64(n)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+
+	const N = 1000
+	want := int64(0)
+	ps := make([]remote.Pkt, N)
+	for i := range ps {
+		ps[i] = remote.Pkt{Flow: int64(i % 17), Size: int32(64 + i%1400)}
+		want += ps[i].Flow
+	}
+	offerAll(t, cl, ps)
+	waitUntil(t, 5*time.Second, "all packets acked", func() bool { return delivered.Load() == N })
+	cl.Close()
+
+	if got.Load() != N {
+		t.Fatalf("server received %d packets, want %d", got.Load(), N)
+	}
+	if flowSum.Load() != want {
+		t.Fatalf("flow checksum %d, want %d", flowSum.Load(), want)
+	}
+	st := cl.Stats()
+	if st.Acked != N {
+		t.Fatalf("client acked %d, want %d", st.Acked, N)
+	}
+	ss := srv.Stats()
+	if ss.Received != N || ss.Dups != 0 {
+		t.Fatalf("server stats %+v", ss)
+	}
+}
+
+// TestReconnectDedupExactlyOnce kills the connection every 25 writes; the
+// client must reconnect, retransmit its unacked window, and the server's
+// session dedup must keep delivery exactly-once.
+func TestReconnectDedupExactlyOnce(t *testing.T) {
+	var got atomic.Uint64
+	srv, err := remote.Listen("127.0.0.1:0", remote.ServerConfig{
+		OnBatch: func(ps []remote.Pkt) { got.Add(uint64(len(ps))) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	wire := faults.NewWire(7, faults.ConnDropOn(faults.EveryNth(25)))
+	var delivered, dropped atomic.Uint64
+	cl, err := remote.New(remote.Config{
+		Addr:        srv.Addr(),
+		Window:      4,
+		FrameBatch:  4,
+		BackoffMin:  200 * time.Microsecond,
+		BackoffMax:  2 * time.Millisecond,
+		MaxDials:    -1,
+		Seed:        7,
+		Dial:        wire.Dial(nil),
+		OnDelivered: func(n int) { delivered.Add(uint64(n)) },
+		OnDropped:   func(n int) { dropped.Add(uint64(n)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+
+	const N = 2000
+	ps := make([]remote.Pkt, N)
+	for i := range ps {
+		ps[i] = remote.Pkt{Flow: int64(i), Size: 64}
+	}
+	offerAll(t, cl, ps)
+	waitUntil(t, 20*time.Second, "all packets acked through link kills", func() bool {
+		return delivered.Load() == N
+	})
+	cl.Close()
+
+	if got.Load() != N {
+		t.Fatalf("server delivered %d packets, want exactly %d", got.Load(), N)
+	}
+	if dropped.Load() != 0 {
+		t.Fatalf("dropped %d packets on a healed link", dropped.Load())
+	}
+	st := cl.Stats()
+	if st.Reconnects < 3 {
+		t.Fatalf("want >= 3 reconnects (kill/heal cycles), got %d", st.Reconnects)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("want retransmitted frames after kills, got 0")
+	}
+	if w := wire.Stats(); w.Drops < 3 {
+		t.Fatalf("wire injector killed %d conns, want >= 3", w.Drops)
+	}
+}
+
+// TestCorruptFrameTriggersReconnect flips a bit in one frame; the server
+// must reject it (CRC), kill the connection, and the retransmit path must
+// still deliver every packet exactly once.
+func TestCorruptFrameTriggersReconnect(t *testing.T) {
+	var got atomic.Uint64
+	srv, err := remote.Listen("127.0.0.1:0", remote.ServerConfig{
+		OnBatch: func(ps []remote.Pkt) { got.Add(uint64(len(ps))) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Write 0 is the HELLO; corrupt a DATA frame a few writes in.
+	wire := faults.NewWire(11, faults.CorruptOn(faults.OnceAt(5)))
+	var delivered atomic.Uint64
+	cl, err := remote.New(remote.Config{
+		Addr:        srv.Addr(),
+		Window:      2,
+		FrameBatch:  4,
+		BackoffMin:  200 * time.Microsecond,
+		BackoffMax:  2 * time.Millisecond,
+		MaxDials:    -1,
+		Dial:        wire.Dial(nil),
+		OnDelivered: func(n int) { delivered.Add(uint64(n)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+
+	const N = 200
+	ps := make([]remote.Pkt, N)
+	for i := range ps {
+		ps[i] = remote.Pkt{Flow: int64(i), Size: 64}
+	}
+	offerAll(t, cl, ps)
+	waitUntil(t, 10*time.Second, "all packets acked through corruption", func() bool {
+		return delivered.Load() == N
+	})
+	cl.Close()
+
+	if got.Load() != N {
+		t.Fatalf("server delivered %d packets, want exactly %d", got.Load(), N)
+	}
+	if srv.Stats().BadFrames == 0 {
+		t.Fatalf("server never saw the corrupt frame")
+	}
+	if wire.Stats().Corruptions != 1 {
+		t.Fatalf("wire corruptions = %d, want 1", wire.Stats().Corruptions)
+	}
+}
+
+// TestWindowStallThrottles connects to a peer that accepts but never acks:
+// the window runs out of credit, framing stalls, the send buffer fills, and
+// Offer starts refusing — bounded memory under a stalled peer.
+func TestWindowStallThrottles(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, read nothing, ack nothing
+		}
+	}()
+
+	cl, err := remote.New(remote.Config{
+		Addr:       ln.Addr().String(),
+		Window:     2,
+		FrameBatch: 4,
+		SendBuf:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+
+	ps := make([]remote.Pkt, 64)
+	for i := range ps {
+		ps[i] = remote.Pkt{Flow: int64(i), Size: 64}
+	}
+	accepted := 0
+	waitUntil(t, 5*time.Second, "send buffer to fill and Offer to refuse", func() bool {
+		accepted += cl.Offer(ps[:1])
+		return cl.Space() == 0 && cl.Offer(ps[:1]) == 0
+	})
+	waitUntil(t, 5*time.Second, "a window stall episode", func() bool {
+		return cl.Stats().WindowStalls >= 1
+	})
+	if fl := cl.Inflight(); fl != 2 {
+		t.Fatalf("inflight frames = %d, want the full window of 2", fl)
+	}
+
+	// Close surrenders everything the peer never acked.
+	cl.Close()
+	st := cl.Stats()
+	if st.Acked != 0 {
+		t.Fatalf("acked %d with a mute peer", st.Acked)
+	}
+}
+
+// TestCircuitOpen drives dials at a dead address until MaxDials opens the
+// circuit; everything buffered is surrendered to OnDropped and further
+// offers are refused.
+func TestCircuitOpen(t *testing.T) {
+	// Grab a port, then close it so dials fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var dropped atomic.Uint64
+	states := make(chan remote.State, 64)
+	cl, err := remote.New(remote.Config{
+		Addr:       addr,
+		BackoffMin: 100 * time.Microsecond,
+		BackoffMax: time.Millisecond,
+		MaxDials:   3,
+		OnState: func(s remote.State, attempt int) {
+			select {
+			case states <- s:
+			default:
+			}
+		},
+		OnDropped: func(n int) { dropped.Add(uint64(n)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]remote.Pkt, 10)
+	if n := cl.Offer(ps); n != 10 {
+		t.Fatalf("pre-start offer accepted %d, want 10 (buffered)", n)
+	}
+	cl.Start()
+
+	waitUntil(t, 5*time.Second, "circuit to open", func() bool {
+		return cl.State() == remote.StateCircuitOpen
+	})
+	if dropped.Load() != 10 {
+		t.Fatalf("dropped %d packets at circuit open, want 10", dropped.Load())
+	}
+	if cl.Offer(ps[:1]) != 0 || cl.Space() != 0 {
+		t.Fatalf("circuit-open client still accepting offers")
+	}
+	if cl.Stats().DialFails < 3 {
+		t.Fatalf("dial fails = %d, want >= 3", cl.Stats().DialFails)
+	}
+	cl.Close()
+	if dropped.Load() != 10 {
+		t.Fatalf("close double-counted drops: %d", dropped.Load())
+	}
+	sawReconnecting := false
+	for {
+		select {
+		case s := <-states:
+			if s == remote.StateReconnecting {
+				sawReconnecting = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawReconnecting {
+		t.Fatalf("never observed StateReconnecting before circuit open")
+	}
+}
+
+// TestECNEcho checks the congestion mark round trip: a server whose ECN
+// sampler asserts congestion marks every ack, and the client surfaces it.
+func TestECNEcho(t *testing.T) {
+	var congested atomic.Bool
+	congested.Store(true)
+	srv, err := remote.Listen("127.0.0.1:0", remote.ServerConfig{
+		ECN: func() bool { return congested.Load() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var ecn atomic.Uint64
+	var delivered atomic.Uint64
+	cl, err := remote.New(remote.Config{
+		Addr:        srv.Addr(),
+		OnECN:       func() { ecn.Add(1) },
+		OnDelivered: func(n int) { delivered.Add(uint64(n)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	defer cl.Close()
+
+	ps := make([]remote.Pkt, 100)
+	offerAll(t, cl, ps)
+	waitUntil(t, 5*time.Second, "acked with ECN echoes", func() bool {
+		return delivered.Load() == 100 && ecn.Load() > 0
+	})
+	if cl.Stats().ECNEchoes == 0 {
+		t.Fatalf("no ECN echoes recorded")
+	}
+}
+
+func TestClientConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  remote.Config
+		ok   bool
+	}{
+		{"ok", remote.Config{Addr: "127.0.0.1:1"}, true},
+		{"missing addr", remote.Config{}, false},
+		{"negative window", remote.Config{Addr: "a:1", Window: -1}, false},
+		{"negative frame batch", remote.Config{Addr: "a:1", FrameBatch: -4}, false},
+		{"negative sendbuf", remote.Config{Addr: "a:1", SendBuf: -1}, false},
+		{"backoff min > max", remote.Config{Addr: "a:1", BackoffMin: time.Second, BackoffMax: time.Millisecond}, false},
+		{"negative backoff", remote.Config{Addr: "a:1", BackoffMin: -time.Second}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,172 @@
+// Package remote is the wire transport for cross-host service chains: a
+// dial-side Client that serializes packet batches into length-prefixed TCP
+// frames under a bounded in-flight credit window, and an accept-side Server
+// that delivers them exactly once and acknowledges cumulatively, echoing a
+// local-congestion (ECN) bit back to the sender.
+//
+// The protocol is deliberately small. Every frame is
+//
+//	u32 bodyLen | body
+//	body := u8 type | payload | u32 crc32c(type|payload)
+//
+// with three frame types:
+//
+//	HELLO{u64 session}              client → server, once per connection
+//	DATA {u64 seq, u32 n, n×Pkt}    client → server; Pkt = u64 flow | u32 size
+//	ACK  {u64 nextSeq, u8 flags}    server → client; flags bit0 = ECN mark
+//
+// DATA frames carry consecutive sequence numbers within a session. ACKs are
+// cumulative ("everything below nextSeq arrived"), so a sender resuming after
+// a reconnect retransmits its whole unacked window and the receiver's
+// per-session dedup discards what it already delivered — at-least-once on the
+// wire, exactly-once in the delivery accounting. A corrupt frame (CRC
+// mismatch) kills the connection rather than guessing: the client's
+// reconnect + retransmit path is the error recovery.
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+)
+
+// Pkt is the unit carried across the wire: the packet descriptor fields that
+// survive serialization. Payload bytes are out of scope for this repo's
+// descriptor-only dataplane (as in the simulator, packets are metadata).
+type Pkt struct {
+	Flow int64
+	Size int32
+}
+
+const (
+	typeHello byte = 1
+	typeData  byte = 2
+	typeAck   byte = 3
+
+	// ackFlagECN echoes the receiver's congestion state (queue above the
+	// high watermark) back to the sender — the frame-ack analogue of the
+	// paper's §3.4 ECN marking.
+	ackFlagECN byte = 1 << 0
+
+	pktWire = 12 // u64 flow + u32 size
+
+	// maxFrameBody bounds a frame body so a corrupt length prefix cannot
+	// drive an arbitrary-size allocation.
+	maxFrameBody = 1 << 20
+)
+
+var (
+	// ErrCorrupt reports a frame whose CRC did not match its contents.
+	ErrCorrupt = errors.New("remote: corrupt frame (crc mismatch)")
+	// ErrProtocol reports a structurally invalid frame or sequence.
+	ErrProtocol = errors.New("remote: protocol violation")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame wraps a body (type byte already first) with the length prefix
+// and trailing CRC, appending to dst.
+func appendFrame(dst, body []byte) []byte {
+	crc := crc32.Checksum(body, crcTable)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)+4))
+	dst = append(dst, body...)
+	dst = binary.BigEndian.AppendUint32(dst, crc)
+	return dst
+}
+
+func encodeHello(session uint64) []byte {
+	body := make([]byte, 0, 9)
+	body = append(body, typeHello)
+	body = binary.BigEndian.AppendUint64(body, session)
+	return appendFrame(nil, body)
+}
+
+func encodeData(seq uint64, pkts []Pkt) []byte {
+	body := make([]byte, 0, 13+len(pkts)*pktWire)
+	body = append(body, typeData)
+	body = binary.BigEndian.AppendUint64(body, seq)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(pkts)))
+	for _, p := range pkts {
+		body = binary.BigEndian.AppendUint64(body, uint64(p.Flow))
+		body = binary.BigEndian.AppendUint32(body, uint32(p.Size))
+	}
+	return appendFrame(nil, body)
+}
+
+func encodeAck(next uint64, flags byte) []byte {
+	body := make([]byte, 0, 10)
+	body = append(body, typeAck)
+	body = binary.BigEndian.AppendUint64(body, next)
+	body = append(body, flags)
+	return appendFrame(nil, body)
+}
+
+// readFrame reads one frame off the stream and verifies its CRC, returning
+// the type byte and payload (CRC stripped). io errors pass through; framing
+// errors are ErrCorrupt/ErrProtocol.
+func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 5 || n > maxFrameBody {
+		return 0, nil, fmt.Errorf("%w: frame length %d", ErrProtocol, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, nil, err
+	}
+	body, crcB := buf[:n-4], buf[n-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(crcB) {
+		return 0, nil, ErrCorrupt
+	}
+	return body[0], body[1:], nil
+}
+
+func decodeHello(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("%w: hello payload %d bytes", ErrProtocol, len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), nil
+}
+
+func decodeData(payload []byte) (uint64, []Pkt, error) {
+	if len(payload) < 12 {
+		return 0, nil, fmt.Errorf("%w: data payload %d bytes", ErrProtocol, len(payload))
+	}
+	seq := binary.BigEndian.Uint64(payload)
+	n := int(binary.BigEndian.Uint32(payload[8:]))
+	if len(payload) != 12+n*pktWire {
+		return 0, nil, fmt.Errorf("%w: data count %d vs payload %d", ErrProtocol, n, len(payload))
+	}
+	pkts := make([]Pkt, n)
+	off := 12
+	for i := range pkts {
+		pkts[i].Flow = int64(binary.BigEndian.Uint64(payload[off:]))
+		pkts[i].Size = int32(binary.BigEndian.Uint32(payload[off+8:]))
+		off += pktWire
+	}
+	return seq, pkts, nil
+}
+
+func decodeAck(payload []byte) (uint64, byte, error) {
+	if len(payload) != 9 {
+		return 0, 0, fmt.Errorf("%w: ack payload %d bytes", ErrProtocol, len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), payload[8], nil
+}
+
+// writeRaw writes an already-encoded frame to the connection.
+func writeRaw(conn net.Conn, enc []byte) error {
+	_, err := conn.Write(enc)
+	return err
+}
+
+func newReader(conn net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(conn, 64<<10)
+}

@@ -1,0 +1,72 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	pkts := []Pkt{{Flow: 7, Size: 1500}, {Flow: -1, Size: 64}, {Flow: 1 << 40, Size: 0}}
+	var stream bytes.Buffer
+	stream.Write(encodeHello(0xdeadbeef))
+	stream.Write(encodeData(42, pkts))
+	stream.Write(encodeAck(43, ackFlagECN))
+
+	br := bufio.NewReader(&stream)
+
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != typeHello {
+		t.Fatalf("hello: typ=%d err=%v", typ, err)
+	}
+	sid, err := decodeHello(payload)
+	if err != nil || sid != 0xdeadbeef {
+		t.Fatalf("hello decode: sid=%#x err=%v", sid, err)
+	}
+
+	typ, payload, err = readFrame(br)
+	if err != nil || typ != typeData {
+		t.Fatalf("data: typ=%d err=%v", typ, err)
+	}
+	seq, got, err := decodeData(payload)
+	if err != nil || seq != 42 {
+		t.Fatalf("data decode: seq=%d err=%v", seq, err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("data decode: %d pkts, want %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if got[i] != pkts[i] {
+			t.Fatalf("pkt %d: got %+v want %+v", i, got[i], pkts[i])
+		}
+	}
+
+	typ, payload, err = readFrame(br)
+	if err != nil || typ != typeAck {
+		t.Fatalf("ack: typ=%d err=%v", typ, err)
+	}
+	next, flags, err := decodeAck(payload)
+	if err != nil || next != 43 || flags&ackFlagECN == 0 {
+		t.Fatalf("ack decode: next=%d flags=%#x err=%v", next, flags, err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	enc := encodeData(9, []Pkt{{Flow: 1, Size: 100}})
+	// Flip a payload bit past the length prefix.
+	enc[7] ^= 0x10
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(enc)))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// An absurd length prefix must be rejected before any allocation.
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(bad)))
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("want ErrProtocol, got %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package remote
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ServerConfig parameterizes the accept side of a remote link.
+type ServerConfig struct {
+	// OnBatch receives each DATA frame's packets exactly once, in per-session
+	// order. May be called concurrently for different sessions.
+	OnBatch func(ps []Pkt)
+	// ECN, when non-nil, is sampled once per ack: true sets the congestion
+	// mark so the sender throttles at the origin (paper §3.4). Wire an
+	// engine's CongestionSignal here.
+	ECN func() bool
+}
+
+// ServerStats snapshots the accept-side counters.
+type ServerStats struct {
+	Received  uint64 // packets delivered exactly once to OnBatch
+	Dups      uint64 // packets discarded as retransmitted duplicates
+	Frames    uint64 // DATA frames processed (incl. duplicates)
+	BadFrames uint64 // corrupt or protocol-violating frames (connection fatal)
+	Conns     uint64 // connections accepted
+}
+
+// session is one sender's sequence space. It survives the sender's
+// connections: a client reconnecting with the same HELLO session resumes
+// where its acks left off, and retransmitted frames below next are dups.
+type session struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// Server accepts remote-link connections and delivers framed packets
+// exactly once per session.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	received, dups, frames, badFrames, connsN atomic.Uint64
+}
+
+// Listen binds addr ("host:port"; use ":0" for an ephemeral port) and starts
+// accepting.
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, cfg), nil
+}
+
+// Serve starts accepting on an existing listener (ownership transfers).
+func Serve(ln net.Listener, cfg ServerConfig) *Server {
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		sessions: make(map[uint64]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr reports the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats snapshots the accept-side counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Received:  s.received.Load(),
+		Dups:      s.dups.Load(),
+		Frames:    s.frames.Load(),
+		BadFrames: s.badFrames.Load(),
+		Conns:     s.connsN.Load(),
+	}
+}
+
+// Close stops accepting, drops every open connection, and waits for the
+// handlers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsN.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := newReader(conn)
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != typeHello {
+		s.badFrames.Add(1)
+		return
+	}
+	sid, err := decodeHello(payload)
+	if err != nil {
+		s.badFrames.Add(1)
+		return
+	}
+	sess := s.session(sid)
+	// Ack the current position up front: a resuming sender trims everything
+	// the previous connection already delivered.
+	sess.mu.Lock()
+	pos := sess.next
+	sess.mu.Unlock()
+	if writeRaw(conn, encodeAck(pos, s.ecnFlag())) != nil {
+		return
+	}
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if err == ErrCorrupt {
+				// A mangled frame is unrecoverable mid-stream: kill the
+				// connection and let reconnect + retransmit repair it.
+				s.badFrames.Add(1)
+			}
+			return
+		}
+		if typ != typeData {
+			s.badFrames.Add(1)
+			return
+		}
+		seq, pkts, err := decodeData(payload)
+		if err != nil {
+			s.badFrames.Add(1)
+			return
+		}
+		s.frames.Add(1)
+		var ackNext uint64
+		sess.mu.Lock()
+		switch {
+		case seq == sess.next:
+			sess.next++
+			ackNext = sess.next
+			s.received.Add(uint64(len(pkts)))
+			if s.cfg.OnBatch != nil {
+				// Delivered under the session lock so a racing old/new
+				// connection pair cannot reorder a session's batches.
+				s.cfg.OnBatch(pkts)
+			}
+			sess.mu.Unlock()
+		case seq < sess.next:
+			ackNext = sess.next
+			sess.mu.Unlock()
+			s.dups.Add(uint64(len(pkts)))
+		default:
+			// A gap over an in-order transport is a protocol violation.
+			sess.mu.Unlock()
+			s.badFrames.Add(1)
+			return
+		}
+		if writeRaw(conn, encodeAck(ackNext, s.ecnFlag())) != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) ecnFlag() byte {
+	if s.cfg.ECN != nil && s.cfg.ECN() {
+		return ackFlagECN
+	}
+	return 0
+}
+
+func (s *Server) session(id uint64) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		sess = &session{}
+		s.sessions[id] = sess
+	}
+	return sess
+}
