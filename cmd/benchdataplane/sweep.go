@@ -62,6 +62,7 @@ func sweepCores(cores int, window time.Duration) Result {
 	}
 	return runSweep(e, ids, window, true)
 }
+
 // runSweep drives the prepared engine closed-loop for the warmup plus the
 // measurement window. With lanes set, injection goes through a registered
 // ProducerHandle (per-producer SPSC lane); otherwise through the shared

@@ -10,7 +10,14 @@
 //
 //	nfvtop -addr localhost:9090            # refresh twice a second
 //	nfvtop -addr localhost:9090 -once      # one frame, no screen control
+//	nfvtop -addr localhost:9090 -json      # one merged JSON document, exit
 //	nfvtop -interval 1s -n 12              # slower poll, longer journal tail
+//
+// -json is the scripting surface: it polls /snapshot and /debug/decisions
+// once and emits a single JSON object {"snapshot": [...], "decisions": {...}}
+// on stdout — the metric families verbatim as the engine exported them, plus
+// the journal tail — so shell pipelines (jq, CI assertions) get one document
+// instead of scraping two endpoints and the rendered screen.
 package main
 
 import (
@@ -420,6 +427,43 @@ func staleBanner(addr string, fails int, err error) string {
 	return fmt.Sprintf("nfvtop: STALE (reconnecting to %s, attempt %d: %v)", addr, fails, err)
 }
 
+// jsonDump is the -json output document: the /snapshot families verbatim
+// plus the decision-journal tail. Decisions is null when the journal
+// endpoint is absent (engines built without a journal still dump cleanly).
+type jsonDump struct {
+	Snapshot  json.RawMessage `json:"snapshot"`
+	Decisions json.RawMessage `json:"decisions"`
+}
+
+// dumpJSON fetches both telemetry endpoints once and writes the merged
+// document. The snapshot bytes pass through untouched (after a validity
+// check) so the dump never lags the engine's metric schema.
+func dumpJSON(client *http.Client, base string, tail int, w io.Writer) error {
+	resp, err := client.Get(base + "/snapshot")
+	if err != nil {
+		return err
+	}
+	snapRaw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if !json.Valid(snapRaw) {
+		return fmt.Errorf("/snapshot returned invalid JSON (%d bytes)", len(snapRaw))
+	}
+	doc := jsonDump{Snapshot: snapRaw, Decisions: json.RawMessage("null")}
+	if resp, err := client.Get(fmt.Sprintf("%s/debug/decisions?n=%d", base, tail)); err == nil {
+		decRaw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && resp.StatusCode == http.StatusOK && json.Valid(decRaw) {
+			doc.Decisions = decRaw
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
 func fetchSnapshot(client *http.Client, base string) (snapshot, error) {
 	resp, err := client.Get(base + "/snapshot")
 	if err != nil {
@@ -449,11 +493,20 @@ func main() {
 	addr := flag.String("addr", "localhost:9090", "telemetry address of the dataplane process")
 	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval")
 	once := flag.Bool("once", false, "render a single frame and exit (no screen control)")
+	jsonOut := flag.Bool("json", false, "dump one merged snapshot+decisions JSON document and exit")
 	tail := flag.Int("n", 8, "decision-journal tail length")
 	flag.Parse()
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *jsonOut {
+		if err := dumpJSON(client, base, *tail, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "nfvtop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var prev snapshot
 	var prevAt time.Time

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -189,6 +192,101 @@ func TestRetryBackoff(t *testing.T) {
 		if got := retryBackoff(tc.fails, tc.base); got != tc.want {
 			t.Errorf("retryBackoff(%d, %v) = %v, want %v", tc.fails, tc.base, got, tc.want)
 		}
+	}
+}
+
+// TestDumpJSON pins the -json scripting surface: one document merging the
+// verbatim /snapshot families with the decision-journal tail, and the
+// requested tail length forwarded to the journal endpoint.
+func TestDumpJSON(t *testing.T) {
+	var gotN string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/snapshot":
+			w.Write([]byte(sampleSnapshot))
+		case "/debug/decisions":
+			gotN = r.URL.Query().Get("n")
+			w.Write([]byte(`{"total":2,"dropped":0,"decisions":[
+				{"seq":1,"t_ns":1,"kind":"bp_on","chain":0,"stage":"nat","qdepth":50,"high_water":48}]}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	var b strings.Builder
+	if err := dumpJSON(srv.Client(), srv.URL, 12, &b); err != nil {
+		t.Fatalf("dumpJSON: %v", err)
+	}
+	if gotN != "12" {
+		t.Errorf("journal tail length not forwarded: n=%q, want 12", gotN)
+	}
+	var doc struct {
+		Snapshot  []family       `json:"snapshot"`
+		Decisions *decisionReply `json:"decisions"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not one JSON document: %v\n%s", err, b.String())
+	}
+	if len(doc.Snapshot) == 0 {
+		t.Fatal("snapshot families missing from the dump")
+	}
+	names := map[string]bool{}
+	for _, f := range doc.Snapshot {
+		names[f.Name] = true
+	}
+	if !names["dataplane_injected_total"] || !names["dataplane_stage_queue_depth"] {
+		t.Errorf("snapshot families not passed through verbatim: %v", names)
+	}
+	if doc.Decisions == nil || doc.Decisions.Total != 2 || len(doc.Decisions.Decisions) != 1 {
+		t.Errorf("decisions not merged: %+v", doc.Decisions)
+	}
+	if doc.Decisions.Decisions[0].Kind != "bp_on" {
+		t.Errorf("decision record mangled: %+v", doc.Decisions.Decisions[0])
+	}
+}
+
+// TestDumpJSONNoJournal: an engine without the journal endpoint still dumps
+// — decisions comes back null, the snapshot is intact, and the exit is clean.
+func TestDumpJSONNoJournal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/snapshot" {
+			w.Write([]byte(sampleSnapshot))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	var b strings.Builder
+	if err := dumpJSON(srv.Client(), srv.URL, 8, &b); err != nil {
+		t.Fatalf("dumpJSON: %v", err)
+	}
+	var doc jsonDump
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("bad document: %v", err)
+	}
+	if string(doc.Decisions) != "null" {
+		t.Errorf("decisions should be null without a journal endpoint, got %s", doc.Decisions)
+	}
+	if !json.Valid(doc.Snapshot) || len(doc.Snapshot) < 10 {
+		t.Errorf("snapshot missing from the dump")
+	}
+}
+
+// TestDumpJSONBadSnapshot: a peer serving garbage fails loudly, not with a
+// half-written document.
+func TestDumpJSONBadSnapshot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json at all"))
+	}))
+	defer srv.Close()
+	var b strings.Builder
+	if err := dumpJSON(srv.Client(), srv.URL, 8, &b); err == nil {
+		t.Fatal("want an error for an invalid /snapshot body")
+	}
+	if b.Len() != 0 {
+		t.Errorf("nothing should be written on failure, got %q", b.String())
 	}
 }
 

@@ -179,7 +179,7 @@ func BenchmarkChain3StagesSampled(b *testing.B) {
 // the pre-batching API (per-packet Inject, Output channel) measurable; the
 // pre-PR baseline in BENCH_dataplane.json was recorded on this path.
 func BenchmarkInjectSteadyStateChannel(b *testing.B) { runChainBenchChannel(b, 1) }
-func BenchmarkChain3StagesChannel(b *testing.B)     { runChainBenchChannel(b, 3) }
+func BenchmarkChain3StagesChannel(b *testing.B)      { runChainBenchChannel(b, 3) }
 
 // runChainBenchMovers is the multi-core variant of runChainBench: a
 // 3-stage chain with the TX path sharded across `movers` shards, the

@@ -422,9 +422,12 @@ type Engine struct {
 	// Reconciliation: once the pipeline quiesces — and, with the shutdown
 	// drain, after Run returns —
 	//
-	//	Injected == Delivered + RingDrops(mid-chain) + OutputDrops
+	//	Injected == Delivered + MidRingDrops + OutputDrops
 	//	          + NFDrops + FaultDrops + ShutdownDrops
 	//	          + RemoteDelivered + RemoteDrops
+	//
+	// MidRingDrops is the mid-chain (post-acceptance) subset of RingDrops;
+	// LedgerSnapshot packages this identity as a checkable struct.
 	//
 	// Layout: the counters are grouped by their steady-state writers —
 	// producer-side (injector goroutines), delivery-side (movers), and
@@ -438,6 +441,13 @@ type Engine struct {
 	_               ring.Pad
 	Delivered       atomic.Uint64 // mover-written
 	OutputDrops     atomic.Uint64 // mover-written
+	// MidRingDrops is the mover-written subset of RingDrops: packets that
+	// were already accepted (counted Injected) and then died at a full
+	// mid-chain receive ring. Entry-ring drops are pre-acceptance and appear
+	// only in RingDrops, so the reconciliation above can be checked exactly
+	// from the global counters alone (see LedgerSnapshot) without knowing
+	// which stages are chain entries.
+	MidRingDrops atomic.Uint64 // mover-written
 	// latSumNanos/latMaxNanos accumulate end-to-end sojourn time of
 	// delivered packets (mover-written; read via LatencyStats).
 	latSumNanos    atomic.Int64
@@ -1455,6 +1465,7 @@ func (e *Engine) moveStages(stages []*stage, buf []*Packet, rc *recycler) int {
 	}
 	if ringDrops > 0 {
 		e.RingDrops.Add(ringDrops)
+		e.MidRingDrops.Add(ringDrops)
 	}
 	rc.flush()
 	return moved
@@ -1731,6 +1742,8 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 		"Packets shed at chain entry by backpressure.", e.EntryDrops.Load)
 	reg.CounterFunc("dataplane_ring_drops_total",
 		"Packets dropped at full stage receive rings (entry or mid-chain).", e.RingDrops.Load)
+	reg.CounterFunc("dataplane_mid_ring_drops_total",
+		"Accepted packets dropped at full mid-chain receive rings (subset of ring drops).", e.MidRingDrops.Load)
 	reg.CounterFunc("dataplane_output_drops_total",
 		"Delivered packets dropped because the output channel was full.", e.OutputDrops.Load)
 	reg.CounterFunc("dataplane_throttle_events_total",

@@ -601,3 +601,118 @@ func TestRemoteTelemetryAndHealthz(t *testing.T) {
 		t.Errorf("/healthz remote row not connected: %s", hb)
 	}
 }
+
+// TestRemoteDrainDeadLink is the shutdown-vs-outage regression: the remote
+// peer dies permanently, packets pile up behind the reconnecting uplink, and
+// the engine is asked to stop. The graceful drain cannot complete — the link
+// never heals — so DrainTimeout must expire, Run must return (watchdogged
+// here: a hang is the bug this test pins), and every stranded packet must be
+// charged to an accounted class (RemoteDrops for what the link held,
+// ShutdownDrops for what the sweep found) so the ledger still closes.
+func TestRemoteDrainDeadLink(t *testing.T) {
+	b := dataplane.New(dataplane.Config{
+		RingSize: 1024, WeightPeriod: 0, DrainTimeout: 500 * time.Millisecond,
+	})
+	bs := b.AddStage("sink", 1024, func(p *dataplane.Packet) {})
+	bch, err := b.AddChain(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.MapFlow(1, bch)
+	b.SetSink(b.PutPacketBatch)
+	bctx, bcancel := context.WithCancel(context.Background())
+	bdone := make(chan struct{})
+	go func() { b.Run(bctx); close(bdone) }()
+
+	srv, err := remote.Listen("127.0.0.1:0", remote.ServerConfig{
+		OnBatch: b.RemoteIngress(),
+		ECN:     b.CongestionSignal(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := dataplane.New(dataplane.Config{
+		RingSize: 256, BatchSize: 16, Movers: 2, WeightPeriod: 0,
+		DrainTimeout: 300 * time.Millisecond,
+	})
+	as := a.AddStage("stamp", 1024, func(p *dataplane.Packet) {})
+	up := a.AddRemoteStage("uplink", 1024, dataplane.RemoteConfig{
+		Addr:       srv.Addr(),
+		Window:     4,
+		FrameBatch: 16,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+		MaxDials:   -1, // keep dialing a peer that will never come back
+	})
+	ach, err := a.AddChain(as, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.MapFlow(1, ach)
+	actx, acancel := context.WithCancel(context.Background())
+	adone := make(chan struct{})
+	go func() { a.Run(actx); close(adone) }()
+
+	// paced tracks RemoteDelivered so the warm-up phase never outruns the
+	// credit window into mid-ring overflow; the dead-link phase injects
+	// unpaced on purpose — buildup behind the corpse is the scenario.
+	inject := func(n int, paced bool) int {
+		sent := 0
+		deadline := time.Now().Add(5 * time.Second)
+		for sent < n && time.Now().Before(deadline) {
+			if paced && uint64(sent)-a.RemoteDelivered.Load() >= 64 {
+				runtime.Gosched()
+				continue
+			}
+			p := a.GetPacket()
+			p.FlowID = 1
+			p.Size = 64
+			if a.Inject(p) {
+				sent++
+			} else {
+				a.PutPacket(p)
+				runtime.Gosched()
+			}
+		}
+		return sent
+	}
+
+	// Phase 1: a healthy paced burst proves the link up before we kill it.
+	warm := inject(500, true)
+	remoteWait(t, 10*time.Second, func() bool {
+		return a.RemoteDelivered.Load() >= uint64(warm)
+	}, "uplink never delivered the warm-up burst")
+
+	// Phase 2: the peer dies for good. The uplink enters its reconnect loop
+	// (every dial now refused) while fresh packets stack up behind it.
+	srv.Close()
+	bcancel()
+	<-bdone
+	inject(400, false)
+
+	// Phase 3: stop the engine mid-reconnect. The drain can't finish; Run
+	// must give up at DrainTimeout and still return. 20s is the watchdog —
+	// orders of magnitude past the 300ms drain budget.
+	acancel()
+	select {
+	case <-adone:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Run hung draining a dead remote link (DrainTimeout not honored)")
+	}
+
+	l := a.LedgerSnapshot()
+	if l.Residual() != 0 {
+		t.Fatalf("ledger open after dead-link drain: residual=%d ledger=%+v", l.Residual(), l)
+	}
+	if l.RemoteDelivered < uint64(warm) {
+		t.Errorf("warm-up burst lost: remoteDelivered=%d want>=%d", l.RemoteDelivered, warm)
+	}
+	if l.RemoteDrops+l.ShutdownDrops == 0 {
+		t.Errorf("stranded packets uncharged: remoteDrops=%d shutdownDrops=%d ledger=%+v",
+			l.RemoteDrops, l.ShutdownDrops, l)
+	}
+	if st := a.RemoteStats()[0]; st.Queued != 0 || st.Inflight != 0 {
+		t.Errorf("link closed with unsettled frames: %+v", st)
+	}
+}

@@ -1,0 +1,289 @@
+package faults
+
+// Plan export: a serializable manifest of the exact fault schedule an
+// Injector or WireInjector will execute. Hypothesis runs (cmd/nfvhypo)
+// record the plan next to their results so a verdict can be replayed from
+// the manifest alone: PlanFromJSON -> Plan.Injector()/Plan.WireInjector()
+// rebuilds a live injector with the identical seed, rules, and therefore
+// the identical firing schedule.
+//
+// The schedule itself is a pure function of (seed, rules), so the manifest
+// stores those plus a bounded preview of the firing events over a fixed
+// horizon — enough to eyeball what a run did without replaying it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// planEventCap bounds the embedded event preview so a high-probability rule
+// over a long horizon can't bloat the manifest; EventsTotal always carries
+// the full count.
+const planEventCap = 64
+
+// RuleSpec is the serialized form of one Rule or WireRule.
+type RuleSpec struct {
+	// Kind is the action name: panic/stall/delay/drop for handler rules,
+	// conn_drop/wire_delay/corrupt/partition for wire rules.
+	Kind string `json:"kind"`
+	// Trigger is the trigger in constructor syntax: "every_nth(200)",
+	// "once_at(2000)", "after(100)", "prob(0.01)".
+	Trigger string `json:"trigger"`
+	// DurNanos is the stall/delay/partition duration in nanoseconds.
+	DurNanos int64 `json:"dur_nanos,omitempty"`
+	// Msg is the panic message (handler rules only).
+	Msg string `json:"msg,omitempty"`
+}
+
+// PlanEvent is one firing in the dry-run preview.
+type PlanEvent struct {
+	Idx  uint64 `json:"idx"`
+	Rule int    `json:"rule"`
+	Kind string `json:"kind"`
+}
+
+// Plan is the replayable manifest of a seeded injector.
+type Plan struct {
+	// Layer is "handler" (packet-level Injector) or "wire" (WireInjector).
+	Layer string `json:"layer"`
+	Seed  uint64 `json:"seed"`
+	// Horizon is the number of indices the preview was evaluated over.
+	Horizon uint64     `json:"horizon"`
+	Rules   []RuleSpec `json:"rules"`
+	// Events previews the first firings (capped at 64); EventsTotal is the
+	// uncapped count over the horizon.
+	Events      []PlanEvent `json:"events"`
+	EventsTotal uint64      `json:"events_total"`
+}
+
+// formatTrigger renders a built-in trigger in constructor syntax. Custom
+// Trigger implementations are rejected: they can't be rebuilt from a
+// manifest.
+func formatTrigger(t Trigger) (string, error) {
+	switch v := t.(type) {
+	case everyNth:
+		return fmt.Sprintf("every_nth(%d)", uint64(v)), nil
+	case onceAt:
+		return fmt.Sprintf("once_at(%d)", uint64(v)), nil
+	case after:
+		return fmt.Sprintf("after(%d)", uint64(v)), nil
+	case prob:
+		return "prob(" + strconv.FormatFloat(float64(v), 'g', -1, 64) + ")", nil
+	case nil:
+		return "", fmt.Errorf("faults: nil trigger is not serializable")
+	default:
+		return "", fmt.Errorf("faults: trigger %T is not serializable", t)
+	}
+}
+
+// ParseTrigger parses constructor syntax ("every_nth(200)", "once_at(5)",
+// "after(100)", "prob(0.01)") back into a live Trigger.
+func ParseTrigger(s string) (Trigger, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("faults: malformed trigger %q", s)
+	}
+	name, arg := s[:open], s[open+1:len(s)-1]
+	switch name {
+	case "every_nth":
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: trigger %q: %v", s, err)
+		}
+		return everyNth(n), nil
+	case "once_at":
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: trigger %q: %v", s, err)
+		}
+		return onceAt(n), nil
+	case "after":
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: trigger %q: %v", s, err)
+		}
+		return after(n), nil
+	case "prob":
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: trigger %q: %v", s, err)
+		}
+		return prob(p), nil
+	default:
+		return nil, fmt.Errorf("faults: unknown trigger %q", s)
+	}
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "panic":
+		return KindPanic, nil
+	case "stall":
+		return KindStall, nil
+	case "delay":
+		return KindDelay, nil
+	case "drop":
+		return KindDrop, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown handler fault kind %q", s)
+	}
+}
+
+func parseWireKind(s string) (WireKind, error) {
+	switch s {
+	case "conn_drop":
+		return WireDrop, nil
+	case "wire_delay":
+		return WireDelay, nil
+	case "corrupt":
+		return WireCorrupt, nil
+	case "partition":
+		return WirePartition, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown wire fault kind %q", s)
+	}
+}
+
+// ExportPlan builds the replayable manifest for the injector, previewing
+// firings over the first horizon packet indices. It does not touch the live
+// counter. Fails if any rule uses a custom (non-serializable) trigger.
+func (in *Injector) ExportPlan(horizon uint64) (Plan, error) {
+	p := Plan{Layer: "handler", Seed: in.seed, Horizon: horizon}
+	for _, r := range in.rules {
+		ts, err := formatTrigger(r.Trigger)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Rules = append(p.Rules, RuleSpec{
+			Kind:     r.Kind.String(),
+			Trigger:  ts,
+			DurNanos: int64(r.Dur),
+			Msg:      r.Msg,
+		})
+	}
+	for idx := uint64(0); idx < horizon; idx++ {
+		for i, r := range in.rules {
+			if r.Trigger.Fires(in.seed, i, idx) {
+				if p.EventsTotal < planEventCap {
+					p.Events = append(p.Events, PlanEvent{Idx: idx, Rule: i, Kind: r.Kind.String()})
+				}
+				p.EventsTotal++
+			}
+		}
+	}
+	return p, nil
+}
+
+// ExportPlan builds the replayable manifest for the wire injector,
+// previewing firings over the first horizon write indices.
+func (w *WireInjector) ExportPlan(horizon uint64) (Plan, error) {
+	p := Plan{Layer: "wire", Seed: w.seed, Horizon: horizon}
+	for _, r := range w.rules {
+		ts, err := formatTrigger(r.Trigger)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Rules = append(p.Rules, RuleSpec{
+			Kind:     r.Kind.String(),
+			Trigger:  ts,
+			DurNanos: int64(r.Dur),
+		})
+	}
+	for idx := uint64(0); idx < horizon; idx++ {
+		for i, r := range w.rules {
+			if r.Trigger.Fires(w.seed, i, idx) {
+				if p.EventsTotal < planEventCap {
+					p.Events = append(p.Events, PlanEvent{Idx: idx, Rule: i, Kind: r.Kind.String()})
+				}
+				p.EventsTotal++
+			}
+		}
+	}
+	return p, nil
+}
+
+// MarshalJSON renders the plan with empty slices as [] (never null), so
+// manifests are byte-stable regardless of how the Plan was built.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	type alias Plan // drop the method to avoid recursion
+	a := alias(p)
+	if a.Rules == nil {
+		a.Rules = []RuleSpec{}
+	}
+	if a.Events == nil {
+		a.Events = []PlanEvent{}
+	}
+	return json.Marshal(a)
+}
+
+// PlanFromJSON parses and validates a manifest: the layer must be known,
+// every trigger must parse, and every kind must belong to the layer.
+func PlanFromJSON(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("faults: plan: %w", err)
+	}
+	if p.Layer != "handler" && p.Layer != "wire" {
+		return Plan{}, fmt.Errorf("faults: plan: unknown layer %q", p.Layer)
+	}
+	for _, rs := range p.Rules {
+		if _, err := ParseTrigger(rs.Trigger); err != nil {
+			return Plan{}, err
+		}
+		var err error
+		if p.Layer == "handler" {
+			_, err = parseKind(rs.Kind)
+		} else {
+			_, err = parseWireKind(rs.Kind)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	return p, nil
+}
+
+// Injector rebuilds a live handler injector from the manifest. The rebuilt
+// injector follows the identical schedule: same seed, same rules, counter
+// starting at zero.
+func (p Plan) Injector() (*Injector, error) {
+	if p.Layer != "handler" {
+		return nil, fmt.Errorf("faults: plan layer %q is not a handler plan", p.Layer)
+	}
+	rules := make([]Rule, 0, len(p.Rules))
+	for _, rs := range p.Rules {
+		t, err := ParseTrigger(rs.Trigger)
+		if err != nil {
+			return nil, err
+		}
+		k, err := parseKind(rs.Kind)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, Rule{Trigger: t, Kind: k, Dur: time.Duration(rs.DurNanos), Msg: rs.Msg})
+	}
+	return New(p.Seed, rules...), nil
+}
+
+// WireInjector rebuilds a live wire injector from the manifest.
+func (p Plan) WireInjector() (*WireInjector, error) {
+	if p.Layer != "wire" {
+		return nil, fmt.Errorf("faults: plan layer %q is not a wire plan", p.Layer)
+	}
+	rules := make([]WireRule, 0, len(p.Rules))
+	for _, rs := range p.Rules {
+		t, err := ParseTrigger(rs.Trigger)
+		if err != nil {
+			return nil, err
+		}
+		k, err := parseWireKind(rs.Kind)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, WireRule{Trigger: t, Kind: k, Dur: time.Duration(rs.DurNanos)})
+	}
+	return NewWire(p.Seed, rules...), nil
+}

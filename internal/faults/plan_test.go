@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestPlanRoundTrip: export -> JSON -> PlanFromJSON -> rebuild must yield an
+// injector with the byte-identical schedule, and re-marshaling the parsed
+// plan must reproduce the original bytes.
+func TestPlanRoundTrip(t *testing.T) {
+	in := New(42,
+		PanicOn(EveryNth(1000), "injected crash"),
+		StallOn(OnceAt(2500), 5*time.Millisecond),
+		DelayOn(Prob(0.01), 200*time.Microsecond),
+		DropOn(After(9000)),
+	)
+	const horizon = 10000
+	plan, err := in.ExportPlan(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Layer != "handler" || plan.Seed != 42 || plan.Horizon != horizon {
+		t.Fatalf("plan header wrong: %+v", plan)
+	}
+	if plan.EventsTotal == 0 {
+		t.Fatal("no events over a 10k horizon with an after(9000) rule")
+	}
+	if len(plan.Events) > 64 {
+		t.Fatalf("event preview not capped: %d", len(plan.Events))
+	}
+
+	blob, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := PlanFromJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := json.Marshal(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("re-marshaled plan differs:\n%s\n%s", blob, blob2)
+	}
+
+	rebuilt, err := parsed.Injector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := rebuilt.ExportPlan(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(plan)
+	b2, _ := json.Marshal(plan2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("rebuilt injector schedule differs:\n%s\n%s", b1, b2)
+	}
+
+	// The rebuilt injector must agree with the original rule-by-rule on the
+	// full uncapped schedule, not just the preview.
+	orig := in.Plan(horizon)
+	repl := rebuilt.Plan(horizon)
+	if len(orig) != len(repl) {
+		t.Fatalf("schedule length %d vs %d", len(orig), len(repl))
+	}
+	for i := range orig {
+		if orig[i] != repl[i] {
+			t.Fatalf("schedule diverges at %d: %+v vs %+v", i, orig[i], repl[i])
+		}
+	}
+}
+
+// TestWirePlanRoundTrip covers the wire layer.
+func TestWirePlanRoundTrip(t *testing.T) {
+	w := NewWire(7,
+		ConnDropOn(EveryNth(150)),
+		WireDelayOn(Prob(0.005), time.Millisecond),
+		CorruptOn(OnceAt(300)),
+		PartitionFor(OnceAt(700), 50*time.Millisecond),
+	)
+	plan, err := w.ExportPlan(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Layer != "wire" {
+		t.Fatalf("layer %q", plan.Layer)
+	}
+	blob, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := PlanFromJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := parsed.WireInjector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := rebuilt.ExportPlan(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(plan)
+	b2, _ := json.Marshal(plan2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("rebuilt wire schedule differs:\n%s\n%s", b1, b2)
+	}
+	// Layer mismatch must be rejected both ways.
+	if _, err := parsed.Injector(); err == nil {
+		t.Fatal("wire plan accepted as handler plan")
+	}
+}
+
+// TestPlanRejectsGarbage: unknown layers, kinds, and trigger syntax must be
+// rejected at parse time, and custom triggers at export time.
+func TestPlanRejectsGarbage(t *testing.T) {
+	bad := []string{
+		`{"layer":"quantum","seed":1,"rules":[],"events":[]}`,
+		`{"layer":"handler","seed":1,"rules":[{"kind":"explode","trigger":"every_nth(5)"}],"events":[]}`,
+		`{"layer":"handler","seed":1,"rules":[{"kind":"panic","trigger":"sometimes"}],"events":[]}`,
+		`{"layer":"wire","seed":1,"rules":[{"kind":"panic","trigger":"every_nth(5)"}],"events":[]}`,
+		`not json`,
+	}
+	for _, s := range bad {
+		if _, err := PlanFromJSON([]byte(s)); err == nil {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+
+	type custom struct{ Trigger }
+	in := New(1, Rule{Trigger: custom{EveryNth(2)}, Kind: KindDrop})
+	if _, err := in.ExportPlan(10); err == nil {
+		t.Fatal("custom trigger exported")
+	}
+}
+
+// TestParseTriggerValues pins the constructor syntax, including float
+// round-tripping for prob.
+func TestParseTriggerValues(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"every_nth(200)", "every_nth(200)"},
+		{"once_at(0)", "once_at(0)"},
+		{"after(100)", "after(100)"},
+		{"prob(0.01)", "prob(0.01)"},
+		{"prob(0.3333333333333333)", "prob(0.3333333333333333)"},
+	}
+	for _, c := range cases {
+		trig, err := ParseTrigger(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		got, err := formatTrigger(trig)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if got != c.out {
+			t.Fatalf("%q round-tripped to %q", c.in, got)
+		}
+	}
+}

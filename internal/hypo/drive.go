@@ -1,0 +1,166 @@
+package hypo
+
+// Shared engine-driving plumbing for the experiments: chain topology
+// builders, paced injection, quiescence waits, and journal queries. The
+// experiments drive the real internal/dataplane engine — no simulation.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"nfvnice/internal/dataplane"
+)
+
+// engineRun wraps a running engine with its shutdown plumbing.
+type engineRun struct {
+	e      *dataplane.Engine
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// start launches Run on a fresh goroutine.
+func start(e *dataplane.Engine) *engineRun {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { e.Run(ctx); close(done) }()
+	return &engineRun{e: e, cancel: cancel, done: done}
+}
+
+// stop cancels Run and waits for it to return (bounded).
+func (r *engineRun) stop(timeout time.Duration) error {
+	r.cancel()
+	select {
+	case <-r.done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("hypo: Run did not return within %v", timeout)
+	}
+}
+
+// buildChains adds n linear chains of hops stages each and maps flow i to
+// chain i. handler(chain, hop) supplies each stage's handler. Returns the
+// chain ids.
+func buildChains(e *dataplane.Engine, n, hops int, handler func(chain, hop int) dataplane.Handler) []int {
+	chains := make([]int, n)
+	for c := 0; c < n; c++ {
+		ids := make([]int, hops)
+		for h := 0; h < hops; h++ {
+			ids[h] = e.AddStage(fmt.Sprintf("c%d.s%d", c, h), 1024, handler(c, h))
+		}
+		ch, err := e.AddChain(ids...)
+		if err != nil {
+			panic(err)
+		}
+		e.MapFlow(c, ch)
+		chains[c] = ch
+	}
+	return chains
+}
+
+// injectPaced pushes total packets round-robin across flows, keeping the
+// accepted-but-unaccounted population at or below inflight (admissible
+// load: queues stay bounded by construction). Rejected injects are retried
+// until accepted. Returns false if the deadline passes first.
+func injectPaced(e *dataplane.Engine, flows, total, inflight int, deadline time.Time) bool {
+	sent := 0
+	for sent < total {
+		if time.Now().After(deadline) {
+			return false
+		}
+		if l := e.LedgerSnapshot(); l.Residual() >= int64(inflight) {
+			runtime.Gosched()
+			continue
+		}
+		p := e.GetPacket()
+		p.FlowID = sent % flows
+		p.Size = 64
+		if e.Inject(p) {
+			sent++
+		} else {
+			e.PutPacket(p)
+			runtime.Gosched()
+		}
+	}
+	return true
+}
+
+// waitSettled polls until the ledger residual reaches zero (the pipeline
+// has accounted every accepted packet) or the deadline passes.
+func waitSettled(e *dataplane.Engine, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if e.LedgerSnapshot().Residual() == 0 {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// journalCount counts journal records matching pred (0 when the journal is
+// disabled).
+func journalCount(e *dataplane.Engine, pred func(dataplane.Decision) bool) int {
+	j := e.Decisions()
+	if j == nil {
+		return 0
+	}
+	return len(j.Filter(0, pred))
+}
+
+// depthSampler polls every stage's queue depth in the background and tracks
+// the global maximum. Stop it before reading Max.
+type depthSampler struct {
+	e    *dataplane.Engine
+	stop chan struct{}
+	done chan struct{}
+	max  int
+}
+
+func sampleDepths(e *dataplane.Engine) *depthSampler {
+	s := &depthSampler{e: e, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var buf []int
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(500 * time.Microsecond):
+			}
+			buf = s.e.QueueDepths(buf)
+			for _, d := range buf {
+				if d > s.max {
+					s.max = d
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *depthSampler) Stop() int {
+	close(s.stop)
+	<-s.done
+	return s.max
+}
+
+// check builds a passing or failing Check; detail is only attached on
+// failure (canonical output stays byte-stable across passing runs).
+func check(name string, pass bool, detailFmt string, args ...any) Check {
+	c := Check{Name: name, Pass: pass}
+	if !pass {
+		c.Detail = fmt.Sprintf(detailFmt, args...)
+	}
+	return c
+}
+
+// mix is splitmix64 (same finalizer internal/faults uses), for deriving
+// per-chain injector seeds from the run seed.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,151 @@
+// Package hypo is the hypothesis-driven invariant harness: each system
+// invariant (liveness, conservation, FIFO, overload degradation) is encoded
+// as a seeded, multi-round, multi-config experiment over the live
+// internal/dataplane engine, with a recorded verdict. The pattern follows
+// the hypotheses/<name>/FINDINGS.md experiment-ledger methodology: a
+// hypothesis is Confirmed only when every invariant check passes in every
+// round of every configuration for every seed; a check that fails
+// everywhere Refutes it; a check that fails intermittently marks it Flaky.
+//
+// Experiments are registered at init time (h_*.go) and run by cmd/nfvhypo.
+// Everything a run executes is a pure function of (config, seed, scale):
+// fault schedules come from internal/faults seeded injectors and are
+// exported as replayable plans in the result set, so a verdict can be
+// reproduced byte-for-byte from the manifest alone.
+package hypo
+
+import (
+	"fmt"
+	"sort"
+
+	"nfvnice/internal/faults"
+)
+
+// Verdict is the outcome of a hypothesis (or of one check aggregated across
+// all runs).
+type Verdict string
+
+const (
+	// Confirmed: the invariant held in every run.
+	Confirmed Verdict = "confirmed"
+	// Refuted: the invariant failed in every run (a systematic violation).
+	Refuted Verdict = "refuted"
+	// Flaky: the invariant failed in some runs but not others.
+	Flaky Verdict = "flaky"
+)
+
+// Axis is one dimension of an experiment's configuration matrix.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// Params is one point of the expanded matrix: axis name -> chosen value.
+// (encoding/json marshals map keys sorted, so Params serialize
+// deterministically.)
+type Params map[string]string
+
+// Check is one invariant verified against a single run. Detail is only
+// populated when the check fails — passing checks must serialize
+// identically across runs so result sets are byte-reproducible.
+type Check struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Outcome is what one experiment run reports back to the runner.
+type Outcome struct {
+	Checks []Check
+	// FaultPlans are the replayable manifests of every seeded injector the
+	// run wired in (exported over a fixed horizon, so they are a function
+	// of the seed alone).
+	FaultPlans []faults.Plan
+	// Observed carries non-deterministic measured counters (delivered
+	// totals, drop classes, queue maxima). Stripped from canonical output;
+	// kept under the CLI's -observed flag.
+	Observed map[string]uint64
+}
+
+// RunCtx is the input to one experiment run.
+type RunCtx struct {
+	Params Params
+	Seed   uint64
+	// Scale multiplies workload sizes (chains, packet totals); 1.0 is the
+	// ledger scale, smoke jobs run smaller.
+	Scale float64
+	// Logf reports progress to the operator (stderr); never nil.
+	Logf func(format string, args ...any)
+}
+
+// N scales a workload count, never below 1.
+func (c RunCtx) N(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Experiment is a registered hypothesis: a claim, a config matrix, and a
+// run function that drives the engine and checks the invariant.
+type Experiment struct {
+	// Name is the ledger slug, e.g. "h-conservation".
+	Name string
+	// Title is the one-line human name.
+	Title string
+	// Claim is the falsifiable statement the experiment tests.
+	Claim string
+	// Axes span the configuration matrix (expanded as a cartesian
+	// product, first axis slowest).
+	Axes []Axis
+	// Run executes one (config, seed) point and reports the checks.
+	Run func(RunCtx) (Outcome, error)
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; called from init in h_*.go.
+func Register(e Experiment) {
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("hypo: duplicate experiment %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Get looks an experiment up by name.
+func Get(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists the registered experiments, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpandMatrix produces the cartesian product of the axes in deterministic
+// order (first axis varies slowest). No axes yields one empty config.
+func ExpandMatrix(axes []Axis) []Params {
+	configs := []Params{{}}
+	for _, ax := range axes {
+		next := make([]Params, 0, len(configs)*len(ax.Values))
+		for _, base := range configs {
+			for _, v := range ax.Values {
+				p := make(Params, len(base)+1)
+				for k, bv := range base {
+					p[k] = bv
+				}
+				p[ax.Name] = v
+				next = append(next, p)
+			}
+		}
+		configs = next
+	}
+	return configs
+}

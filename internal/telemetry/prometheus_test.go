@@ -11,9 +11,9 @@ func TestWritePrometheusFormat(t *testing.T) {
 	r.Counter("nf_processed_total", "Packets processed.", L("nf", "fw"), L("id", "0")).Add(42)
 	r.Gauge("nf_queue_depth", "Ring occupancy.", L("nf", "fw")).Set(17)
 	h := r.Histogram("latency_cycles", "End-to-end latency.")
-	h.Observe(1) // bucket le=1
-	h.Observe(2) // bucket le=3
-	h.Observe(3) // bucket le=3
+	h.Observe(1)   // bucket le=1
+	h.Observe(2)   // bucket le=3
+	h.Observe(3)   // bucket le=3
 	h.Observe(900) // bucket le=1023
 
 	var sb strings.Builder

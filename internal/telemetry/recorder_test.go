@@ -107,7 +107,7 @@ func TestRecorderLateColumns(t *testing.T) {
 	}
 
 	var js struct {
-		Columns []string     `json:"columns"`
+		Columns []string `json:"columns"`
 		Samples []struct {
 			T      float64    `json:"t"`
 			Values []*float64 `json:"values"`
