@@ -17,7 +17,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ring/ ./internal/dataplane/
+	$(GO) test -race ./internal/ring/ ./internal/dataplane/ \
+		./internal/flowtable/ ./internal/frontend/
 
 # Re-measure the dataplane hot path and rewrite the "current" section of
 # BENCH_dataplane.json (the "baseline" section — the pre-batching numbers —
@@ -26,11 +27,16 @@ bench-dataplane:
 	$(GO) test -run='^$$' -bench='SteadyState|Chain3' -benchtime=2s ./internal/dataplane/ | \
 		tee /dev/stderr | \
 		$(GO) run ./cmd/benchdataplane -out BENCH_dataplane.json -commit "$(COMMIT)"
+	$(GO) test -run='^$$' -bench='RealNFChain' -benchtime=2s ./internal/nfs/ | \
+		tee /dev/stderr | \
+		$(GO) run ./cmd/benchdataplane -out BENCH_dataplane.json -commit "$(COMMIT)"
 
-# The allocation gate CI enforces: steady-state packet flow must not allocate.
-# Matches the serial gate and the Movers=2/Movers=4 sharded-path gates.
+# The allocation gates CI enforces: steady-state packet flow must not
+# allocate — on no-op stages (serial and Movers=2/Movers=4 sharded paths)
+# and on real NFs mutating arena frames in place.
 bench-alloc-gate:
 	$(GO) test -run=TestSteadyStateZeroAllocs -count=1 -v ./internal/dataplane/
+	$(GO) test -run=TestRealNFChainZeroAllocs -count=1 -v ./internal/nfs/
 
 # Before/after comparison: benchmark the tree, diff against the last saved
 # run, then save this run as the new reference. Uses benchstat when it is on
@@ -43,6 +49,8 @@ bench-compare:
 	@mkdir -p results
 	$(GO) test -run='^$$' -bench='SteadyState|Chain3' -benchtime=1s \
 		-count=$(BENCH_COUNT) ./internal/dataplane/ | tee results/bench_new.txt
+	$(GO) test -run='^$$' -bench='RealNFChain' -benchtime=1s \
+		-count=$(BENCH_COUNT) ./internal/nfs/ | tee -a results/bench_new.txt
 	@if [ -f results/bench_old.txt ]; then \
 		if command -v benchstat >/dev/null 2>&1; then \
 			benchstat results/bench_old.txt results/bench_new.txt; \

@@ -46,10 +46,19 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// Env records the toolchain and host a section was measured on, so a
+// regression flagged by -compare can be told apart from a machine change.
+type Env struct {
+	GoVersion string `json:"go_version,omitempty"`
+	GoArch    string `json:"goarch,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+}
+
 // Section is one measurement epoch: a commit and its benchmark results.
 type Section struct {
 	Commit     string            `json:"commit,omitempty"`
 	Note       string            `json:"note,omitempty"`
+	Env        *Env              `json:"env,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -69,6 +78,7 @@ type ScalingPoint struct {
 type ScalingSection struct {
 	Commit       string         `json:"commit,omitempty"`
 	HostMaxProcs int            `json:"maxprocs_host"`
+	Env          *Env           `json:"env,omitempty"`
 	Points       []ScalingPoint `json:"points"`
 }
 
@@ -82,8 +92,8 @@ type File struct {
 	Scaling  *ScalingSection `json:"scaling,omitempty"`
 }
 
-const currentNote = "per-producer inject lanes, padded ring indices, adaptive " +
-	"mover batching (single-CPU runner: movers time-share)"
+const currentNote = "zero-copy frame arena + batch NF adapters; RealNFChain3 " +
+	"family runs firewall→NAT→monitor on live engine (single-CPU runner)"
 
 func main() {
 	out := flag.String("out", "BENCH_dataplane.json", "JSON file to update in place (empty to skip writing)")
@@ -135,7 +145,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdataplane:", err)
 			os.Exit(2)
 		}
-		scaling = &ScalingSection{Commit: *commit, HostMaxProcs: runtime.NumCPU()}
+		scaling = &ScalingSection{Commit: *commit, HostMaxProcs: runtime.NumCPU(), Env: hostEnv()}
 		var base float64
 		for _, c := range counts {
 			r := sweepCores(c, *benchtime)
@@ -180,6 +190,7 @@ func main() {
 		doc.Current.Commit = *commit
 	}
 	doc.Current.Note = currentNote
+	doc.Current.Env = hostEnv()
 	if scaling != nil {
 		doc.Scaling = scaling
 	}
@@ -194,6 +205,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// hostEnv stamps the toolchain and CPU the measurement ran on.
+func hostEnv() *Env {
+	return &Env{GoVersion: runtime.Version(), GoArch: runtime.GOARCH, CPU: cpuModel()}
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo; empty when the
+// platform does not expose one (the field is then omitted from the JSON).
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 // startProfiles arms the requested profilers around the in-process sweeps and

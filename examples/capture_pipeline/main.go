@@ -27,9 +27,9 @@ func main() {
 	mon := nfs.NewMonitor()
 	dpi := nfs.NewDPI([][]byte{[]byte("exfiltrate")}, true)
 
-	e := dataplane.New(dataplane.Config{Cores: 2, RingSize: 1024})
-	s1 := e.AddStageOn("monitor", 1024, 0, nfs.Adapt(mon))
-	s2 := e.AddStageOn("dpi", 1024, 1, nfs.Adapt(dpi))
+	e := dataplane.New(dataplane.Config{Cores: 2, RingSize: 1024, FrameSize: 128})
+	s1 := e.AddBatchStageOn("monitor", 1024, 0, nfs.AdaptBatch(mon))
+	s2 := e.AddBatchStageOn("dpi", 1024, 1, nfs.AdaptBatch(dpi))
 	ch, err := e.AddChain(s1, s2)
 	if err != nil {
 		panic(err)
@@ -42,17 +42,20 @@ func main() {
 	}
 	w := pcap.NewWriter(f, 0)
 	e.Tap(func(p *dataplane.Packet) {
-		frame, ok := p.Userdata.([]byte)
-		if !ok || frame == nil {
-			return // killed by the DPI mid-chain
+		// Frames the DPI killed mid-chain were recycled at the DPI stage
+		// (Packet.Drop) and never reach the tap; survivors carry their
+		// arena frame.
+		if len(p.Frame) == 0 {
+			return
 		}
-		w.WritePacket(time.Now(), frame)
+		w.WritePacket(time.Now(), p.Frame)
 	})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go e.Run(ctx)
 	go func() {
-		for range e.Output() {
+		for p := range e.Output() {
+			e.PutPacket(p) // recycle the descriptor and its arena frame
 		}
 	}()
 
@@ -69,9 +72,16 @@ func main() {
 			payload = []byte("attempt to exfiltrate secrets")
 		}
 		frame := proto.BuildUDP(macA, macB, src, dst, uint16(4000+i%100), 9, payload)
-		if e.Inject(&dataplane.Packet{FlowID: 0, Size: len(frame), Userdata: frame}) {
+		p := e.GetPacket()
+		buf := p.Frame[:cap(p.Frame)]
+		n := copy(buf, frame)
+		p.Frame = buf[:n]
+		p.Size = n
+		p.FlowID = 0
+		if e.Inject(p) {
 			sent++
 		} else {
+			e.PutPacket(p)
 			time.Sleep(50 * time.Microsecond)
 		}
 	}

@@ -5,6 +5,12 @@
 // code: headers get parsed, checksums get rewritten incrementally, payloads
 // get scanned.
 //
+// Frames ride the zero-copy arena path: Config.FrameSize preallocates one
+// frame slot per descriptor, ingress copies wire bytes into the slot once
+// (the NIC-DMA analogue), and every NF mutates the slot in place. An NF
+// Drop verdict recycles the descriptor mid-chain and shows up in the
+// conservation ledger's NFDrops class, not at the output.
+//
 // Run:
 //
 //	go run ./examples/real_nfs
@@ -40,7 +46,9 @@ func main() {
 	rt.AddRoute(proto.Addr4(8, 8, 8, 0), 24, 2)
 	dpi := nfs.NewDPI([][]byte{[]byte("exploit"), []byte("\x90\x90\x90\x90")}, true)
 
-	e := dataplane.New(dataplane.DefaultConfig())
+	cfg := dataplane.DefaultConfig()
+	cfg.FrameSize = 256
+	e := dataplane.New(cfg)
 	stages := []struct {
 		name string
 		p    nfs.Processor
@@ -49,7 +57,7 @@ func main() {
 	}
 	ids := make([]int, len(stages))
 	for i, s := range stages {
-		ids[i] = e.AddStage(s.name, 1024, nfs.Adapt(s.p))
+		ids[i] = e.AddBatchStage(s.name, 1024, nfs.AdaptBatch(s.p))
 	}
 	ch, err := e.AddChain(ids...)
 	if err != nil {
@@ -61,20 +69,17 @@ func main() {
 	defer cancel()
 	go e.Run(ctx)
 
-	// Count delivered frames by their fate (Userdata nil = dropped by an
-	// NF mid-chain).
-	survived, killed := 0, 0
+	// Frames an NF drops mid-chain are recycled there and charged to the
+	// ledger; only survivors reach the output.
+	survived := 0
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for {
 			select {
 			case p := <-e.Output():
-				if p.Userdata != nil {
-					survived++
-				} else {
-					killed++
-				}
+				survived++
+				e.PutPacket(p)
 			case <-ctx.Done():
 				return
 			}
@@ -83,10 +88,19 @@ func main() {
 
 	// Inject a realistic mix: DNS queries (allowed), HTTP (allowed, one
 	// carrying an exploit string the DPI kills), and SSH (firewalled).
+	// Each frame is copied once into an arena slot at ingress.
+	injected := 0
 	inject := func(frame []byte) {
-		for !e.Inject(&dataplane.Packet{FlowID: 0, Size: len(frame), Userdata: frame}) {
+		p := e.GetPacket()
+		buf := p.Frame[:cap(p.Frame)]
+		n := copy(buf, frame)
+		p.Frame = buf[:n]
+		p.Size = n
+		p.FlowID = 0
+		for !e.Inject(p) {
 			time.Sleep(10 * time.Microsecond)
 		}
+		injected++
 	}
 	const rounds = 2000
 	for i := 0; i < rounds; i++ {
@@ -101,9 +115,10 @@ func main() {
 	cancel()
 	<-done
 
+	l := e.LedgerSnapshot()
 	fmt.Println("chain: monitor → firewall → nat → router → dpi")
-	fmt.Printf("injected %d frames: %d survived, %d dropped mid-chain\n\n",
-		4*rounds+rounds/100, survived, killed)
+	fmt.Printf("injected %d frames: %d survived, %d dropped mid-chain (ledger residual %d)\n\n",
+		injected, survived, l.NFDrops, l.Residual())
 	fmt.Printf("monitor:  %d flows tracked, top flow %d packets\n", mon.Flows(), mon.Top(1)[0].Packets)
 	fmt.Printf("firewall: %d accepted, %d dropped (ssh blocked)\n", fw.Accepted, fw.Dropped)
 	fmt.Printf("nat:      %d translations, %d bindings (external %v)\n", nat.Translated, nat.Bindings(), natIP)

@@ -72,6 +72,20 @@ type Packet struct {
 	Hop      int
 	Userdata any
 
+	// Frame is the packet's wire bytes, backed by a preallocated arena
+	// slot that travels with the descriptor (Config.FrameSize > 0).
+	// Handlers mutate it in place — the zero-copy path real NFs run on —
+	// and may shrink or grow it within the slot's capacity via reslicing
+	// or append. Swapping in a foreign buffer breaks the pooling contract
+	// (Config.DebugPool catches it); the length is reset to zero whenever
+	// the descriptor is recycled, the bytes are not cleared.
+	Frame []byte
+
+	// frame0 is the descriptor's arena slot at full capacity; Frame is
+	// restored to frame0[:0] on every recycle so ownership of the slot
+	// follows the descriptor through the freelist.
+	frame0 []byte
+
 	// Drop, when set by a handler, discards the packet instead of
 	// forwarding it: the worker recycles it and charges an NF drop (the
 	// path fault injectors use to model transient NF errors). The flag is
@@ -93,6 +107,14 @@ type Packet struct {
 
 // Handler processes one packet at a stage.
 type Handler func(*Packet)
+
+// BatchHandler processes a whole dequeued batch at a stage in one call —
+// the amortized dispatch path for frame-native NFs (one closure invocation
+// and one interface dispatch per batch instead of per packet). Handlers
+// mark discards by setting Packet.Drop; the worker routes them to NFDrops
+// exactly as on the per-packet path. The slice is the worker's scratch and
+// must not be retained past the call.
+type BatchHandler func([]*Packet)
 
 // Config tunes the runtime.
 type Config struct {
@@ -135,6 +157,15 @@ type Config struct {
 	// PoolSize caps the packet freelist (rounded up to a power of two;
 	// default 4×RingSize). Excess recycled packets are left to the GC.
 	PoolSize int
+	// FrameSize, when > 0, gives every pooled descriptor a wire-frame
+	// buffer of this capacity carved from one contiguous preallocated
+	// arena (PoolSize slots — the role OpenNetVM's shared huge-page
+	// mempool plays for the paper's NFs). Packet.Frame aliases the
+	// descriptor's slot for its whole pooled lifetime: frontends fill it
+	// in place, NFs mutate it in place, and recycling resets only its
+	// length, so the steady-state frame path allocates nothing. 0 (the
+	// default) leaves Frame nil and the arena unallocated.
+	FrameSize int
 	// NoRecycle disables automatic recycling of packets the engine drops
 	// (shed batches, full rings, full output). Set it when the producer
 	// retains references to injected packets; GetPacket/PutPacket still
@@ -238,6 +269,8 @@ func (cfg Config) Validate() error {
 		return errors.New("dataplane: LowFrac must be in [0, 1]")
 	case cfg.HighFrac > 0 && cfg.LowFrac > 0 && cfg.LowFrac > cfg.HighFrac:
 		return errors.New("dataplane: LowFrac must not exceed HighFrac")
+	case cfg.FrameSize < 0:
+		return errors.New("dataplane: FrameSize must be >= 0")
 	case cfg.TraceSampleShift < 0 || cfg.TraceSampleShift > 32:
 		return errors.New("dataplane: TraceSampleShift must be in [0, 32]")
 	case cfg.TraceSpoolSize < 0:
@@ -278,6 +311,10 @@ type stage struct {
 	core int
 	name string
 	fn   Handler
+	// bfn, when non-nil, replaces fn with whole-batch dispatch (see
+	// runChunkBatch): the worker hands the handler its dequeued chunk in
+	// one call. Exactly one of fn/bfn is set for local stages.
+	bfn BatchHandler
 	// rx is a CAS-reserve multi-producer ring: injector goroutines and the
 	// mover enqueue concurrently without a lock; the stage's live worker is
 	// normally the single consumer (a detached worker incarnation may race
@@ -643,6 +680,18 @@ func New(cfg Config) *Engine {
 		e.movers[i] = m
 	}
 	e.drainRC = e.newRecycler(cfg.BatchSize)
+	if cfg.FrameSize > 0 {
+		// One contiguous arena, sliced into full-capacity slots bound to
+		// prefilled descriptors: frame ownership rides the freelist, and
+		// the three-index slice caps append growth at the slot boundary so
+		// a runaway handler can never bleed into a neighbour's frame.
+		fs := cfg.FrameSize
+		arena := make([]byte, cfg.PoolSize*fs)
+		for i := 0; i < cfg.PoolSize; i++ {
+			slot := arena[i*fs : (i+1)*fs : (i+1)*fs]
+			e.free.Enqueue(&Packet{Frame: slot[:0], frame0: slot})
+		}
+	}
 	e.coarseNanos.Store(time.Now().UnixNano())
 	return e
 }
@@ -656,6 +705,24 @@ func (e *Engine) AddStage(name string, weight int64, fn Handler) int {
 // AddStageOn registers an NF pinned to the given core. Must be called
 // before Run.
 func (e *Engine) AddStageOn(name string, weight int64, core int, fn Handler) int {
+	return e.addStage(name, weight, core, fn, nil)
+}
+
+// AddBatchStage registers a batch-dispatch NF on core 0: the handler
+// receives each dequeued chunk whole instead of packet by packet, so
+// frame-native NFs amortize dispatch and lookup costs across the batch.
+// Must be called before Run.
+func (e *Engine) AddBatchStage(name string, weight int64, fn BatchHandler) int {
+	return e.AddBatchStageOn(name, weight, 0, fn)
+}
+
+// AddBatchStageOn registers a batch-dispatch NF pinned to the given core.
+// Must be called before Run.
+func (e *Engine) AddBatchStageOn(name string, weight int64, core int, fn BatchHandler) int {
+	return e.addStage(name, weight, core, nil, fn)
+}
+
+func (e *Engine) addStage(name string, weight int64, core int, fn Handler, bfn BatchHandler) int {
 	if core < 0 || core >= e.cfg.Cores {
 		panic("dataplane: stage core out of range")
 	}
@@ -664,6 +731,7 @@ func (e *Engine) AddStageOn(name string, weight int64, core int, fn Handler) int
 		core: core,
 		name: name,
 		fn:   fn,
+		bfn:  bfn,
 		rx:   ring.NewMPMC[*Packet](e.cfg.RingSize),
 		tx:   ring.NewMPMC[*Packet](e.cfg.RingSize),
 	}
@@ -1080,7 +1148,14 @@ func (e *Engine) runGrant(s *stage, w *workerCtx, budget int) (res grantResult, 
 			break
 		}
 		w.inflight.Store(int64(k))
-		live, done, panicked, pmsg := e.runChunk(s, w, k)
+		var live, done int
+		var panicked bool
+		var pmsg string
+		if s.bfn != nil {
+			live, done, panicked, pmsg = e.runChunkBatch(s, w, k)
+		} else {
+			live, done, panicked, pmsg = e.runChunk(s, w, k)
+		}
 		n += done
 		if panicked {
 			s.busyNanos.Add(time.Since(start).Nanoseconds())
@@ -1203,6 +1278,82 @@ func (e *Engine) runChunk(s *stage, w *workerCtx, k int) (live, done int, panick
 			// stages consume every packet this way, but their units belong
 			// to the transport ledger (RemoteDelivered/RemoteDrops), not
 			// NFDrops — the handler already charged any refusal.
+			if decInflight(&w.inflight) && w.kind == workerLocal {
+				s.nfDrops.Add(1)
+				e.NFDrops.Add(1)
+			}
+			e.freePacket(pkt)
+			continue
+		}
+		pkt.Hop++
+		w.batch[live] = pkt
+		live++
+	}
+	return live, k, false, ""
+}
+
+// runChunkBatch is runChunk's whole-batch twin for stages registered with
+// AddBatchStage: one handler call covers batch[:k], with the flight
+// recorder's enter/exit stamps bracketing the batch (one clock read per
+// side, shared by every sampled packet in it). A panic inside the batch
+// handler leaves no packet with a defined outcome, so the recovery charges
+// the entire unclaimed chunk to fault drops.
+func (e *Engine) runChunkBatch(s *stage, w *workerCtx, k int) (live, done int, panicked bool, pmsg string) {
+	debug := e.cfg.DebugPool
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else {
+			panicked = true
+			pmsg = panicString(r)
+		}
+		free := func(p *Packet) {
+			if debug && atomic.LoadInt32(&p.poolState) != 0 {
+				return
+			}
+			e.freePacket(p)
+		}
+		if claimed := w.inflight.Swap(0); claimed > 0 {
+			e.FaultDrops.Add(uint64(claimed))
+			s.faultDrops.Add(uint64(claimed))
+		}
+		for j := 0; j < k; j++ {
+			free(w.batch[j])
+		}
+		live, done = 0, 0
+	}()
+	batch := w.batch[:k]
+	if debug {
+		for _, pkt := range batch {
+			if atomic.LoadInt32(&pkt.poolState) != 0 {
+				panic("dataplane: stage " + s.name + " processing a recycled packet (use-after-PutPacket)")
+			}
+		}
+	}
+	// Stamp sampled packets lazily: the clock is read only when the batch
+	// actually carries a span, so the unsampled path stays clock-free.
+	var now int64
+	for _, pkt := range batch {
+		if sp := pkt.span; sp != nil {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			sp.stampEnter(s.id, now)
+		}
+	}
+	s.bfn(batch)
+	now = 0
+	for _, pkt := range batch {
+		if sp := pkt.span; sp != nil {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			sp.stampExit(now)
+		}
+	}
+	for _, pkt := range batch {
+		if pkt.Drop {
+			pkt.Drop = false
 			if decInflight(&w.inflight) && w.kind == workerLocal {
 				s.nfDrops.Add(1)
 				e.NFDrops.Add(1)

@@ -32,11 +32,43 @@ package dataplane
 
 import "sync/atomic"
 
-// debugPut flips a descriptor live→pooled, panicking on a second put.
+// debugPut flips a descriptor live→pooled, panicking on a second put. With
+// a frame arena it also verifies the descriptor still owns its arena slot:
+// every legal reslice of frame0 shares the slot's final byte, so a Frame
+// whose last reachable byte lives elsewhere was swapped for a foreign
+// buffer — the pooling contract violation that silently leaks arena slots.
 func debugPut(p *Packet) {
 	if !atomic.CompareAndSwapInt32(&p.poolState, 0, 1) {
 		panic("dataplane: double PutPacket: descriptor is already in the freelist")
 	}
+	if f0, f := p.frame0, p.Frame; cap(f0) > 0 && cap(f) > 0 &&
+		&f[:cap(f)][cap(f)-1] != &f0[:cap(f0)][cap(f0)-1] {
+		panic("dataplane: recycled descriptor's Frame no longer aliases its arena slot (buffer swapped)")
+	}
+}
+
+// resetFrame restores Frame to the descriptor's empty arena slot (a length
+// reset only — the bytes stay put). Called on every recycle path so frame
+// ownership follows the descriptor through the freelist.
+func (p *Packet) resetFrame() {
+	if p.frame0 != nil {
+		p.Frame = p.frame0[:0]
+	} else {
+		p.Frame = nil
+	}
+}
+
+// newPacket is the heap fallback when the freelist runs dry: with a frame
+// arena configured the fresh descriptor gets a private full-capacity slot
+// so the Frame contract holds even off the preallocated pool.
+func (e *Engine) newPacket() *Packet {
+	p := &Packet{}
+	if fs := e.cfg.FrameSize; fs > 0 {
+		slot := make([]byte, fs)
+		p.frame0 = slot
+		p.Frame = slot[:0]
+	}
+	return p
 }
 
 // GetPacket returns a descriptor from the engine's freelist, falling back to
@@ -48,7 +80,7 @@ func (e *Engine) GetPacket() *Packet {
 		}
 		return p
 	}
-	return &Packet{}
+	return e.newPacket()
 }
 
 // PutPacket recycles a descriptor the caller owns. The packet's Userdata is
@@ -66,6 +98,7 @@ func (e *Engine) PutPacket(p *Packet) {
 	p.Userdata = nil
 	p.Hop = 0
 	p.Drop = false
+	p.resetFrame()
 	e.free.Enqueue(p)
 }
 
@@ -85,6 +118,7 @@ func (e *Engine) PutPacketBatch(ps []*Packet) {
 		p.Userdata = nil
 		p.Hop = 0
 		p.Drop = false
+		p.resetFrame()
 	}
 	// Surplus beyond the freelist capacity is GC'd with the caller's refs.
 	e.free.EnqueueBatch(ps)
@@ -126,6 +160,7 @@ func (r *recycler) put(p *Packet) {
 	p.Userdata = nil
 	p.Hop = 0
 	p.Drop = false
+	p.resetFrame()
 	if r.n == len(r.buf) {
 		r.flush()
 	}
@@ -163,6 +198,7 @@ func (e *Engine) freePacket(p *Packet) {
 	p.Userdata = nil
 	p.Hop = 0
 	p.Drop = false
+	p.resetFrame()
 	e.free.Enqueue(p)
 }
 
@@ -191,7 +227,7 @@ func (c *PacketCache) Get() *Packet {
 		n := c.e.free.DequeueBatch(c.buf[:cap(c.buf)/2])
 		c.buf = c.buf[:n]
 		if n == 0 {
-			return &Packet{}
+			return c.e.newPacket()
 		}
 	}
 	p := c.buf[len(c.buf)-1]
@@ -215,6 +251,7 @@ func (c *PacketCache) Put(p *Packet) {
 	p.Userdata = nil
 	p.Hop = 0
 	p.Drop = false
+	p.resetFrame()
 	if len(c.buf) == cap(c.buf) {
 		half := cap(c.buf) / 2
 		c.e.free.EnqueueBatch(c.buf[half:])

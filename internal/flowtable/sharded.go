@@ -1,0 +1,142 @@
+package flowtable
+
+// Sharded is the concurrent, bounded counterpart of Table for the live
+// dataplane's ingress frontends: the Rx-thread flow director, but safe for
+// any number of producer goroutines and with a hard cap on resident
+// entries. Millions of distinct flows stream through it; when a shard is
+// full, inserting a new flow evicts an arbitrary resident one (Go's
+// randomized map iteration order makes this an effectively random-
+// replacement cache, the strategy hardware flow caches fall back to when
+// LRU metadata is too expensive per lookup).
+//
+// Keys spread across power-of-two shards by their FNV-1a hash; each shard
+// is an independently locked exact-match map, so concurrent producers
+// contend only when their flows collide on a shard.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nfvnice/internal/packet"
+	"nfvnice/internal/ring"
+)
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[packet.FlowKey]int
+	// The pad keeps one producer's hot shard lock off its neighbours'
+	// cache lines (the ring.Pad layout contract).
+	_ ring.Pad
+}
+
+// Sharded is a concurrency-safe bounded flow table. Create with NewSharded.
+type Sharded struct {
+	shards   []shard
+	mask     uint64
+	capShard int
+
+	// Lookups/Hits/Misses count lookup outcomes; Evictions counts resident
+	// flows displaced by inserts into a full shard.
+	Lookups   atomic.Uint64
+	Hits      atomic.Uint64
+	Misses    atomic.Uint64
+	Evictions atomic.Uint64
+}
+
+// NewSharded returns a table of the given shard count (rounded up to a
+// power of two, minimum 1) holding at most capacity entries in total
+// (minimum one per shard).
+func NewSharded(shards, capacity int) *Sharded {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	t := &Sharded{shards: make([]shard, n), mask: uint64(n - 1), capShard: per}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[packet.FlowKey]int)
+	}
+	return t
+}
+
+func (t *Sharded) shardOf(k packet.FlowKey) *shard {
+	return &t.shards[k.Hash()&t.mask]
+}
+
+// Lookup resolves the chain for a flow key; ok is false when the flow is
+// not resident (never inserted, or evicted since).
+func (t *Sharded) Lookup(k packet.FlowKey) (chainID int, ok bool) {
+	t.Lookups.Add(1)
+	s := t.shardOf(k)
+	s.mu.Lock()
+	chainID, ok = s.entries[k]
+	s.mu.Unlock()
+	if ok {
+		t.Hits.Add(1)
+	} else {
+		t.Misses.Add(1)
+	}
+	return chainID, ok
+}
+
+// Insert makes the flow resident, evicting an arbitrary entry from its
+// shard if the shard is at capacity (updates to a resident key never
+// evict).
+func (t *Sharded) Insert(k packet.FlowKey, chainID int) {
+	s := t.shardOf(k)
+	s.mu.Lock()
+	if _, resident := s.entries[k]; !resident && len(s.entries) >= t.capShard {
+		for victim := range s.entries {
+			delete(s.entries, victim)
+			t.Evictions.Add(1)
+			break
+		}
+	}
+	s.entries[k] = chainID
+	s.mu.Unlock()
+}
+
+// LookupOrInsert resolves the flow, installing chainOf(k) on a miss under
+// the shard lock — one locked section for the director's common miss path,
+// so two producers racing the same new flow still converge on one entry.
+// Reports the chain and whether the flow was already resident.
+func (t *Sharded) LookupOrInsert(k packet.FlowKey, chainOf func(packet.FlowKey) int) (chainID int, hit bool) {
+	t.Lookups.Add(1)
+	s := t.shardOf(k)
+	s.mu.Lock()
+	if id, ok := s.entries[k]; ok {
+		s.mu.Unlock()
+		t.Hits.Add(1)
+		return id, true
+	}
+	chainID = chainOf(k)
+	if len(s.entries) >= t.capShard {
+		for victim := range s.entries {
+			delete(s.entries, victim)
+			t.Evictions.Add(1)
+			break
+		}
+	}
+	s.entries[k] = chainID
+	s.mu.Unlock()
+	t.Misses.Add(1)
+	return chainID, false
+}
+
+// Len reports the resident entry count across all shards.
+func (t *Sharded) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity reports the table's total entry bound.
+func (t *Sharded) Capacity() int { return t.capShard * len(t.shards) }

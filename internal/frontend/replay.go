@@ -1,0 +1,146 @@
+package frontend
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+
+	"nfvnice/internal/dataplane"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/pcap"
+)
+
+// ReplayConfig tunes the pcap replay producer.
+type ReplayConfig struct {
+	// Loops is how many times to replay the whole trace (default 1).
+	Loops int
+	// LaneDepth is the producer lane capacity (0 takes Config.RingSize).
+	LaneDepth int
+	// Batch is the injection batch size (default 64).
+	Batch int
+}
+
+// ReplayStats reports a finished replay.
+type ReplayStats struct {
+	// Offered counts frames accepted into the inject lane; Rejected counts
+	// frames recycled when cancellation cut the lane retry short.
+	Offered  uint64
+	Rejected uint64
+	Bytes    uint64
+	// Skipped counts trace records the replay could not forward: non-IPv4
+	// frames (no 5-tuple to direct on) and frames larger than the arena
+	// slot.
+	Skipped uint64
+}
+
+// replayRecord is one prescanned trace record: its bytes and its resolved
+// flow key, so the replay loop pays no decode cost.
+type replayRecord struct {
+	data []byte
+	key  packet.FlowKey
+}
+
+// Replay streams a prescanned pcap trace into the engine at maximum rate,
+// copying each record into an arena frame — the one ingress copy a real
+// NIC's DMA would make — and directing flows through the shared table.
+type Replay struct {
+	cfg  ReplayConfig
+	dir  *Director
+	recs []replayRecord
+	skip uint64
+	max  int
+}
+
+// NewReplay prescans a pcap stream (decoding each record's 5-tuple once)
+// and returns a replay producer over the director's chains.
+func NewReplay(r io.Reader, cfg ReplayConfig, dir *Director) (*Replay, error) {
+	pkts, err := pcap.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: reading trace: %w", err)
+	}
+	if cfg.Loops <= 0 {
+		cfg.Loops = 1
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	rp := &Replay{cfg: cfg, dir: dir}
+	for _, p := range pkts {
+		k, ok := FlowKeyOf(p.Data)
+		if !ok {
+			rp.skip++
+			continue
+		}
+		if len(p.Data) > rp.max {
+			rp.max = len(p.Data)
+		}
+		rp.recs = append(rp.recs, replayRecord{data: p.Data, key: k})
+	}
+	return rp, nil
+}
+
+// Records reports the number of replayable records per loop; MaxFrame the
+// largest record, so callers can size Config.FrameSize.
+func (r *Replay) Records() int  { return len(r.recs) }
+func (r *Replay) MaxFrame() int { return r.max }
+
+// Run replays the trace through a private inject lane at maximum rate,
+// blocking until the configured loops complete or ctx is canceled. The
+// engine must be running with Config.FrameSize ≥ r.MaxFrame() and chain i
+// mapped via MapFlow(i, i).
+func (r *Replay) Run(ctx context.Context, e *dataplane.Engine) ReplayStats {
+	stats := ReplayStats{Skipped: r.skip * uint64(r.cfg.Loops)}
+	if len(r.recs) == 0 {
+		return stats
+	}
+	h := e.ProducerHandle(r.cfg.LaneDepth)
+	defer h.Close()
+	cache := e.NewPacketCache(4 * r.cfg.Batch)
+	batch := make([]*dataplane.Packet, 0, r.cfg.Batch)
+	flush := func() bool {
+		rem := batch
+		for len(rem) > 0 {
+			n := h.InjectBatch(rem)
+			stats.Offered += uint64(n)
+			rem = rem[n:]
+			if len(rem) == 0 {
+				break
+			}
+			if ctx.Err() != nil {
+				stats.Rejected += uint64(len(rem))
+				for _, p := range rem {
+					cache.Put(p)
+				}
+				return false
+			}
+			runtime.Gosched()
+		}
+		batch = batch[:0]
+		return true
+	}
+	for loop := 0; loop < r.cfg.Loops; loop++ {
+		for i := range r.recs {
+			rec := &r.recs[i]
+			p := cache.Get()
+			if cap(p.Frame) < len(rec.data) {
+				cache.Put(p)
+				stats.Skipped++
+				continue
+			}
+			p.Frame = p.Frame[:len(rec.data)]
+			copy(p.Frame, rec.data)
+			p.Size = len(rec.data)
+			p.FlowID = r.dir.ChainOf(rec.key)
+			stats.Bytes += uint64(len(rec.data))
+			batch = append(batch, p)
+			if len(batch) == cap(batch) {
+				if !flush() {
+					return stats
+				}
+			}
+		}
+	}
+	flush()
+	return stats
+}

@@ -1,0 +1,286 @@
+package frontend
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"nfvnice/internal/dataplane"
+	"nfvnice/internal/packet"
+	"nfvnice/internal/proto"
+)
+
+// SyntheticConfig tunes the seeded generator.
+type SyntheticConfig struct {
+	// Seed makes the run reproducible (0 takes 1).
+	Seed int64
+	// Flows is the number of distinct flows to generate before stopping.
+	Flows int
+	// ActiveFlows bounds the live working set: flows emit interleaved, and
+	// an exhausted flow's slot is immediately re-armed with a fresh one, so
+	// memory stays constant while total distinct flows grow without bound
+	// (default 1024).
+	ActiveFlows int
+	// Alpha is the bounded-Pareto shape for per-flow packet counts: heavy
+	// tails mean most flows are mice and most packets belong to elephants
+	// (default 1.2).
+	Alpha float64
+	// MinPackets and MaxPackets bound the per-flow packet count
+	// (defaults 1 and 1024).
+	MinPackets, MaxPackets int
+	// PayloadLen is the UDP payload size in bytes, minimum 16 — the first
+	// 16 bytes carry the flow number and a payload checksum so any tap can
+	// verify frame integrity end to end (default 64).
+	PayloadLen int
+	// Rate paces emission in packets/second across the whole run; 0 runs
+	// at maximum rate.
+	Rate int
+	// LaneDepth is the producer lane capacity (0 takes Config.RingSize).
+	LaneDepth int
+	// Batch is the emission batch size (default 64).
+	Batch int
+}
+
+// SyntheticStats reports a finished run.
+type SyntheticStats struct {
+	// Offered counts packets accepted into the inject lane; Rejected
+	// counts lane-full packets recycled after retries were cut short by
+	// cancellation (otherwise the generator retries until accepted).
+	Offered  uint64
+	Rejected uint64
+	// Flows is the number of distinct flows generated; Bytes the frame
+	// bytes offered.
+	Flows uint64
+	Bytes uint64
+}
+
+// synthFlow is one live working-set slot.
+type synthFlow struct {
+	key       packet.FlowKey
+	chain     int
+	remaining int
+	payload   []byte
+}
+
+// Synthetic is the seeded heavy-tailed traffic generator. Create with
+// NewSynthetic; Run drives the engine until the flow budget is spent.
+type Synthetic struct {
+	cfg SyntheticConfig
+	dir *Director
+	rng *rand.Rand
+
+	nextFlow uint64
+	active   []synthFlow
+	stats    SyntheticStats
+}
+
+// NewSynthetic returns a generator feeding chains through the director's
+// flow table. Zero-valued config fields take the documented defaults.
+func NewSynthetic(cfg SyntheticConfig, dir *Director) *Synthetic {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ActiveFlows <= 0 {
+		cfg.ActiveFlows = 1024
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1.2
+	}
+	if cfg.MinPackets <= 0 {
+		cfg.MinPackets = 1
+	}
+	if cfg.MaxPackets < cfg.MinPackets {
+		cfg.MaxPackets = 1024
+		if cfg.MaxPackets < cfg.MinPackets {
+			cfg.MaxPackets = cfg.MinPackets
+		}
+	}
+	if cfg.PayloadLen < 16 {
+		cfg.PayloadLen = 64
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Flows < cfg.ActiveFlows {
+		cfg.ActiveFlows = cfg.Flows
+	}
+	return &Synthetic{cfg: cfg, dir: dir, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// FrameSize reports the frame size the generator emits, so callers can
+// size Config.FrameSize.
+func (s *Synthetic) FrameSize() int {
+	return proto.EthernetHeaderLen + proto.IPv4MinHeaderLen + proto.UDPHeaderLen + s.cfg.PayloadLen
+}
+
+// boundedPareto draws a per-flow packet count in [MinPackets, MaxPackets]
+// with shape Alpha (inverse-CDF sampling).
+func (s *Synthetic) boundedPareto() int {
+	l, h, a := float64(s.cfg.MinPackets), float64(s.cfg.MaxPackets), s.cfg.Alpha
+	if l >= h {
+		return s.cfg.MinPackets
+	}
+	u := s.rng.Float64()
+	x := l / math.Pow(1-u*(1-math.Pow(l/h, a)), 1/a)
+	n := int(x)
+	if n < s.cfg.MinPackets {
+		n = s.cfg.MinPackets
+	}
+	if n > s.cfg.MaxPackets {
+		n = s.cfg.MaxPackets
+	}
+	return n
+}
+
+// flowKeyFor derives flow n's 5-tuple: a unique source in 10/8 toward one
+// external service — the many-clients-one-service shape NAT and firewall
+// chains are built for.
+func flowKeyFor(n uint64) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   0x0a000000 | uint32(n&0xffffff),
+		DstIP:   uint32(proto.Addr4(198, 51, 100, 1)),
+		SrcPort: uint16(1024 + (n>>24)*131%60000),
+		DstPort: 80,
+		Proto:   packet.UDP,
+	}
+}
+
+// FillPayload writes flow n's deterministic payload into buf (length ≥ 16):
+// bytes 0..7 are the flow number, 8..15 an FNV-1a checksum of the body,
+// and the rest a flow-keyed byte pattern. VerifyPayload checks it.
+func FillPayload(n uint64, buf []byte) {
+	binary.BigEndian.PutUint64(buf[0:8], n)
+	for i := 16; i < len(buf); i++ {
+		buf[i] = byte(uint64(i)*1099511628211 + n*131)
+	}
+	binary.BigEndian.PutUint64(buf[8:16], payloadSum(n, buf[16:]))
+}
+
+// VerifyPayload re-derives the payload checksum and reports whether the
+// bytes survived the chain intact, plus the flow number they claim.
+func VerifyPayload(buf []byte) (flow uint64, ok bool) {
+	if len(buf) < 16 {
+		return 0, false
+	}
+	flow = binary.BigEndian.Uint64(buf[0:8])
+	return flow, binary.BigEndian.Uint64(buf[8:16]) == payloadSum(flow, buf[16:])
+}
+
+// payloadSum is FNV-1a over the payload body, mixed with the flow number.
+func payloadSum(n uint64, body []byte) uint64 {
+	h := uint64(14695981039346656037) ^ n
+	for _, b := range body {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// armFlow replaces slot i with the next fresh flow.
+func (s *Synthetic) armFlow(i int) {
+	f := &s.active[i]
+	n := s.nextFlow
+	s.nextFlow++
+	f.key = flowKeyFor(n)
+	f.chain = s.dir.ChainOf(f.key)
+	f.remaining = s.boundedPareto()
+	if f.payload == nil {
+		f.payload = make([]byte, s.cfg.PayloadLen)
+	}
+	FillPayload(n, f.payload)
+	s.stats.Flows++
+}
+
+var synthSrcMAC = proto.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+var synthDstMAC = proto.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+
+// Run generates the configured flows into the engine through a private
+// inject lane, blocking until the flow budget is spent or ctx is canceled.
+// The engine must be running, configured with Config.FrameSize ≥
+// s.FrameSize(), and have chain i reachable via MapFlow(i, i) for every
+// chain the director spreads over.
+func (s *Synthetic) Run(ctx context.Context, e *dataplane.Engine) SyntheticStats {
+	h := e.ProducerHandle(s.cfg.LaneDepth)
+	defer h.Close()
+	cache := e.NewPacketCache(4 * s.cfg.Batch)
+	s.active = make([]synthFlow, s.cfg.ActiveFlows)
+	for i := range s.active {
+		s.armFlow(i)
+	}
+	batch := make([]*dataplane.Packet, s.cfg.Batch)
+	var paceStart time.Time
+	if s.cfg.Rate > 0 {
+		paceStart = time.Now()
+	}
+	slot := 0
+	for len(s.active) > 0 {
+		if ctx.Err() != nil {
+			return s.stats
+		}
+		// Fill one batch round-robin across the working set so flows
+		// interleave on the wire like independent senders.
+		bn := 0
+		for bn < len(batch) && len(s.active) > 0 {
+			if slot >= len(s.active) {
+				slot = 0
+			}
+			f := &s.active[slot]
+			p := cache.Get()
+			buf := p.Frame[:cap(p.Frame)]
+			n := proto.EncodeUDP(buf, synthSrcMAC, synthDstMAC,
+				proto.IPv4Addr(f.key.SrcIP), proto.IPv4Addr(f.key.DstIP),
+				f.key.SrcPort, f.key.DstPort, f.payload)
+			p.Frame = buf[:n]
+			p.Size = n
+			p.FlowID = f.chain
+			batch[bn] = p
+			bn++
+			s.stats.Bytes += uint64(n)
+			f.remaining--
+			if f.remaining == 0 {
+				if s.stats.Flows < uint64(s.cfg.Flows) {
+					s.armFlow(slot)
+					slot++
+				} else {
+					// Budget spent: shrink the working set.
+					last := len(s.active) - 1
+					s.active[slot] = s.active[last]
+					s.active = s.active[:last]
+				}
+			} else {
+				slot++
+			}
+		}
+		// Offer the batch; a full lane is transient per-producer
+		// backpressure, so spin politely until the mover catches up.
+		rem := batch[:bn]
+		for len(rem) > 0 {
+			n := h.InjectBatch(rem)
+			s.stats.Offered += uint64(n)
+			rem = rem[n:]
+			if len(rem) == 0 {
+				break
+			}
+			if ctx.Err() != nil {
+				s.stats.Rejected += uint64(len(rem))
+				for _, p := range rem {
+					cache.Put(p)
+				}
+				return s.stats
+			}
+			runtime.Gosched()
+		}
+		if s.cfg.Rate > 0 {
+			// Pace against the wall clock: sleep off any lead over the
+			// target cumulative schedule.
+			ahead := time.Duration(float64(s.stats.Offered)/float64(s.cfg.Rate)*float64(time.Second)) - time.Since(paceStart)
+			if ahead > time.Millisecond {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	return s.stats
+}

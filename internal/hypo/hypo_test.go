@@ -223,8 +223,8 @@ func TestRegisteredHypothesesSmoke(t *testing.T) {
 		t.Skip("full-engine smoke; skipped in -short")
 	}
 	names := Names()
-	if len(names) != 4 {
-		t.Fatalf("expected 4 registered hypotheses, got %v", names)
+	if len(names) != 5 {
+		t.Fatalf("expected 5 registered hypotheses, got %v", names)
 	}
 	for _, name := range names {
 		name := name

@@ -382,6 +382,9 @@ func TestAdaptDropsClearUserdata(t *testing.T) {
 	if pktDropped.Userdata != nil {
 		t.Fatal("dropped frame not cleared")
 	}
+	if !pktDropped.Drop {
+		t.Fatal("Drop verdict must set Packet.Drop so the ledger charges an NFDrop")
+	}
 	fwAllow := NewFirewall(Accept)
 	h2 := Adapt(fwAllow)
 	pktOK := pkt(udpFrame(outside, insideA, 1, 2, "x"))

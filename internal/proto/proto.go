@@ -348,6 +348,34 @@ func Decode(b []byte) (Frame, error) {
 	return f, nil
 }
 
+// EncodeUDP assembles a complete Ethernet+IPv4+UDP frame with correct
+// checksums in place into b — the allocation-free counterpart of BuildUDP
+// for preallocated frame arenas — and reports the frame length. b must have
+// room for EthernetHeaderLen+IPv4MinHeaderLen+UDPHeaderLen+len(payload)
+// bytes (it panics on a short buffer, like any slice write).
+func EncodeUDP(b []byte, srcMAC, dstMAC MAC, src, dst IPv4Addr, srcPort, dstPort uint16, payload []byte) int {
+	total := EthernetHeaderLen + IPv4MinHeaderLen + UDPHeaderLen + len(payload)
+	b = b[:total]
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	eth.Put(b)
+	ipb := b[EthernetHeaderLen:]
+	ip := IPv4{
+		Length:   uint16(IPv4MinHeaderLen + UDPHeaderLen + len(payload)),
+		TTL:      64,
+		Protocol: IPProtoUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	ip.Put(ipb)
+	ub := ipb[IPv4MinHeaderLen:]
+	u := UDP{SrcPort: srcPort, DstPort: dstPort, Length: uint16(UDPHeaderLen + len(payload))}
+	u.Put(ub)
+	copy(ub[UDPHeaderLen:], payload)
+	u.Checksum = PseudoChecksum(src, dst, IPProtoUDP, ub)
+	binary.BigEndian.PutUint16(ub[6:8], u.Checksum)
+	return total
+}
+
 // BuildUDP assembles a complete Ethernet+IPv4+UDP frame with correct
 // checksums into a fresh slice.
 func BuildUDP(srcMAC, dstMAC MAC, src, dst IPv4Addr, srcPort, dstPort uint16, payload []byte) []byte {
